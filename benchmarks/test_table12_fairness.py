@@ -1,0 +1,39 @@
+"""Bench E7 — regenerate Table 12 (W̄ and fairness F vs class_io_prob).
+
+Shape checks:
+* F_LOCAL crosses zero as the class mix shifts from CPU-heavy to I/O-heavy
+  (paper: −0.377 at prob 0.3 rising to +0.224 at 0.8);
+* dynamic allocation improves W̄ at every mix;
+* away from the F≈0 crossover, dynamic allocation shrinks |F|.
+"""
+
+from repro.experiments import table12
+
+
+def test_table12_fairness(benchmark, quick_settings):
+    result = benchmark.pedantic(
+        table12.run_experiment, args=(quick_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(table12.format_table(result))
+
+    assert result.f_local_crosses_zero(), "F_LOCAL should change sign across the mix"
+
+    f_values = [row.f_local for row in result.rows]
+    assert f_values[0] < 0 < f_values[-1], (
+        f"F_LOCAL should go from negative to positive, got {f_values}"
+    )
+
+    for row in result.rows:
+        assert row.vs_local("BNQ") > 0
+        assert row.vs_local("LERT") > 0
+
+    # Fairness improves where the baseline is clearly unfair (|F| large).
+    biased_rows = [row for row in result.rows if abs(row.f_local) > 0.1]
+    assert biased_rows, "expected some clearly biased mixes"
+    improved = sum(1 for row in biased_rows if row.fairness_improvement("LERT") > 0)
+    assert improved >= len(biased_rows) / 2
+    benchmark.extra_info["f_local_range"] = (
+        round(f_values[0], 3),
+        round(f_values[-1], 3),
+    )

@@ -1,0 +1,38 @@
+"""Bench E3 — regenerate Table 8 (waiting time versus think time).
+
+Shape checks mirror the paper's findings:
+* every dynamic policy beats LOCAL at every think time;
+* the information-based policies (BNQRD, LERT) beat BNQ;
+* improvement over LOCAL grows as utilization falls (think time rises).
+"""
+
+from repro.experiments import table8
+from repro.experiments.runconfig import QUICK
+
+
+def test_table8_think_time(benchmark, quick_settings):
+    result = benchmark.pedantic(
+        table8.run_experiment, args=(quick_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(table8.format_table(result))
+
+    for row in result.rows:
+        for policy in ("BNQ", "BNQRD", "LERT"):
+            assert row.vs_local(policy) > 0, (
+                f"{policy} should beat LOCAL at think={row.think_time}"
+            )
+        # Information-based policies beat count-balancing.
+        assert row.vs_bnq("BNQRD") > -3.0
+        assert row.vs_bnq("LERT") > -3.0
+
+    # Averaged over the sweep, the information advantage is positive.
+    mean_bnqrd_gain = sum(r.vs_bnq("BNQRD") for r in result.rows) / len(result.rows)
+    mean_lert_gain = sum(r.vs_bnq("LERT") for r in result.rows) / len(result.rows)
+    assert mean_bnqrd_gain > 2.0
+    assert mean_lert_gain > 2.0
+
+    # Low utilization end shows larger improvement than the high end.
+    first, last = result.rows[0], result.rows[-1]
+    assert last.vs_local("LERT") > first.vs_local("LERT")
+    benchmark.extra_info["lert_gain_over_bnq_pct"] = round(mean_lert_gain, 2)

@@ -1,0 +1,31 @@
+"""Bench E4 — regenerate Table 9 (waiting time versus mpl).
+
+Shape checks: dynamic allocation always helps; W̄_LOCAL rises steeply with
+the multiprogramming level; the relative improvement over LOCAL shrinks at
+the heavy-load end (paper: 36.9% at mpl 15 down to 11% at mpl 35 for BNQ).
+"""
+
+from repro.experiments import table9
+
+
+def test_table9_mpl(benchmark, quick_settings):
+    result = benchmark.pedantic(
+        table9.run_experiment, args=(quick_settings,), rounds=1, iterations=1
+    )
+    print()
+    print(table9.format_table(result))
+
+    waits = [row.w_local for row in result.rows]
+    assert waits == sorted(waits), "W_LOCAL must rise with mpl"
+
+    for row in result.rows:
+        for policy in ("BNQ", "BNQRD", "LERT"):
+            assert row.vs_local(policy) > 0
+
+    light, heavy = result.rows[0], result.rows[-1]
+    assert light.vs_local("BNQ") > heavy.vs_local("BNQ"), (
+        "BNQ's improvement should shrink under heavy load"
+    )
+    # Utilization rises across the sweep (paper: 0.41 -> 0.83).
+    assert heavy.rho_c > light.rho_c + 0.2
+    benchmark.extra_info["w_local_range"] = (round(waits[0], 2), round(waits[-1], 2))

@@ -1,0 +1,4 @@
+"""Setup shim so the package installs on environments without PEP 660 support."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — Dynamic Task Allocation in a Distributed Database System.
+
+A complete reproduction of Carey, Livny & Lu's ICDCS 1985 paper
+(UW–Madison TR #556): a discrete-event simulation of a fully-replicated
+distributed database system, the four query-allocation policies the paper
+studies (LOCAL, BNQ, BNQRD, LERT), an exact multiclass Mean Value Analysis
+substrate for the optimal-allocation study, and a harness that regenerates
+every table of the paper's evaluation.
+
+Quick start::
+
+    from repro import DistributedDatabase, paper_defaults, make_policy
+
+    system = DistributedDatabase(paper_defaults(), make_policy("LERT"), seed=7)
+    results = system.run(warmup=3000, duration=15000)
+    print(results)
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event simulation kernel (DISS-equivalent).
+* :mod:`repro.queueing` — closed multiclass queueing networks and MVA.
+* :mod:`repro.model` — the distributed database system model.
+* :mod:`repro.policies` — the allocation policies.
+* :mod:`repro.analysis` — the §3 optimal-allocation study (WIF/FIF).
+* :mod:`repro.experiments` — table-regeneration harness.
+* :mod:`repro.extensions` — future-work features (stale load info,
+  query migration, partial replication).
+"""
+
+from repro.model.config import (
+    NetworkSpec,
+    QueryClassSpec,
+    SiteSpec,
+    SystemConfig,
+    paper_classes,
+    paper_defaults,
+)
+from repro.model.metrics import SystemResults
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import available_policies, make_policy
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DistributedDatabase",
+    "SystemConfig",
+    "SiteSpec",
+    "NetworkSpec",
+    "QueryClassSpec",
+    "SystemResults",
+    "paper_classes",
+    "paper_defaults",
+    "make_policy",
+    "available_policies",
+    "__version__",
+]

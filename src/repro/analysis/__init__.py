@@ -1,0 +1,64 @@
+"""Analytic study of optimal allocations (the paper's §3) and capacity."""
+
+from repro.analysis.capacity import (
+    CapacityCurve,
+    capacity_curve,
+    fluctuation_headroom,
+    local_response_time,
+    local_throughput,
+)
+
+from repro.analysis.improvement import (
+    PAPER_CPU_PAIRS,
+    PAPER_DISK_TIME,
+    PAPER_LOADS,
+    PAPER_NUM_DISKS,
+    ImprovementCell,
+    grid_summary,
+    improvement_grid,
+)
+from repro.analysis.optimal import (
+    AllocationStudy,
+    add_arrival,
+    bnq_candidates,
+    query_difference,
+    site_population,
+    study_arrival,
+    system_fairness,
+    system_waiting,
+    validate_load,
+)
+from repro.analysis.site_network import (
+    SiteModel,
+    normalized_waiting_per_cycle,
+    solve_site,
+    waiting_per_cycle,
+)
+
+__all__ = [
+    "CapacityCurve",
+    "capacity_curve",
+    "fluctuation_headroom",
+    "local_response_time",
+    "local_throughput",
+    "SiteModel",
+    "solve_site",
+    "waiting_per_cycle",
+    "normalized_waiting_per_cycle",
+    "AllocationStudy",
+    "study_arrival",
+    "bnq_candidates",
+    "system_fairness",
+    "system_waiting",
+    "query_difference",
+    "add_arrival",
+    "site_population",
+    "validate_load",
+    "PAPER_LOADS",
+    "PAPER_CPU_PAIRS",
+    "PAPER_DISK_TIME",
+    "PAPER_NUM_DISKS",
+    "ImprovementCell",
+    "improvement_grid",
+    "grid_summary",
+]

@@ -1,0 +1,145 @@
+"""Analytic capacity curves: the LOCAL half of Table 10 without simulation.
+
+Under the LOCAL policy the sites are independent, so one site is a closed
+multiclass network — terminals (think time Z), per-disk FCFS stations, and
+the PS CPU — solvable with approximate MVA in microseconds.  That gives an
+analytic response-time curve RT(mpl) and therefore the Table 10 capacity
+question ("largest mpl with E[RT] <= bound") for LOCAL in closed form.
+
+The class populations are not fixed in the real workload (each terminal
+draws its query's class per submission); we use the standard expected-value
+split: ``mpl * class_prob_k`` customers of class ``k``, rounded to keep the
+total at ``mpl``.  The comparison against the simulated LOCAL curve is
+itself a validation test.
+
+Why only LOCAL?  A fixed-population queueing model *cannot* price dynamic
+allocation: with exactly ``mpl`` customers pinned to every site there is no
+load imbalance to exploit.  The benefit the paper measures lives entirely
+in the stochastic fluctuations of per-site populations — which is the deep
+reason the authors needed a simulation study for §5 after the analytic §3.
+:func:`fluctuation_headroom` quantifies this by comparing the analytic
+fixed-population response against the simulated LOCAL response: the gap is
+what population randomness costs, an upper-bound flavor of what dynamic
+allocation can claw back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.model.config import SystemConfig
+from repro.queueing.amva import solve_amva
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.stations import Station, StationKind
+
+
+def _site_network(config: SystemConfig) -> ClosedNetwork:
+    """The closed network of one DB site under LOCAL."""
+    classes = config.classes
+    spec = config.site
+    per_disk_demand = tuple(
+        c.num_reads * spec.disk_time / spec.num_disks for c in classes
+    )
+    disks = tuple(
+        Station(f"disk{d}", StationKind.FCFS, per_disk_demand)
+        for d in range(spec.num_disks)
+    )
+    cpu_demand = tuple(c.num_reads * c.page_cpu_time for c in classes)
+    cpu = Station("cpu", StationKind.PS, cpu_demand)
+    think = (spec.think_time,) * len(classes)
+    names = tuple(c.name for c in classes)
+    return ClosedNetwork((*disks, cpu), names, think)
+
+
+def _split_population(mpl: int, probs: Tuple[float, ...]) -> Tuple[int, ...]:
+    """Integer class populations matching mpl and the class mix."""
+    raw = [mpl * p for p in probs]
+    floors = [int(x) for x in raw]
+    remainder = mpl - sum(floors)
+    order = sorted(
+        range(len(raw)), key=lambda k: raw[k] - floors[k], reverse=True
+    )
+    for k in order[:remainder]:
+        floors[k] += 1
+    return tuple(floors)
+
+
+def local_response_time(config: SystemConfig, mpl: Optional[int] = None) -> float:
+    """Analytic mean response time of one site under LOCAL.
+
+    The workload-average of the per-class cycle times, weighted by class
+    throughput shares (a completing query is class ``k`` with probability
+    proportional to ``X_k``).
+    """
+    mpl = mpl if mpl is not None else config.site.mpl
+    if mpl < 1:
+        raise ValueError("mpl must be >= 1")
+    network = _site_network(config)
+    population = _split_population(mpl, config.class_probs)
+    solution = solve_amva(network, population)
+    weights = solution.throughputs
+    total = sum(weights)
+    if total == 0:
+        return 0.0
+    return sum(
+        weights[k] * solution.cycle_time(k) for k in range(len(weights))
+    ) / total
+
+
+def local_throughput(config: SystemConfig, mpl: Optional[int] = None) -> float:
+    """Analytic per-site query throughput under LOCAL."""
+    mpl = mpl if mpl is not None else config.site.mpl
+    network = _site_network(config)
+    population = _split_population(mpl, config.class_probs)
+    return sum(solve_amva(network, population).throughputs)
+
+
+@dataclass(frozen=True)
+class CapacityCurve:
+    """Analytic RT(mpl) curve for the LOCAL policy."""
+
+    mpl_grid: Tuple[int, ...]
+    local: Tuple[float, ...]
+
+    def max_mpl(self, bound: float) -> int:
+        """Largest mpl in the grid whose analytic RT is within *bound*."""
+        feasible = [m for m, rt in zip(self.mpl_grid, self.local) if rt <= bound]
+        return max(feasible) if feasible else 0
+
+
+def capacity_curve(
+    config: SystemConfig, mpl_grid: Tuple[int, ...] = tuple(range(5, 41))
+) -> CapacityCurve:
+    """Analytic LOCAL response-time curve over an mpl grid."""
+    local: List[float] = []
+    for mpl in mpl_grid:
+        local.append(local_response_time(config, mpl))
+    return CapacityCurve(mpl_grid=tuple(mpl_grid), local=tuple(local))
+
+
+def fluctuation_headroom(
+    config: SystemConfig, simulated_local_response: float, mpl: Optional[int] = None
+) -> float:
+    """Fraction of LOCAL's simulated response attributable to fluctuations.
+
+    The analytic model holds the population at exactly ``mpl`` per site;
+    the simulation lets it fluctuate with think times.  The relative gap
+    ``(simulated - analytic) / simulated`` estimates how much response time
+    comes from population randomness — the raw material dynamic allocation
+    works with.  (Negative values just mean the fixed-population model is
+    pessimistic at this operating point; both signs are informative.)
+    """
+    analytic = local_response_time(config, mpl)
+    if simulated_local_response <= 0:
+        return 0.0
+    return (simulated_local_response - analytic) / simulated_local_response
+
+
+__all__ = [
+    "local_response_time",
+    "local_throughput",
+    "CapacityCurve",
+    "capacity_curve",
+    "fluctuation_headroom",
+]

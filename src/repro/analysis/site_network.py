@@ -1,0 +1,135 @@
+"""Per-site queueing networks for the §3 optimal-allocation study.
+
+In §3 the paper freezes the system: think times and read counts are "large",
+message time is zero, and the load distribution matrix ``L = [l_ij]`` (class
+``i`` queries at site ``j``) fully describes the state.  Each site is then an
+independent closed queueing network:
+
+* the site's ``num_disks`` disks — by default one FCFS station *per disk*
+  with uniform random routing (visit ratio ``1/num_disks``, so per-cycle
+  demand ``disk_time/num_disks`` at each disk), matching Figure 2's
+  separate disk boxes.  Two I/O-bound queries therefore *can* collide on
+  the same disk, which is what gives I/O-bound arrivals their nonzero
+  improvement factors in Table 5.  A pooled ``M/M/c``-style multi-server
+  station is available for the disk-organization ablation (A1);
+* "cpu": the PS processor with per-class demand ``cpu_means[i]`` per cycle.
+
+A "cycle" is one read: one disk access followed by one CPU burst.  The Mean
+Value algorithm gives each class's expected *waiting time per cycle* at a
+site, which is the paper's unit of comparison.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.queueing.mva import MVASolution, solve_mva
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.stations import Station, StationKind
+
+
+@dataclass(frozen=True)
+class SiteModel:
+    """Hardware/demand description of one (homogeneous) site.
+
+    Attributes:
+        cpu_means: Per-class mean CPU demand per cycle (page).
+        disk_time: Mean disk access time per cycle.
+        num_disks: Disks per site.
+        disk_organization: ``"per_disk"`` (default; one FCFS station per
+            disk with uniform routing) or ``"shared"`` (one multi-server
+            station) — mirrors :mod:`repro.model.config`.
+    """
+
+    cpu_means: Tuple[float, ...]
+    disk_time: float = 1.0
+    num_disks: int = 2
+    disk_organization: str = "per_disk"
+
+    def __post_init__(self) -> None:
+        if not self.cpu_means or any(c <= 0 for c in self.cpu_means):
+            raise ValueError(f"cpu_means must be positive, got {self.cpu_means}")
+        if self.disk_time <= 0:
+            raise ValueError("disk_time must be > 0")
+        if self.num_disks < 1:
+            raise ValueError("num_disks must be >= 1")
+        if self.disk_organization not in ("per_disk", "shared"):
+            raise ValueError(
+                f"disk_organization must be 'per_disk' or 'shared', "
+                f"got {self.disk_organization!r}"
+            )
+
+    @property
+    def class_count(self) -> int:
+        return len(self.cpu_means)
+
+    def service_demand(self, class_index: int) -> float:
+        """x_i: total service demand per cycle of class *i*."""
+        return self.disk_time + self.cpu_means[class_index]
+
+    def network(self) -> ClosedNetwork:
+        """The site's closed network (built once, cached)."""
+        return _build_network(self)
+
+
+@functools.lru_cache(maxsize=None)
+def _build_network(model: SiteModel) -> ClosedNetwork:
+    classes = model.class_count
+    names = tuple(f"class{i + 1}" for i in range(classes))
+    cpu = Station("cpu", StationKind.PS, tuple(model.cpu_means))
+    if model.disk_organization == "shared" and model.num_disks > 1:
+        disk = Station(
+            "disk",
+            StationKind.MULTISERVER,
+            (model.disk_time,) * classes,
+            servers=model.num_disks,
+        )
+        return ClosedNetwork((disk, cpu), names)
+    per_disk_demand = model.disk_time / model.num_disks
+    disks = tuple(
+        Station(f"disk{d}", StationKind.FCFS, (per_disk_demand,) * classes)
+        for d in range(model.num_disks)
+    )
+    return ClosedNetwork((*disks, cpu), names)
+
+
+@functools.lru_cache(maxsize=None)
+def solve_site(model: SiteModel, population: Tuple[int, ...]) -> MVASolution:
+    """Exact MVA solution of one site at the given per-class population.
+
+    Cached: the allocation study re-solves the same (model, population)
+    pairs constantly while enumerating allocations.
+    """
+    return solve_mva(model.network(), population)
+
+
+def waiting_per_cycle(
+    model: SiteModel, population: Tuple[int, ...], class_index: int
+) -> float:
+    """Expected queueing time per cycle for one class at one site.
+
+    Zero when the class has no customers at the site (there is nobody to
+    experience the wait).
+    """
+    if population[class_index] == 0:
+        return 0.0
+    return solve_site(model, population).waiting_time(class_index)
+
+
+def normalized_waiting_per_cycle(
+    model: SiteModel, population: Tuple[int, ...], class_index: int
+) -> float:
+    """Ŵ per cycle: waiting per cycle over service demand per cycle."""
+    return waiting_per_cycle(model, population, class_index) / model.service_demand(
+        class_index
+    )
+
+
+__all__ = [
+    "SiteModel",
+    "solve_site",
+    "waiting_per_cycle",
+    "normalized_waiting_per_cycle",
+]

@@ -1,0 +1,76 @@
+"""Experiment harness: one module per reproduced table (DESIGN.md §3).
+
+* E1/E2 — :mod:`repro.experiments.table5`, :mod:`repro.experiments.table6`
+  (analytic, exact MVA).
+* E3–E7 — :mod:`repro.experiments.table8` … :mod:`repro.experiments.table12`
+  (simulation sweeps).
+* E8 — :mod:`repro.experiments.msg_sensitivity`.
+
+Each module exposes ``run_experiment(...)`` returning structured results,
+``format_table(...)`` rendering paper-style rows, and ``main()``.
+"""
+
+from repro.experiments import (
+    ablations,
+    validation,
+    msg_sensitivity,
+    table5,
+    table6,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+from repro.experiments.common import (
+    AveragedResults,
+    TextTable,
+    improvement_pct,
+    simulate,
+)
+from repro.experiments.report import generate_report, write_report
+from repro.experiments.sweep import (
+    SweepResult,
+    SweepSpec,
+    run_sweep,
+    set_config_parameter,
+    write_csv,
+)
+from repro.experiments.runconfig import (
+    PAPER,
+    QUICK,
+    SCALES,
+    STANDARD,
+    RunSettings,
+    settings_for,
+)
+
+__all__ = [
+    "ablations",
+    "validation",
+    "table5",
+    "table6",
+    "table8",
+    "table9",
+    "table10",
+    "table11",
+    "table12",
+    "msg_sensitivity",
+    "AveragedResults",
+    "TextTable",
+    "improvement_pct",
+    "simulate",
+    "RunSettings",
+    "QUICK",
+    "STANDARD",
+    "PAPER",
+    "SCALES",
+    "settings_for",
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "set_config_parameter",
+    "write_csv",
+    "generate_report",
+    "write_report",
+]

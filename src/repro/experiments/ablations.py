@@ -1,0 +1,390 @@
+"""Ablation experiments (DESIGN.md A1–A4) and extension studies.
+
+These go beyond the paper's tables: each quantifies one modeling choice or
+relaxes one of the paper's assumptions.
+
+* :func:`stale_info_sweep` — value of load-information freshness (A2).
+* :func:`disk_organization_study` — per-disk queues vs shared queue (A1).
+* :func:`update_fraction_sweep` — read-only assumption relaxed (footnote).
+* :func:`heterogeneity_study` — homogeneity assumption relaxed.
+* The LERT-vs-LERT-MVA comparison (A3) and tie-break study (A4) live in
+  the benchmark suite since they are single-shot comparisons.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.experiments.common import TextTable, improvement_pct
+from repro.experiments.runconfig import STANDARD, RunSettings
+from repro.extensions.heterogeneous import (
+    HeterogeneousDatabase,
+    HeterogeneousLERTPolicy,
+)
+from repro.extensions.stale_info import StaleInfoDatabase
+from repro.extensions.updates import UpdateWorkloadDatabase
+from repro.model.config import DISK_PER_DISK, DISK_SHARED, paper_defaults
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+
+# ----------------------------------------------------------------------
+# A2: load-information staleness
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StaleInfoResult:
+    intervals: Tuple[float, ...]
+    waits: Dict[float, float]
+    w_local: float
+
+    def collapse_interval(self) -> float:
+        """First swept interval at which LERT falls behind LOCAL."""
+        for interval in self.intervals:
+            if self.waits[interval] > self.w_local:
+                return interval
+        return float("inf")
+
+
+def stale_info_sweep(
+    settings: RunSettings = STANDARD,
+    intervals: Tuple[float, ...] = (0.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0),
+    policy: str = "LERT",
+) -> StaleInfoResult:
+    """LERT's waiting time as load snapshots go stale."""
+    config = paper_defaults()
+    local = DistributedDatabase(config, make_policy("LOCAL"), seed=settings.seed_for(0))
+    w_local = local.run(settings.warmup, settings.duration).mean_waiting_time
+    waits: Dict[float, float] = {}
+    for interval in intervals:
+        system = StaleInfoDatabase(
+            config,
+            make_policy(policy),
+            seed=settings.seed_for(0),
+            refresh_interval=interval,
+        )
+        waits[interval] = system.run(
+            settings.warmup, settings.duration
+        ).mean_waiting_time
+    return StaleInfoResult(intervals=tuple(intervals), waits=waits, w_local=w_local)
+
+
+def format_stale_info(result: StaleInfoResult) -> str:
+    table = TextTable(
+        ["refresh interval", "W", "vs LOCAL %"],
+        title=f"Load-information staleness (W_LOCAL = {result.w_local:.2f})",
+    )
+    for interval in result.intervals:
+        w = result.waits[interval]
+        table.add_row(
+            "always current" if interval == 0 else f"{interval:.0f}",
+            f"{w:.2f}",
+            f"{improvement_pct(w, result.w_local):.1f}",
+        )
+    return table.render()
+
+
+# ----------------------------------------------------------------------
+# A1: disk organization
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiskOrganizationResult:
+    waits: Dict[Tuple[str, str], float]  # (organization, policy) -> W
+
+    def shared_advantage(self, policy: str) -> float:
+        """Percent W reduction from pooling the disk queue."""
+        return improvement_pct(
+            self.waits[(DISK_SHARED, policy)], self.waits[(DISK_PER_DISK, policy)]
+        )
+
+
+def disk_organization_study(
+    settings: RunSettings = STANDARD,
+    policies: Tuple[str, ...] = ("LOCAL", "BNQ", "LERT"),
+) -> DiskOrganizationResult:
+    """Per-disk queues (paper's Figure 2) vs one shared multi-server queue."""
+    waits: Dict[Tuple[str, str], float] = {}
+    for organization in (DISK_PER_DISK, DISK_SHARED):
+        config = dataclasses.replace(
+            paper_defaults(), disk_organization=organization
+        )
+        for policy in policies:
+            system = DistributedDatabase(
+                config, make_policy(policy), seed=settings.seed_for(0)
+            )
+            waits[(organization, policy)] = system.run(
+                settings.warmup, settings.duration
+            ).mean_waiting_time
+    return DiskOrganizationResult(waits=waits)
+
+
+def format_disk_organization(result: DiskOrganizationResult) -> str:
+    policies = sorted({policy for _, policy in result.waits})
+    table = TextTable(
+        ["policy", "per-disk W", "shared W", "shared advantage %"],
+        title="Disk organization ablation",
+    )
+    for policy in policies:
+        table.add_row(
+            policy,
+            f"{result.waits[(DISK_PER_DISK, policy)]:.2f}",
+            f"{result.waits[(DISK_SHARED, policy)]:.2f}",
+            f"{result.shared_advantage(policy):.1f}",
+        )
+    return table.render()
+
+
+# ----------------------------------------------------------------------
+# Read-only footnote: update fraction
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class UpdateFractionResult:
+    fractions: Tuple[float, ...]
+    rows: Dict[float, Dict[str, float]]  # fraction -> policy -> W
+    subnet: Dict[float, float]
+
+    def lert_improvement(self, fraction: float) -> float:
+        row = self.rows[fraction]
+        return improvement_pct(row["LERT"], row["LOCAL"])
+
+
+def update_fraction_sweep(
+    settings: RunSettings = STANDARD,
+    fractions: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4),
+) -> UpdateFractionResult:
+    """How update propagation load dilutes the allocation benefit."""
+    rows: Dict[float, Dict[str, float]] = {}
+    subnet: Dict[float, float] = {}
+    config = paper_defaults()
+    for fraction in fractions:
+        row: Dict[str, float] = {}
+        for policy in ("LOCAL", "LERT"):
+            system = UpdateWorkloadDatabase(
+                config,
+                make_policy(policy),
+                seed=settings.seed_for(0),
+                update_prob=fraction,
+            )
+            results = system.run(settings.warmup, settings.duration)
+            row[policy] = results.mean_waiting_time
+            if policy == "LERT":
+                subnet[fraction] = results.subnet_utilization
+        rows[fraction] = row
+    return UpdateFractionResult(
+        fractions=tuple(fractions), rows=rows, subnet=subnet
+    )
+
+
+def format_update_fraction(result: UpdateFractionResult) -> str:
+    table = TextTable(
+        ["update %", "W LOCAL", "W LERT", "dLERT %", "subnet %"],
+        title="Update-fraction sweep (asynchronous replica propagation)",
+    )
+    for fraction in result.fractions:
+        row = result.rows[fraction]
+        table.add_row(
+            f"{100 * fraction:.0f}",
+            f"{row['LOCAL']:.2f}",
+            f"{row['LERT']:.2f}",
+            f"{result.lert_improvement(fraction):.1f}",
+            f"{100 * result.subnet[fraction]:.1f}",
+        )
+    return table.render()
+
+
+# ----------------------------------------------------------------------
+# Homogeneity assumption: heterogeneous CPU speeds
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HeterogeneityResult:
+    speed_factors: Tuple[float, ...]
+    response_times: Dict[str, float]  # policy -> mean response time
+
+    def informed_advantage(self) -> float:
+        """LERT-HET's response-time advantage over LOCAL, percent."""
+        return improvement_pct(
+            self.response_times["LERT-HET"], self.response_times["LOCAL"]
+        )
+
+
+def heterogeneity_study(
+    settings: RunSettings = STANDARD,
+    speed_factors: Tuple[float, ...] = (0.5, 0.5, 1.0, 1.0, 2.0, 2.0),
+) -> HeterogeneityResult:
+    """Policies on a fleet with unequal CPU speeds.
+
+    Response time (not waiting time) is compared: heterogeneity changes
+    realized service times, so waiting alone under-credits fast sites.
+    """
+    config = paper_defaults(num_sites=len(speed_factors))
+    response_times: Dict[str, float] = {}
+    for policy_name in ("LOCAL", "BNQ", "LERT"):
+        system = HeterogeneousDatabase(
+            config,
+            make_policy(policy_name),
+            cpu_speed_factors=speed_factors,
+            seed=settings.seed_for(0),
+        )
+        response_times[policy_name] = system.run(
+            settings.warmup, settings.duration
+        ).mean_response_time
+    system = HeterogeneousDatabase(
+        config,
+        HeterogeneousLERTPolicy(),
+        cpu_speed_factors=speed_factors,
+        seed=settings.seed_for(0),
+    )
+    response_times["LERT-HET"] = system.run(
+        settings.warmup, settings.duration
+    ).mean_response_time
+    return HeterogeneityResult(
+        speed_factors=tuple(speed_factors), response_times=response_times
+    )
+
+
+def format_heterogeneity(result: HeterogeneityResult) -> str:
+    table = TextTable(
+        ["policy", "mean response time", "vs LOCAL %"],
+        title=f"Heterogeneous CPU speeds {result.speed_factors}",
+    )
+    base = result.response_times["LOCAL"]
+    for policy in ("LOCAL", "BNQ", "LERT", "LERT-HET"):
+        rt = result.response_times[policy]
+        table.add_row(policy, f"{rt:.2f}", f"{improvement_pct(rt, base):.1f}")
+    return table.render()
+
+
+# ----------------------------------------------------------------------
+# Subnet topology: is the shared channel really what caps Table 11?
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SubnetScalingResult:
+    site_counts: Tuple[int, ...]
+    improvements: Dict[Tuple[str, int], float]  # (subnet, sites) -> dLERT%
+    subnet_utilization: Dict[Tuple[str, int], float]
+
+    def peak_sites(self, subnet: str) -> int:
+        return max(
+            self.site_counts, key=lambda n: self.improvements[(subnet, n)]
+        )
+
+
+def subnet_scaling_study(
+    settings: RunSettings = STANDARD,
+    site_counts: Tuple[int, ...] = (2, 4, 6, 8, 10),
+) -> SubnetScalingResult:
+    """Table 11's sweep on the ring versus a point-to-point mesh.
+
+    The paper attributes the interior optimum in the number of sites to
+    channel congestion.  On a mesh whose aggregate capacity grows with
+    S·(S−1), the congestion term vanishes — the improvement curve should
+    keep rising (or flatten) instead of turning down.
+    """
+    improvements: Dict[Tuple[str, int], float] = {}
+    utilization: Dict[Tuple[str, int], float] = {}
+    for subnet in ("ring", "mesh"):
+        for num_sites in site_counts:
+            config = paper_defaults(num_sites=num_sites).with_network(
+                subnet_kind=subnet
+            )
+            local = DistributedDatabase(
+                config, make_policy("LOCAL"), seed=settings.seed_for(0)
+            ).run(settings.warmup, settings.duration)
+            lert_system = DistributedDatabase(
+                config, make_policy("LERT"), seed=settings.seed_for(0)
+            )
+            lert = lert_system.run(settings.warmup, settings.duration)
+            improvements[(subnet, num_sites)] = improvement_pct(
+                lert.mean_waiting_time, local.mean_waiting_time
+            )
+            utilization[(subnet, num_sites)] = lert.subnet_utilization
+    return SubnetScalingResult(
+        site_counts=tuple(site_counts),
+        improvements=improvements,
+        subnet_utilization=utilization,
+    )
+
+
+def format_subnet_scaling(result: SubnetScalingResult) -> str:
+    table = TextTable(
+        ["sites", "ring dLERT%", "ring util%", "mesh dLERT%", "mesh util%"],
+        title="Subnet scaling: shared ring vs point-to-point mesh",
+    )
+    for n in result.site_counts:
+        table.add_row(
+            str(n),
+            f"{result.improvements[('ring', n)]:.1f}",
+            f"{100 * result.subnet_utilization[('ring', n)]:.1f}",
+            f"{result.improvements[('mesh', n)]:.1f}",
+            f"{100 * result.subnet_utilization[('mesh', n)]:.1f}",
+        )
+    return table.render()
+
+
+# ----------------------------------------------------------------------
+# CLI entry points
+# ----------------------------------------------------------------------
+
+
+def main_stale(settings: RunSettings = STANDARD) -> str:
+    output = format_stale_info(stale_info_sweep(settings))
+    print(output)
+    return output
+
+
+def main_disk(settings: RunSettings = STANDARD) -> str:
+    output = format_disk_organization(disk_organization_study(settings))
+    print(output)
+    return output
+
+
+def main_updates(settings: RunSettings = STANDARD) -> str:
+    output = format_update_fraction(update_fraction_sweep(settings))
+    print(output)
+    return output
+
+
+def main_heterogeneous(settings: RunSettings = STANDARD) -> str:
+    output = format_heterogeneity(heterogeneity_study(settings))
+    print(output)
+    return output
+
+
+def main_subnet(settings: RunSettings = STANDARD) -> str:
+    output = format_subnet_scaling(subnet_scaling_study(settings))
+    print(output)
+    return output
+
+
+__all__ = [
+    "StaleInfoResult",
+    "stale_info_sweep",
+    "format_stale_info",
+    "DiskOrganizationResult",
+    "disk_organization_study",
+    "format_disk_organization",
+    "UpdateFractionResult",
+    "update_fraction_sweep",
+    "format_update_fraction",
+    "HeterogeneityResult",
+    "heterogeneity_study",
+    "format_heterogeneity",
+    "SubnetScalingResult",
+    "subnet_scaling_study",
+    "format_subnet_scaling",
+    "main_subnet",
+    "main_stale",
+    "main_disk",
+    "main_updates",
+    "main_heterogeneous",
+]

@@ -1,0 +1,104 @@
+"""Command-line entry point: regenerate any of the paper's tables.
+
+Installed as ``repro-experiments``::
+
+    repro-experiments table5
+    repro-experiments table8 --scale quick
+    repro-experiments all --scale standard
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.experiments import (
+    ablations,
+    validation,
+    msg_sensitivity,
+    table5,
+    table6,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+from repro.experiments.runconfig import settings_for
+
+#: Experiment name -> runner taking RunSettings (analytic ones ignore it).
+_SIMULATED: Dict[str, Callable] = {
+    "table8": table8.main,
+    "table9": table9.main,
+    "table10": table10.main,
+    "table11": table11.main,
+    "table12": table12.main,
+    "msg": msg_sensitivity.main,
+    "ablation-stale": ablations.main_stale,
+    "ablation-disk": ablations.main_disk,
+    "ablation-updates": ablations.main_updates,
+    "ablation-heterogeneous": ablations.main_heterogeneous,
+    "ablation-subnet": ablations.main_subnet,
+    "validation": validation.main,
+}
+_ANALYTIC: Dict[str, Callable] = {
+    "table5": table5.main,
+    "table6": table6.main,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables of Carey, Livny & Lu, 'Dynamic Task "
+            "Allocation in a Distributed Database System' (ICDCS 1985)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_SIMULATED) + sorted(_ANALYTIC) + ["all", "report"],
+        help=(
+            "which table to regenerate ('all' runs everything; 'report' "
+            "writes a single Markdown report, see --out)"
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default="report.md",
+        help="output path for the 'report' experiment (default: report.md)",
+    )
+    parser.add_argument(
+        "--scale",
+        default="standard",
+        choices=["quick", "standard", "paper"],
+        help="run length preset for simulation experiments (default: standard)",
+    )
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    settings = settings_for(args.scale)
+    if args.experiment == "report":
+        from repro.experiments.report import write_report
+
+        write_report(args.out, settings)
+        print(f"report written to {args.out}")
+        return 0
+    if args.experiment == "all":
+        names = sorted(_ANALYTIC) + sorted(_SIMULATED)
+    else:
+        names = [args.experiment]
+    for name in names:
+        if name in _ANALYTIC:
+            _ANALYTIC[name]()
+        else:
+            _SIMULATED[name](settings)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

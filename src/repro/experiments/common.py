@@ -1,0 +1,131 @@
+"""Shared machinery for the table-reproduction experiments.
+
+Provides:
+
+* :func:`simulate` — run one (config, policy) pair at given settings,
+  averaging over replications with common random numbers;
+* :func:`improvement_pct` — the paper's ΔW_X,Y / W_Y percentage;
+* :class:`TextTable` — minimal fixed-width table formatting for terminal
+  output (the experiments print rows shaped like the paper's tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.experiments.runconfig import RunSettings
+from repro.model.config import SystemConfig
+from repro.model.metrics import SystemResults
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+
+
+@dataclass(frozen=True)
+class AveragedResults:
+    """Replication-averaged run results for one (config, policy) pair."""
+
+    policy: str
+    mean_waiting_time: float
+    mean_response_time: float
+    fairness: Optional[float]
+    subnet_utilization: float
+    cpu_utilization: float
+    disk_utilization: float
+    remote_fraction: float
+    completions: int
+    per_replication: tuple
+
+    @property
+    def rho_ratio(self) -> float:
+        """ρ_d / ρ_c — measured disk-to-CPU utilization ratio (Table 12)."""
+        if self.cpu_utilization == 0:
+            return float("inf")
+        return self.disk_utilization / self.cpu_utilization
+
+
+def simulate(
+    config: SystemConfig,
+    policy_name: str,
+    settings: RunSettings,
+) -> AveragedResults:
+    """Run the system under one policy, averaged over replications.
+
+    Replication ``r`` of every policy uses the same master seed, so all
+    policies face an identical stream of queries (common random numbers).
+    """
+    runs: List[SystemResults] = []
+    for replication in range(settings.replications):
+        system = DistributedDatabase(
+            config, make_policy(policy_name), seed=settings.seed_for(replication)
+        )
+        runs.append(system.run(warmup=settings.warmup, duration=settings.duration))
+
+    def avg(values: Sequence[float]) -> float:
+        return sum(values) / len(values)
+
+    fairness_values = [r.fairness for r in runs if r.fairness is not None]
+    return AveragedResults(
+        policy=policy_name,
+        mean_waiting_time=avg([r.mean_waiting_time for r in runs]),
+        mean_response_time=avg([r.mean_response_time for r in runs]),
+        fairness=avg(fairness_values) if fairness_values else None,
+        subnet_utilization=avg([r.subnet_utilization for r in runs]),
+        cpu_utilization=avg([r.cpu_utilization for r in runs]),
+        disk_utilization=avg([r.disk_utilization for r in runs]),
+        remote_fraction=avg([r.remote_fraction for r in runs]),
+        completions=sum(r.completions for r in runs),
+        per_replication=tuple(runs),
+    )
+
+
+def improvement_pct(new: float, base: float) -> float:
+    """The paper's ΔW_X,Y / W_Y, as a percentage (positive = X better)."""
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - new) / base
+
+
+class TextTable:
+    """Fixed-width text table, in the spirit of the paper's tables."""
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.rjust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+__all__ = ["AveragedResults", "simulate", "improvement_pct", "TextTable"]

@@ -1,0 +1,125 @@
+"""The paper's published table values, as data.
+
+Used by the experiment harness to print paper-vs-measured rows and by the
+test suite to check that reproduced *shapes* (orderings, trends, crossover
+positions) agree with the published results.  Values transcribed from the
+tables of Carey, Livny & Lu (TR #556, September 1984); the Table 5/6
+transcription caveats are documented in :mod:`repro.analysis.improvement`
+and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+# ----------------------------------------------------------------------
+# Table 5: Waiting Improvement Factor WIF(L, i).
+# Keys: (cpu_1, cpu_2); values: 12 cells — for each of the 6 arrival
+# conditions, the class-1 then the class-2 arrival.
+# ----------------------------------------------------------------------
+TABLE5_WIF: Dict[Tuple[float, float], List[float]] = {
+    (0.05, 0.50): [0.14, 0.01, 0.08, 0.01, 0.05, 0.01, 0.10, 0.01, 0.01, 0.09, 0.05, 0.05],
+    (0.05, 1.00): [0.24, 0.13, 0.14, 0.18, 0.09, 0.07, 0.16, 0.04, 0.09, 0.04, 0.11, 0.04],
+    (0.10, 1.00): [0.20, 0.12, 0.11, 0.16, 0.07, 0.06, 0.13, 0.03, 0.08, 0.03, 0.09, 0.03],
+    (0.10, 2.00): [0.31, 0.31, 0.19, 0.41, 0.18, 0.11, 0.20, 0.10, 0.11, 0.09, 0.09, 0.15],
+    (0.50, 2.00): [0.00, 0.22, 0.00, 0.30, 0.00, 0.16, 0.01, 0.09, 0.01, 0.09, 0.05, 0.05],
+    (0.50, 2.50): [0.02, 0.17, 0.01, 0.23, 0.01, 0.11, 0.01, 0.06, 0.01, 0.06, 0.03, 0.04],
+}
+
+# ----------------------------------------------------------------------
+# Table 6: Fairness Improvement Factor FIF(L, i).  Same layout.
+# ----------------------------------------------------------------------
+TABLE6_FIF: Dict[Tuple[float, float], List[float]] = {
+    (0.05, 0.50): [0.69, 0.60, 0.64, 0.11, 0.42, 0.48, 0.69, 0.20, 0.89, 0.79, 0.72, 0.87],
+    (0.05, 1.00): [0.75, 0.70, 0.70, 0.01, 0.38, 0.60, 0.89, 0.07, 0.70, 0.93, 0.68, 0.67],
+    (0.10, 1.00): [0.72, 0.69, 0.67, 0.02, 0.39, 0.72, 0.79, 0.05, 0.77, 0.74, 0.52, 0.55],
+    (0.10, 2.00): [0.78, 0.81, 0.73, 0.30, 0.36, 0.60, 0.99, 0.22, 0.60, 0.25, 0.48, 0.69],
+    (0.50, 2.00): [0.34, 0.95, 0.88, 0.35, 0.75, 0.14, 0.11, 0.83, 0.40, 0.55, 0.84, 0.77],
+    (0.50, 2.50): [0.60, 0.74, 0.56, 0.07, 0.50, 0.15, 0.40, 0.55, 0.75, 0.25, 0.47, 0.95],
+}
+
+# ----------------------------------------------------------------------
+# Table 8: waiting time versus think time.
+# think_time -> (rho_c, W_local, d_bnq_vs_local%, d_bnqrd_vs_local%,
+#                d_lert_vs_local%, d_bnqrd_vs_bnq%, d_lert_vs_bnq%)
+# ----------------------------------------------------------------------
+TABLE8_THINK: Dict[float, Tuple[float, float, float, float, float, float, float]] = {
+    150.0: (0.85, 72.71, 4.89, 17.03, 14.84, 12.76, 10.46),
+    200.0: (0.77, 48.61, 10.30, 23.08, 24.61, 14.25, 15.96),
+    250.0: (0.68, 35.71, 23.55, 32.30, 32.67, 11.44, 11.92),
+    300.0: (0.59, 26.82, 26.54, 38.43, 37.43, 16.19, 14.82),
+    350.0: (0.53, 22.71, 38.53, 41.96, 43.54, 5.57, 9.58),
+    400.0: (0.48, 18.37, 38.02, 40.84, 42.72, 4.55, 7.58),
+    450.0: (0.43, 15.60, 41.13, 44.27, 46.50, 5.33, 9.12),
+}
+
+# ----------------------------------------------------------------------
+# Table 9: waiting time versus mpl.  mpl -> same tuple layout as Table 8.
+# ----------------------------------------------------------------------
+TABLE9_MPL: Dict[int, Tuple[float, float, float, float, float, float, float]] = {
+    15: (0.41, 13.81, 36.86, 44.20, 43.10, 11.63, 9.88),
+    20: (0.53, 22.71, 38.53, 41.96, 43.54, 5.57, 9.58),
+    25: (0.65, 33.90, 30.68, 36.55, 37.15, 8.46, 9.33),
+    30: (0.75, 50.97, 23.12, 33.83, 34.56, 13.96, 14.88),
+    35: (0.83, 73.72, 10.97, 24.21, 26.32, 14.87, 17.24),
+}
+
+# ----------------------------------------------------------------------
+# Table 10: maximum mpl sustaining an expected-response-time bound.
+# bound -> (max mpl LOCAL, max mpl LERT)
+# ----------------------------------------------------------------------
+TABLE10_CAPACITY: Dict[float, Tuple[int, int]] = {
+    40.0: (10, 17),
+    50.0: (18, 23),
+    60.0: (21, 28),
+    70.0: (27, 31),
+    80.0: (29, 34),
+}
+
+# ----------------------------------------------------------------------
+# Table 11: waiting time and subnet utilization versus number of sites.
+# num_sites -> (d_bnq_vs_local%, d_lert_vs_local%,
+#               subnet_util_bnq%, subnet_util_lert%)
+# W_local is the system-wide 21.53 reported for the whole column.
+# ----------------------------------------------------------------------
+TABLE11_SITES: Dict[int, Tuple[float, float, float, float]] = {
+    2: (15.19, 26.82, 6.35, 6.49),
+    4: (27.10, 33.54, 21.38, 20.90),
+    6: (34.18, 39.18, 37.07, 36.04),
+    8: (32.17, 39.23, 54.41, 52.07),
+    10: (26.13, 36.27, 72.70, 68.83),
+}
+TABLE11_W_LOCAL = 21.53
+
+# ----------------------------------------------------------------------
+# Table 12: W and F versus class_io_prob.
+# prob -> (rho_d_over_rho_c, W_local, d_bnq%, d_lert%,
+#          F_local, dF_bnq%, dF_lert%)
+# ----------------------------------------------------------------------
+TABLE12_FAIRNESS: Dict[float, Tuple[float, float, float, float, float, float, float]] = {
+    0.3: (0.70, 33.01, 33.90, 37.55, -0.377, 76.66, 73.74),
+    0.4: (0.81, 28.63, 39.78, 42.71, -0.228, 100.00, 78.51),
+    0.5: (0.95, 22.71, 38.53, 43.54, -0.042, -42.85, 88.10),
+    0.6: (1.16, 19.17, 38.54, 43.32, 0.047, -76.60, -57.45),
+    0.7: (1.49, 16.28, 38.08, 42.05, 0.153, 37.91, 38.56),
+    0.8: (2.08, 15.17, 39.64, 42.98, 0.224, 40.18, 42.86),
+}
+
+# §5.2 text: with msg_length = 2 and think_time = 350, the BNQRD and LERT
+# improvements over BNQ become 16.43% and 24.12% respectively.
+MSG_LENGTH2_BNQRD_VS_BNQ = 16.43
+MSG_LENGTH2_LERT_VS_BNQ = 24.12
+
+
+__all__ = [
+    "TABLE5_WIF",
+    "TABLE6_FIF",
+    "TABLE8_THINK",
+    "TABLE9_MPL",
+    "TABLE10_CAPACITY",
+    "TABLE11_SITES",
+    "TABLE11_W_LOCAL",
+    "TABLE12_FAIRNESS",
+    "MSG_LENGTH2_BNQRD_VS_BNQ",
+    "MSG_LENGTH2_LERT_VS_BNQ",
+]

@@ -1,0 +1,38 @@
+"""Extensions: the paper's §6.2 future work plus deferred design questions.
+
+* :class:`StaleInfoDatabase` — periodic load-information broadcast instead
+  of the paper's free always-current oracle.
+* :class:`MigratingDatabase` — query migration between read cycles.
+* :class:`PartialReplicationDatabase` / :class:`ReplicationMap` —
+  allocation restricted to sites holding a copy of the query's data.
+* :class:`UpdateWorkloadDatabase` — update transactions with replica
+  propagation (the paper's read-only footnote, made concrete).
+* :class:`HeterogeneousDatabase` / :class:`HeterogeneousLERTPolicy` —
+  unequal CPU speeds across sites and a speed-aware LERT.
+* :class:`SubqueryDatabase` — distributed queries as dynamically
+  allocated subquery pipelines with data moves (the paper's §6.2 goal).
+"""
+
+from repro.extensions.heterogeneous import (
+    HeterogeneousDatabase,
+    HeterogeneousLERTPolicy,
+)
+from repro.extensions.migration import MigratingDatabase
+from repro.extensions.partial_replication import (
+    PartialReplicationDatabase,
+    ReplicationMap,
+)
+from repro.extensions.stale_info import StaleInfoDatabase
+from repro.extensions.subqueries import SubqueryDatabase
+from repro.extensions.updates import UpdateWorkloadDatabase
+
+__all__ = [
+    "StaleInfoDatabase",
+    "MigratingDatabase",
+    "PartialReplicationDatabase",
+    "ReplicationMap",
+    "SubqueryDatabase",
+    "UpdateWorkloadDatabase",
+    "HeterogeneousDatabase",
+    "HeterogeneousLERTPolicy",
+]

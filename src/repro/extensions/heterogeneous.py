@@ -1,0 +1,163 @@
+"""Heterogeneous sites: unequal CPU speeds across replicas.
+
+The paper "assume[s] throughout ... that the system is completely
+homogeneous".  Real fleets are not: replicas differ in CPU generation.
+This extension gives each site a CPU *speed factor* (1.0 = baseline; 2.0
+serves CPU bursts twice as fast) and adds a speed-aware LERT variant.
+
+What to expect (and what the heterogeneity experiment shows):
+
+* LOCAL suffers — terminals attached to slow sites are stuck with them;
+* count-based balancing (BNQ) misreads slow sites as attractive whenever
+  their queue is numerically short;
+* speed-aware LERT (:class:`HeterogeneousLERTPolicy`) divides estimated
+  CPU time by the target site's speed and recovers most of the loss,
+  widening the information-based policies' edge relative to the
+  homogeneous case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.model.config import SystemConfig
+from repro.model.query import Query
+from repro.model.system import DistributedDatabase
+from repro.policies.base import AllocationPolicy
+from repro.policies.lert import LERTPolicy
+
+
+class HeterogeneousDatabase(DistributedDatabase):
+    """A system whose sites have unequal CPU speeds.
+
+    CPU bursts drawn from the workload are divided by the executing site's
+    speed factor; disk hardware stays identical (mixing disk generations is
+    left as data, not code: pass a slower ``disk_time`` instead).
+
+    Args:
+        config: Model parameters.
+        policy: Allocation policy.  Plain paper policies work but are blind
+            to speed; see :class:`HeterogeneousLERTPolicy`.
+        cpu_speed_factors: One positive factor per site.
+        seed: Master seed.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: AllocationPolicy,
+        cpu_speed_factors: Sequence[float],
+        seed: int = 0,
+    ) -> None:
+        factors = tuple(float(f) for f in cpu_speed_factors)
+        if len(factors) != config.num_sites:
+            raise ValueError(
+                f"{len(factors)} speed factors for {config.num_sites} sites"
+            )
+        if any(f <= 0 for f in factors):
+            raise ValueError("speed factors must be > 0")
+        self.cpu_speed_factors = factors
+        super().__init__(config, policy, seed=seed)
+
+    def execute_query(self, query: Query, query_rng):
+        # Reuse the base life cycle, but scale CPU bursts by the execution
+        # site's speed.  The base implementation draws bursts inline, so we
+        # interpose on the workload's cpu-burst draw for this query via a
+        # scaled wrapper around the generator.  Simplest correct approach:
+        # replicate the base loop with the speed factor applied.
+        from repro.model.ring import Message
+        from repro.sim.process import WaitFor
+
+        sim = self.sim
+        execution_site = self.policy.select_site(query, query.home_site)
+        if not 0 <= execution_site < self.config.num_sites:
+            raise ValueError(
+                f"policy {self.policy.name} chose invalid site {execution_site}"
+            )
+        query.allocated_at = sim.now
+        query.execution_site = execution_site
+        self.load_board.register(query, execution_site)
+
+        if execution_site != query.home_site:
+            yield WaitFor(
+                lambda resume: self.ring.send(
+                    Message(
+                        source=query.home_site,
+                        destination=execution_site,
+                        transfer_time=self._query_transfer_time(query),
+                        deliver=resume,
+                        kind="query",
+                        size_bytes=query.spec.query_size,
+                    )
+                )
+            )
+
+        site = self.sites[execution_site]
+        speed = self.cpu_speed_factors[execution_site]
+        query.started_at = sim.now
+        spec = query.spec
+        for _ in range(query.actual_reads):
+            disk_time = self.workload.disk_time(query_rng)
+            yield site.disk_service(disk_time, query_rng)
+            query.service_acquired += disk_time
+            cpu_time = query_rng.expovariate(1.0 / spec.page_cpu_time) / speed
+            yield site.cpu_service(cpu_time)
+            query.service_acquired += cpu_time
+        query.finished_at = sim.now
+
+        if execution_site != query.home_site:
+            result_bytes = int(
+                spec.result_fraction * query.actual_reads * self.config.network.page_size
+            )
+            yield WaitFor(
+                lambda resume: self.ring.send(
+                    Message(
+                        source=execution_site,
+                        destination=query.home_site,
+                        transfer_time=self._result_transfer_time(
+                            query, query.actual_reads
+                        ),
+                        deliver=resume,
+                        kind="result",
+                        size_bytes=result_bytes,
+                    )
+                )
+            )
+
+        query.completed_at = sim.now
+        self.load_board.deregister(query, execution_site)
+        self.metrics.record(query)
+
+
+class HeterogeneousLERTPolicy(LERTPolicy):
+    """LERT with per-site CPU speed awareness.
+
+    Figure 6's ``cpu_time`` and ``cpu_wait`` terms are divided by the
+    candidate site's speed factor — the natural generalization when the
+    optimizer's CPU estimates are expressed in baseline-CPU seconds.
+    Requires binding to a :class:`HeterogeneousDatabase`.
+    """
+
+    name = "LERT-HET"
+
+    def site_cost(self, query: Query, site: int) -> float:
+        system = self.system
+        if not isinstance(system, HeterogeneousDatabase):
+            raise RuntimeError("LERT-HET requires a HeterogeneousDatabase")
+        config = system.config
+        site_spec = config.site
+        speed = system.cpu_speed_factors[site]
+        cpu_time = query.estimated_cpu_demand / speed
+        io_time = query.estimated_io_demand(site_spec.disk_time)
+        if site == self._arrival_site:
+            net_time = 0.0
+        else:
+            net_time = system.estimated_transfer_time(
+                query
+            ) + system.estimated_return_time(query)
+        cpu_wait = cpu_time * self.loads.num_cpu_queries(site)
+        io_wait = io_time * (self.loads.num_io_queries(site) / site_spec.num_disks)
+        return cpu_time + cpu_wait + io_time + io_wait + net_time
+
+
+__all__ = ["HeterogeneousDatabase", "HeterogeneousLERTPolicy"]

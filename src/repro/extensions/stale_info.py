@@ -1,0 +1,92 @@
+"""Stale load information: relaxing the paper's free-oracle assumption.
+
+The paper assumes every site knows the *instantaneous* loads of all other
+sites and explicitly defers the design of the information-exchange policy
+("a good information exchange policy will not overburden either the sites
+or the communications subnetwork, and yet it will provide the sites with
+information that is sufficiently current...").  This extension implements
+the obvious candidate — periodic broadcast — and lets the ablation bench
+measure how quickly the heuristics' advantage decays with staleness:
+
+* every ``refresh_interval`` time units a snapshot of the true load board
+  is taken; allocation decisions between refreshes use the snapshot;
+* optionally, each refresh charges the token ring ``broadcast_cost`` of
+  channel time per site (the status messages the paper chose to neglect).
+
+With ``refresh_interval=0`` this degenerates to the paper's oracle.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.config import SystemConfig
+from repro.model.loadboard import FrozenLoadView, LoadView
+from repro.model.ring import Message
+from repro.model.system import DistributedDatabase
+from repro.policies.base import AllocationPolicy
+from repro.sim.process import Hold
+
+
+class StaleInfoDatabase(DistributedDatabase):
+    """A system whose policies see periodically refreshed load snapshots.
+
+    Args:
+        config: Model parameters.
+        policy: Allocation policy (reads the stale view transparently).
+        seed: Master seed.
+        refresh_interval: Time between snapshot refreshes; 0 means
+            always-current (the paper's assumption).
+        broadcast_cost: Channel time per site charged to the token ring at
+            every refresh (0 reproduces the paper's "overhead of load
+            status messages is negligible").
+    """
+
+    _stale_view: Optional[FrozenLoadView] = None
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: AllocationPolicy,
+        seed: int = 0,
+        refresh_interval: float = 50.0,
+        broadcast_cost: float = 0.0,
+    ) -> None:
+        if refresh_interval < 0:
+            raise ValueError("refresh_interval must be >= 0")
+        if broadcast_cost < 0:
+            raise ValueError("broadcast_cost must be >= 0")
+        self.refresh_interval = refresh_interval
+        self.broadcast_cost = broadcast_cost
+        self.refreshes = 0
+        super().__init__(config, policy, seed=seed)
+        if refresh_interval > 0:
+            self._stale_view = self.load_board.snapshot()
+            self.sim.launch(self._refresher(), name="load-broadcaster")
+
+    @property
+    def load_view(self) -> LoadView:
+        if self._stale_view is not None:
+            return self._stale_view
+        return self.load_board
+
+    def _refresher(self):
+        """Periodic snapshot process (plus optional channel charges)."""
+        while True:
+            yield Hold(self.refresh_interval)
+            self._stale_view = self.load_board.snapshot()
+            self.refreshes += 1
+            if self.broadcast_cost > 0 and self.config.num_sites > 1:
+                for site in range(self.config.num_sites):
+                    self.ring.send(
+                        Message(
+                            source=site,
+                            destination=(site + 1) % self.config.num_sites,
+                            transfer_time=self.broadcast_cost,
+                            deliver=lambda: None,
+                            kind="control",
+                        )
+                    )
+
+
+__all__ = ["StaleInfoDatabase"]

@@ -1,0 +1,133 @@
+"""Update transactions and replica propagation.
+
+The paper studies read-only queries and argues in a footnote that this "is
+not a major problem, as updates must be propagated to all sites regardless
+of the processing site".  This extension makes that argument concrete: a
+fraction of the workload are *update* queries that, after executing at
+their allocated site, broadcast their write set to every other replica,
+where an apply task consumes real disk and CPU time.
+
+Modeling decisions:
+
+* the updating user's response time ends when its own execution finishes
+  (asynchronous replication — the propagation is background work);
+* one propagation message per remote site crosses the token ring, so
+  update-heavy workloads visibly congest the channel;
+* each apply task performs ``update_pages`` disk writes and CPU bursts at
+  the replica, drawn from a replica-local stream (applies are not part of
+  the common-random-numbers contract since they exist only in this
+  extension);
+* the apply backlog is observable (``pending_applies``) — sustained growth
+  means the system cannot keep up with its write rate.
+
+The paper's footnote predicts that update load, being allocation-invariant,
+*dilutes* the benefit of dynamic allocation rather than changing the policy
+ranking; the update-fraction experiment confirms exactly that.
+"""
+
+from __future__ import annotations
+
+from repro.model.config import SystemConfig
+from repro.model.query import Query
+from repro.model.ring import Message
+from repro.model.system import DistributedDatabase
+from repro.policies.base import AllocationPolicy
+
+
+class UpdateWorkloadDatabase(DistributedDatabase):
+    """A system whose workload mixes read-only queries and updates.
+
+    Args:
+        config: Model parameters.
+        policy: Allocation policy (applies to the executing copy; the
+            propagation is policy-independent, per the paper's footnote).
+        seed: Master seed.
+        update_prob: Probability that a query is an update.
+        update_pages: Pages written per replica when an update is applied.
+        apply_cpu_time: Mean CPU burst per applied page.
+    """
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        policy: AllocationPolicy,
+        seed: int = 0,
+        update_prob: float = 0.2,
+        update_pages: int = 4,
+        apply_cpu_time: float = 0.05,
+    ) -> None:
+        if not 0 <= update_prob <= 1:
+            raise ValueError("update_prob must be in [0, 1]")
+        if update_pages < 1:
+            raise ValueError("update_pages must be >= 1")
+        if apply_cpu_time <= 0:
+            raise ValueError("apply_cpu_time must be > 0")
+        self.update_prob = update_prob
+        self.update_pages = update_pages
+        self.apply_cpu_time = apply_cpu_time
+        self.updates_executed = 0
+        self.applies_completed = 0
+        self._applies_started = 0
+        super().__init__(config, policy, seed=seed)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def pending_applies(self) -> int:
+        """Apply tasks announced but not yet finished."""
+        return self._applies_started - self.applies_completed
+
+    # ------------------------------------------------------------------
+    # Propagation machinery
+    # ------------------------------------------------------------------
+    def _propagation_transfer_time(self) -> float:
+        network = self.config.network
+        if network.msg_length is not None:
+            return network.msg_length
+        return self.update_pages * network.page_size * network.msg_time
+
+    def _apply_process(self, site_index: int, update_id: int):
+        """Apply one update's write set at one replica."""
+        site = self.sites[site_index]
+        rng = self.sim.rng.stream(f"apply.s{site_index}.u{update_id}")
+        for _ in range(self.update_pages):
+            yield site.disk_service(self.workload.disk_time(rng), rng)
+            yield site.cpu_service(rng.expovariate(1.0 / self.apply_cpu_time))
+        self.applies_completed += 1
+
+    def _propagate(self, query: Query, execution_site: int) -> None:
+        for site_index in range(self.config.num_sites):
+            if site_index == execution_site:
+                continue
+            self._applies_started += 1
+
+            def start_apply(site_index=site_index, update_id=query.qid):
+                self.sim.launch(
+                    self._apply_process(site_index, update_id),
+                    name=f"apply.u{update_id}.s{site_index}",
+                )
+
+            self.ring.send(
+                Message(
+                    source=execution_site,
+                    destination=site_index,
+                    transfer_time=self._propagation_transfer_time(),
+                    deliver=start_apply,
+                    kind="update",
+                    size_bytes=self.update_pages * self.config.network.page_size,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Overridden life cycle
+    # ------------------------------------------------------------------
+    def execute_query(self, query: Query, query_rng):
+        is_update = query_rng.random() < self.update_prob
+        yield from super().execute_query(query, query_rng)
+        if is_update:
+            self.updates_executed += 1
+            self._propagate(query, query.execution_site)
+
+
+__all__ = ["UpdateWorkloadDatabase"]

@@ -1,0 +1,100 @@
+"""Live load-balance observability: the paper's QD, measured over time.
+
+§3 defines the *query difference* ``QD = max_j n_j - min_j n_j`` as the
+quantity BNQ drives toward zero.  The :class:`BalanceMonitor` samples the
+load board periodically during a run and accumulates:
+
+* the time-average and maximum QD;
+* the time-average standard deviation of per-site query counts;
+* per-kind (I/O-bound / CPU-bound) imbalance, which is what BNQRD/LERT
+  actually control — a system can have QD ≈ 0 while every I/O-bound query
+  sits on one site.
+
+Attach before ``run()``::
+
+    monitor = BalanceMonitor(system, sample_interval=5.0)
+    results = system.run(warmup, duration)
+    print(monitor.summary())
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.sim.monitor import Tally
+from repro.sim.process import Hold
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.system import DistributedDatabase
+
+
+@dataclass(frozen=True)
+class BalanceSummary:
+    """Aggregated balance statistics for one run."""
+
+    samples: int
+    mean_qd: float
+    max_qd: float
+    mean_site_stddev: float
+    mean_io_qd: float
+    mean_cpu_qd: float
+
+    def __str__(self) -> str:
+        return (
+            f"QD mean={self.mean_qd:.2f} max={self.max_qd:.0f} "
+            f"site-stddev={self.mean_site_stddev:.2f} "
+            f"io-QD={self.mean_io_qd:.2f} cpu-QD={self.mean_cpu_qd:.2f} "
+            f"(n={self.samples})"
+        )
+
+
+class BalanceMonitor:
+    """Samples the load board on a fixed interval during a run."""
+
+    def __init__(self, system: "DistributedDatabase", sample_interval: float = 5.0) -> None:
+        if sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0")
+        self.system = system
+        self.sample_interval = sample_interval
+        self.qd = Tally("qd")
+        self.site_stddev = Tally("site_stddev")
+        self.io_qd = Tally("io_qd")
+        self.cpu_qd = Tally("cpu_qd")
+        system.sim.launch(self._sampler(), name="balance-monitor")
+
+    def _sampler(self):
+        board = self.system.load_board
+        sites = range(self.system.config.num_sites)
+        while True:
+            yield Hold(self.sample_interval)
+            totals = [board.num_queries(s) for s in sites]
+            io_counts = [board.num_io_queries(s) for s in sites]
+            cpu_counts = [board.num_cpu_queries(s) for s in sites]
+            self.qd.record(max(totals) - min(totals))
+            self.io_qd.record(max(io_counts) - min(io_counts))
+            self.cpu_qd.record(max(cpu_counts) - min(cpu_counts))
+            mean = sum(totals) / len(totals)
+            variance = sum((t - mean) ** 2 for t in totals) / len(totals)
+            self.site_stddev.record(math.sqrt(variance))
+
+    def reset(self) -> None:
+        """Truncate accumulated samples (call at warmup end)."""
+        self.qd.reset()
+        self.io_qd.reset()
+        self.cpu_qd.reset()
+        self.site_stddev.reset()
+
+    def summary(self) -> BalanceSummary:
+        return BalanceSummary(
+            samples=self.qd.count,
+            mean_qd=self.qd.mean,
+            max_qd=self.qd.maximum if self.qd.count else 0.0,
+            mean_site_stddev=self.site_stddev.mean,
+            mean_io_qd=self.io_qd.mean,
+            mean_cpu_qd=self.cpu_qd.mean,
+        )
+
+
+__all__ = ["BalanceMonitor", "BalanceSummary"]

@@ -1,0 +1,120 @@
+"""Global load information shared by the allocation policies.
+
+The paper assumes "each site knows the current loads of all other sites"
+and defers the design of the information-exchange policy.  The
+:class:`LoadBoard` is that oracle: an always-current table of how many
+I/O-bound and CPU-bound queries are committed to each site.
+
+A query is counted at its *execution* site from the instant the allocation
+decision is made (it is committed there even while in transit on the ring)
+until its results have been delivered back to the home terminal.  This
+matches the information a real implementation could track: allocations are
+announced, completions are announced.
+
+The stale-information extension (:mod:`repro.extensions.stale_info`)
+implements :class:`LoadView` with periodically refreshed copies instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.model.query import Query
+
+
+class LoadView:
+    """Read-only interface the policies use to inspect site loads."""
+
+    def num_queries(self, site: int) -> int:
+        """Total queries committed to *site* (any class)."""
+        raise NotImplementedError
+
+    def num_io_queries(self, site: int) -> int:
+        """I/O-bound queries committed to *site*."""
+        raise NotImplementedError
+
+    def num_cpu_queries(self, site: int) -> int:
+        """CPU-bound queries committed to *site*."""
+        raise NotImplementedError
+
+    def query_distribution(self) -> List[int]:
+        """The paper's vector N = [n_1 ... n_S]."""
+        raise NotImplementedError
+
+
+class LoadBoard(LoadView):
+    """Perfect-information load table (the paper's assumption)."""
+
+    def __init__(self, num_sites: int) -> None:
+        if num_sites < 1:
+            raise ValueError("need at least one site")
+        self._io: List[int] = [0] * num_sites
+        self._cpu: List[int] = [0] * num_sites
+        self.num_sites = num_sites
+
+    # ------------------------------------------------------------------
+    # Writers (called by the system as queries come and go)
+    # ------------------------------------------------------------------
+    def register(self, query: Query, site: int) -> None:
+        """Commit *query* to *site* (at allocation time)."""
+        if query.io_bound:
+            self._io[site] += 1
+        else:
+            self._cpu[site] += 1
+
+    def deregister(self, query: Query, site: int) -> None:
+        """Remove *query* from *site* (results delivered)."""
+        if query.io_bound:
+            self._io[site] -= 1
+            if self._io[site] < 0:
+                raise ValueError(f"site {site}: negative I/O-bound count")
+        else:
+            self._cpu[site] -= 1
+            if self._cpu[site] < 0:
+                raise ValueError(f"site {site}: negative CPU-bound count")
+
+    # ------------------------------------------------------------------
+    # LoadView
+    # ------------------------------------------------------------------
+    def num_queries(self, site: int) -> int:
+        return self._io[site] + self._cpu[site]
+
+    def num_io_queries(self, site: int) -> int:
+        return self._io[site]
+
+    def num_cpu_queries(self, site: int) -> int:
+        return self._cpu[site]
+
+    def query_distribution(self) -> List[int]:
+        return [self._io[s] + self._cpu[s] for s in range(self.num_sites)]
+
+    def snapshot(self) -> "FrozenLoadView":
+        """An immutable copy (used by the stale-information extension)."""
+        return FrozenLoadView(tuple(self._io), tuple(self._cpu))
+
+    @property
+    def total_queries(self) -> int:
+        return sum(self._io) + sum(self._cpu)
+
+
+class FrozenLoadView(LoadView):
+    """An immutable load snapshot."""
+
+    def __init__(self, io_counts: Sequence[int], cpu_counts: Sequence[int]) -> None:
+        self._io = tuple(io_counts)
+        self._cpu = tuple(cpu_counts)
+
+    def num_queries(self, site: int) -> int:
+        return self._io[site] + self._cpu[site]
+
+    def num_io_queries(self, site: int) -> int:
+        return self._io[site]
+
+    def num_cpu_queries(self, site: int) -> int:
+        return self._cpu[site]
+
+    def query_distribution(self) -> List[int]:
+        return [io + cpu for io, cpu in zip(self._io, self._cpu)]
+
+
+__all__ = ["LoadView", "LoadBoard", "FrozenLoadView"]

@@ -1,0 +1,178 @@
+"""Performance metrics: the paper's W̄, Ŵ(x), and fairness F.
+
+§3 defines the quantities this module computes:
+
+* ``W̄`` — mean waiting (queueing) time of a query.  We measure a query's
+  waiting time as its response time minus the service it actually acquired,
+  so disk queueing, CPU sharing delay, ring-buffer time, and channel
+  transfer time all count as waiting.
+* ``Ŵ(x) = W̄(x) / x`` — normalized waiting time (waiting per unit of
+  service demand).
+* ``F = Ŵ_1 − Ŵ_2`` — the signed difference of the per-class normalized
+  waits, the paper's fairness measure (class 1 = the I/O-bound class in the
+  two-class experiments; Table 12 reports signed values).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.model.config import SystemConfig
+from repro.model.query import Query
+from repro.sim.monitor import Tally
+from repro.sim.stats import IntervalEstimate, batch_means
+
+
+class MetricsCollector:
+    """Accumulates per-query statistics during a simulation run."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        names = [spec.name for spec in config.classes]
+        self.waiting = Tally("waiting", keep=True)
+        self.response = Tally("response", keep=True)
+        self.normalized_waiting = Tally("normalized_waiting")
+        self.by_class_waiting = [Tally(f"waiting[{n}]") for n in names]
+        self.by_class_response = [Tally(f"response[{n}]") for n in names]
+        self.by_class_normalized = [Tally(f"normalized[{n}]") for n in names]
+        self.remote_count = 0
+        self.completions = 0
+
+    def record(self, query: Query) -> None:
+        """Record one completed query."""
+        k = query.class_index
+        wait = query.waiting_time
+        resp = query.response_time
+        norm = query.normalized_waiting_time
+        self.waiting.record(wait)
+        self.response.record(resp)
+        self.normalized_waiting.record(norm)
+        self.by_class_waiting[k].record(wait)
+        self.by_class_response[k].record(resp)
+        self.by_class_normalized[k].record(norm)
+        if query.remote:
+            self.remote_count += 1
+        self.completions += 1
+
+    def reset(self) -> None:
+        """Truncate everything (end of warmup)."""
+        self.waiting.reset()
+        self.response.reset()
+        self.normalized_waiting.reset()
+        for tally in (
+            *self.by_class_waiting,
+            *self.by_class_response,
+            *self.by_class_normalized,
+        ):
+            tally.reset()
+        self.remote_count = 0
+        self.completions = 0
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    @property
+    def mean_waiting_time(self) -> float:
+        return self.waiting.mean
+
+    @property
+    def mean_response_time(self) -> float:
+        return self.response.mean
+
+    @property
+    def fairness(self) -> float:
+        """F = Ŵ(class 0) − Ŵ(class 1); requires exactly two classes."""
+        if len(self.by_class_normalized) != 2:
+            raise ValueError("fairness F is defined for two-class workloads")
+        return self.by_class_normalized[0].mean - self.by_class_normalized[1].mean
+
+    @property
+    def remote_fraction(self) -> float:
+        if self.completions == 0:
+            return 0.0
+        return self.remote_count / self.completions
+
+
+@dataclass(frozen=True)
+class SystemResults:
+    """Immutable summary of one simulation run.
+
+    Attributes:
+        policy: Name of the allocation policy used.
+        mean_waiting_time: The paper's W̄.
+        mean_response_time: Mean issue-to-results-home latency.
+        fairness: The paper's F (None for workloads without exactly
+            two classes).
+        waiting_by_class: Per-class W̄.
+        normalized_by_class: Per-class Ŵ.
+        subnet_utilization: Fraction of time the ring channel was busy.
+        cpu_utilization: Average CPU utilization across sites.
+        disk_utilization: Average per-disk utilization across sites.
+        completions: Queries completed in the measurement window.
+        remote_fraction: Fraction of queries executed away from home.
+        measured_time: Length of the measurement window.
+        waiting_ci: Batch-means confidence interval for W̄ (None when too
+            few observations were collected).
+    """
+
+    policy: str
+    mean_waiting_time: float
+    mean_response_time: float
+    fairness: Optional[float]
+    waiting_by_class: Tuple[float, ...]
+    normalized_by_class: Tuple[float, ...]
+    subnet_utilization: float
+    cpu_utilization: float
+    disk_utilization: float
+    completions: int
+    remote_fraction: float
+    measured_time: float
+    waiting_ci: Optional[IntervalEstimate] = None
+
+    def __str__(self) -> str:
+        fair = f"{self.fairness:+.4f}" if self.fairness is not None else "n/a"
+        return (
+            f"[{self.policy}] W={self.mean_waiting_time:.2f} "
+            f"RT={self.mean_response_time:.2f} F={fair} "
+            f"subnet={self.subnet_utilization:.1%} "
+            f"remote={self.remote_fraction:.1%} n={self.completions}"
+        )
+
+
+def summarize(
+    collector: MetricsCollector,
+    policy: str,
+    subnet_utilization: float,
+    cpu_utilization: float,
+    disk_utilization: float,
+    measured_time: float,
+    ci_batches: int = 20,
+) -> SystemResults:
+    """Package a collector into a :class:`SystemResults`."""
+    fairness: Optional[float]
+    try:
+        fairness = collector.fairness
+    except ValueError:
+        fairness = None
+    waiting_ci = None
+    if len(collector.waiting.observations) >= ci_batches:
+        waiting_ci = batch_means(collector.waiting.observations, batches=ci_batches)
+    return SystemResults(
+        policy=policy,
+        mean_waiting_time=collector.mean_waiting_time,
+        mean_response_time=collector.mean_response_time,
+        fairness=fairness,
+        waiting_by_class=tuple(t.mean for t in collector.by_class_waiting),
+        normalized_by_class=tuple(t.mean for t in collector.by_class_normalized),
+        subnet_utilization=subnet_utilization,
+        cpu_utilization=cpu_utilization,
+        disk_utilization=disk_utilization,
+        completions=collector.completions,
+        remote_fraction=collector.remote_fraction,
+        measured_time=measured_time,
+        waiting_ci=waiting_ci,
+    )
+
+
+__all__ = ["MetricsCollector", "SystemResults", "summarize"]

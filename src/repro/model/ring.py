@@ -1,0 +1,141 @@
+"""Token-ring communications subnetwork.
+
+The paper's subnet model (§2): "a simple token-ring style local network...
+The network has a single message buffer for each site, and sites are polled
+in a round-robin fashion for requests to send messages.  The cost of sending
+a message is a linear function of the length of the message.  When the
+network finds a site that is ready to send a message, it sends its message,
+delays for the appropriate amount of time, and then continues on with the
+polling process.  We assume that the overhead of the polling process is
+negligible."
+
+Implementation: one channel process owns the token.  It scans the per-site
+outgoing buffers round-robin (at zero simulated cost), transmits the head
+message of the first non-empty buffer it finds (holding for the message's
+transfer time), delivers it, and resumes scanning from the *next* site.
+When every buffer is empty the channel passivates until a send wakes it.
+
+Messages carry their own precomputed transfer time; the cost model (constant
+``msg_length`` vs. linear ``msg_time * bytes``) lives in
+:meth:`repro.model.system.DistributedDatabase` so the ring stays generic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Optional
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.monitor import Tally, TimeWeighted
+from repro.sim.process import Hold, Passivate
+
+
+@dataclass
+class Message:
+    """One message queued for transmission on the ring.
+
+    Attributes:
+        source: Sending site index.
+        destination: Receiving site index.
+        transfer_time: Channel occupancy to move this message.
+        deliver: Callback run when transmission finishes.
+        kind: Tag for statistics ("query", "result", "control").
+        size_bytes: Informational size (used by the linear cost model).
+    """
+
+    source: int
+    destination: int
+    transfer_time: float
+    deliver: Callable[[], None]
+    kind: str = "query"
+    size_bytes: int = 0
+    enqueued_at: Optional[float] = None
+
+
+class TokenRing:
+    """Round-robin polled single-channel network (see module docstring)."""
+
+    def __init__(self, sim: Simulator, num_sites: int) -> None:
+        if num_sites < 1:
+            raise SimulationError("ring needs at least one site")
+        self.sim = sim
+        self.num_sites = num_sites
+        self._buffers: List[Deque[Message]] = [deque() for _ in range(num_sites)]
+        #: Channel busy indicator; its time-average is subnet utilization.
+        self.busy = TimeWeighted(sim, name="ring.busy")
+        #: Time from enqueue to delivery, per message.
+        self.latencies = Tally(name="ring.latency")
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+        self._idle = False
+        self._process = sim.launch(self._run(), name="token-ring")
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Queue *message* in its source site's outgoing buffer."""
+        if not 0 <= message.source < self.num_sites:
+            raise SimulationError(f"invalid source site {message.source}")
+        if not 0 <= message.destination < self.num_sites:
+            raise SimulationError(f"invalid destination site {message.destination}")
+        if message.transfer_time < 0:
+            raise SimulationError(f"negative transfer time {message.transfer_time}")
+        message.enqueued_at = self.sim.now
+        self._buffers[message.source].append(message)
+        if self._idle:
+            self._idle = False
+            self._process.reactivate()
+
+    def pending_messages(self, site: Optional[int] = None) -> int:
+        """Messages queued at *site* (or system-wide when omitted)."""
+        if site is None:
+            return sum(len(b) for b in self._buffers)
+        return len(self._buffers[site])
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of (post-warmup) time the channel was transmitting."""
+        return self.busy.time_average
+
+    def reset_statistics(self) -> None:
+        self.busy.reset()
+        self.latencies.reset()
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    # The channel process
+    # ------------------------------------------------------------------
+    def _next_ready(self, start: int) -> Optional[int]:
+        """First site at/after *start* (cyclically) with a queued message."""
+        for offset in range(self.num_sites):
+            site = (start + offset) % self.num_sites
+            if self._buffers[site]:
+                return site
+        return None
+
+    def _run(self):
+        position = 0
+        while True:
+            ready = self._next_ready(position)
+            if ready is None:
+                self._idle = True
+                yield Passivate()
+                continue
+            position = ready
+            message = self._buffers[position].popleft()
+            self.busy.set(1)
+            yield Hold(message.transfer_time)
+            self.busy.set(0)
+            self.messages_delivered += 1
+            self.bytes_delivered += message.size_bytes
+            if message.enqueued_at is not None:
+                self.latencies.record(self.sim.now - message.enqueued_at)
+            message.deliver()
+            position = (position + 1) % self.num_sites
+
+
+__all__ = ["Message", "TokenRing"]

@@ -1,0 +1,119 @@
+"""Config serialization: JSON-friendly round-tripping of SystemConfig.
+
+Experiments are parameterized by :class:`~repro.model.config.SystemConfig`
+objects; serializing them lets users store experiment definitions alongside
+results, diff configurations, and drive custom sweeps from files::
+
+    config = load_config("my_experiment.json")
+    config = config_from_dict({...})
+    save_config(config, "my_experiment.json")
+
+The format is a plain nested dict mirroring the dataclass structure, plus a
+``format_version`` field so future changes stay loadable.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Any, Dict, Union
+
+from repro.model.config import (
+    ConfigError,
+    NetworkSpec,
+    QueryClassSpec,
+    SiteSpec,
+    SystemConfig,
+)
+
+FORMAT_VERSION = 1
+
+
+def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
+    """Flatten a :class:`SystemConfig` into JSON-compatible primitives."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "num_sites": config.num_sites,
+        "site": {
+            "num_disks": config.site.num_disks,
+            "disk_time": config.site.disk_time,
+            "disk_time_dev": config.site.disk_time_dev,
+            "mpl": config.site.mpl,
+            "think_time": config.site.think_time,
+        },
+        "classes": [
+            {
+                "name": spec.name,
+                "page_cpu_time": spec.page_cpu_time,
+                "num_reads": spec.num_reads,
+                "result_fraction": spec.result_fraction,
+                "query_size": spec.query_size,
+            }
+            for spec in config.classes
+        ],
+        "class_probs": list(config.class_probs),
+        "network": {
+            "msg_length": config.network.msg_length,
+            "msg_time": config.network.msg_time,
+            "page_size": config.network.page_size,
+            "subnet_kind": config.network.subnet_kind,
+        },
+        "disk_organization": config.disk_organization,
+        "integer_reads": config.integer_reads,
+    }
+
+
+def config_from_dict(data: Dict[str, Any]) -> SystemConfig:
+    """Rebuild a :class:`SystemConfig` from :func:`config_to_dict` output.
+
+    Raises:
+        ConfigError: On missing keys, unknown versions, or invalid values
+            (field validation happens in the dataclasses themselves).
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    version = data.get("format_version", FORMAT_VERSION)
+    if version != FORMAT_VERSION:
+        raise ConfigError(f"unsupported config format version {version}")
+    try:
+        site = SiteSpec(**data["site"])
+        classes = tuple(QueryClassSpec(**spec) for spec in data["classes"])
+        network = NetworkSpec(**data["network"])
+        return SystemConfig(
+            num_sites=data["num_sites"],
+            site=site,
+            classes=classes,
+            class_probs=tuple(data["class_probs"]),
+            network=network,
+            disk_organization=data.get("disk_organization", "per_disk"),
+            integer_reads=data.get("integer_reads", True),
+        )
+    except KeyError as missing:
+        raise ConfigError(f"config dict is missing key {missing}") from None
+    except TypeError as bad:
+        raise ConfigError(f"malformed config dict: {bad}") from None
+
+
+def save_config(config: SystemConfig, path: Union[str, pathlib.Path]) -> None:
+    """Write *config* as pretty-printed JSON."""
+    payload = json.dumps(config_to_dict(config), indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(payload + "\n", encoding="utf-8")
+
+
+def load_config(path: Union[str, pathlib.Path]) -> SystemConfig:
+    """Read a config written by :func:`save_config`."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as bad:
+        raise ConfigError(f"{path}: not valid JSON ({bad})") from None
+    return config_from_dict(data)
+
+
+__all__ = [
+    "FORMAT_VERSION",
+    "config_to_dict",
+    "config_from_dict",
+    "save_config",
+    "load_config",
+]

@@ -1,0 +1,159 @@
+"""Alternative communications subnets: the abstraction and a mesh.
+
+The paper's subnet is a token ring — one shared channel, so its capacity is
+*constant* while the number of sites grows, which is exactly why Table 11
+finds an interior optimum (6–8 sites) for dynamic allocation: beyond it the
+channel congests faster than placement freedom helps.
+
+To test that explanation rather than assume it, this module provides:
+
+* :class:`Subnet` — the interface the system needs (duck-typed by
+  :class:`~repro.model.ring.TokenRing`), and
+* :class:`PointToPointNetwork` — a full mesh with an independent
+  full-duplex link per ordered site pair.  Aggregate capacity grows as
+  ``S·(S−1)``, so if the ring's channel is really the limiting factor, the
+  interior optimum should flatten out on the mesh (the subnet-scaling
+  ablation confirms it does).
+
+The mesh needs no processes: each link keeps a ``busy_until`` horizon and
+deliveries are scheduled events, FIFO per link, concurrent across links.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.model.ring import Message
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+from repro.sim.monitor import Tally
+
+
+class Subnet:
+    """Interface between the system and its communications substrate."""
+
+    def send(self, message: Message) -> None:
+        """Queue *message*; its ``deliver`` callback runs on arrival."""
+        raise NotImplementedError
+
+    @property
+    def utilization(self) -> float:
+        """Capacity in use over the observation window, in [0, 1]."""
+        raise NotImplementedError
+
+    def pending_messages(self, site: Optional[int] = None) -> int:
+        raise NotImplementedError
+
+    def reset_statistics(self) -> None:
+        raise NotImplementedError
+
+
+class PointToPointNetwork(Subnet):
+    """A full mesh: one dedicated link per ordered (source, destination).
+
+    Messages on the same link serialize FIFO; distinct links never
+    interfere.  Reported utilization is busy-time averaged over all
+    ``S·(S−1)`` links — with the same traffic as a ring, it is roughly the
+    ring's utilization divided by the link count.
+    """
+
+    def __init__(self, sim: Simulator, num_sites: int) -> None:
+        if num_sites < 1:
+            raise SimulationError("network needs at least one site")
+        self.sim = sim
+        self.num_sites = num_sites
+        self._busy_until: Dict[Tuple[int, int], float] = {}
+        self._pending: Dict[int, int] = {s: 0 for s in range(num_sites)}
+        self._busy_accum = 0.0
+        self._window_start = sim.now
+        self.latencies = Tally(name="mesh.latency")
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+    # ------------------------------------------------------------------
+    # Subnet interface
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        if not 0 <= message.source < self.num_sites:
+            raise SimulationError(f"invalid source site {message.source}")
+        if not 0 <= message.destination < self.num_sites:
+            raise SimulationError(f"invalid destination site {message.destination}")
+        if message.source == message.destination:
+            raise SimulationError("mesh has no self-links; deliver locally instead")
+        if message.transfer_time < 0:
+            raise SimulationError(f"negative transfer time {message.transfer_time}")
+        now = self.sim.now
+        message.enqueued_at = now
+        link = (message.source, message.destination)
+        start = max(now, self._busy_until.get(link, now))
+        finish = start + message.transfer_time
+        self._busy_until[link] = finish
+        self._busy_accum += message.transfer_time
+        self._pending[message.source] += 1
+        self.sim.schedule_at(
+            finish,
+            lambda: self._deliver(message),
+            label=f"mesh:{link[0]}->{link[1]}",
+        )
+
+    def _deliver(self, message: Message) -> None:
+        self._pending[message.source] -= 1
+        self.messages_delivered += 1
+        self.bytes_delivered += message.size_bytes
+        if message.enqueued_at is not None:
+            self.latencies.record(self.sim.now - message.enqueued_at)
+        message.deliver()
+
+    @property
+    def utilization(self) -> float:
+        elapsed = self.sim.now - self._window_start
+        links = self.num_sites * (self.num_sites - 1)
+        if elapsed <= 0 or links == 0:
+            return 0.0
+        # Busy time already charged for transfers that extend past "now"
+        # is clipped to the window to keep the value in [0, 1].
+        busy = self._busy_accum - self._overhang()
+        return max(0.0, busy / (elapsed * links))
+
+    def _overhang(self) -> float:
+        now = self.sim.now
+        return sum(
+            until - now for until in self._busy_until.values() if until > now
+        )
+
+    def pending_messages(self, site: Optional[int] = None) -> int:
+        if site is None:
+            return sum(self._pending.values())
+        return self._pending[site]
+
+    def reset_statistics(self) -> None:
+        # Drop accumulated busy time except the part still in flight.
+        self._busy_accum = self._overhang()
+        self._window_start = self.sim.now
+        self.latencies.reset()
+        self.messages_delivered = 0
+        self.bytes_delivered = 0
+
+
+SUBNET_RING = "ring"
+SUBNET_MESH = "mesh"
+
+
+def build_subnet(kind: str, sim: Simulator, num_sites: int) -> Subnet:
+    """Construct a subnet by name ('ring' or 'mesh')."""
+    if kind == SUBNET_RING:
+        from repro.model.ring import TokenRing
+
+        return TokenRing(sim, num_sites)
+    if kind == SUBNET_MESH:
+        return PointToPointNetwork(sim, num_sites)
+    raise SimulationError(f"unknown subnet kind {kind!r}")
+
+
+__all__ = [
+    "Subnet",
+    "PointToPointNetwork",
+    "SUBNET_RING",
+    "SUBNET_MESH",
+    "build_subnet",
+]

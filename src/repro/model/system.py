@@ -1,0 +1,223 @@
+"""The distributed database system: wiring, query life cycle, run control.
+
+:class:`DistributedDatabase` assembles the full model of the paper's
+Figure 1/Figure 2 — sites, terminals, token ring, load board, workload
+generator, metrics — around one allocation policy, and exposes ``run()``
+to produce a :class:`~repro.model.metrics.SystemResults`.
+
+The query life cycle (Figure 2's flow) is implemented in
+:meth:`DistributedDatabase.execute_query`:
+
+1. the allocation policy picks an execution site from optimizer estimates
+   and the load board;
+2. the query is committed to that site on the load board;
+3. if remote, the query descriptor crosses the token ring;
+4. the query cycles ``actual_reads`` times through disk (FCFS) and CPU (PS);
+5. if remote, the results cross the ring back to the home site;
+6. the query is released from the load board and recorded by the metrics.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.model.config import SystemConfig
+from repro.model.loadboard import LoadBoard, LoadView
+from repro.model.metrics import MetricsCollector, SystemResults, summarize
+from repro.model.query import Query
+from repro.model.ring import Message
+from repro.model.subnet import build_subnet
+from repro.model.site import DBSite
+from repro.model.terminals import start_terminals
+from repro.model.workload import WorkloadGenerator
+from repro.policies.base import AllocationPolicy
+from repro.sim.engine import Simulator
+from repro.sim.process import WaitFor
+
+
+class DistributedDatabase:
+    """A fully-replicated distributed database system under one policy.
+
+    Args:
+        config: Model parameters (see :mod:`repro.model.config`).
+        policy: The allocation policy instance to drive; it is bound to
+            this system.
+        seed: Master seed for every random stream in the run.
+    """
+
+    def __init__(
+        self, config: SystemConfig, policy: AllocationPolicy, seed: int = 0
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.sim = Simulator(seed=seed)
+        self.sites: List[DBSite] = [
+            DBSite(self.sim, config, index) for index in range(config.num_sites)
+        ]
+        # Named "ring" for the paper's default topology; with
+        # subnet_kind="mesh" it is a point-to-point network instead.
+        self.ring = build_subnet(
+            config.network.subnet_kind, self.sim, config.num_sites
+        )
+        self.load_board = LoadBoard(config.num_sites)
+        self.workload = WorkloadGenerator(self.sim, config)
+        self.metrics = MetricsCollector(config)
+        policy.bind(self)
+        self._measure_start = 0.0
+        start_terminals(self)
+
+    # ------------------------------------------------------------------
+    # Load information (policies read through this indirection so the
+    # stale-information extension can substitute a delayed view).
+    # ------------------------------------------------------------------
+    @property
+    def load_view(self) -> LoadView:
+        return self.load_board
+
+    def candidate_sites(self, query: Query):
+        """Sites eligible to execute *query*.
+
+        Fully replicated database: every site qualifies.  The
+        partial-replication extension overrides this with the set of sites
+        holding a copy of the query's data.
+        """
+        return range(self.config.num_sites)
+
+    # ------------------------------------------------------------------
+    # Message-cost model (paper Table 3 / §5.1)
+    # ------------------------------------------------------------------
+    def _query_transfer_time(self, query: Query) -> float:
+        network = self.config.network
+        if network.msg_length is not None:
+            return network.msg_length
+        return query.spec.query_size * network.msg_time
+
+    def _result_transfer_time(self, query: Query, reads: float) -> float:
+        network = self.config.network
+        if network.msg_length is not None:
+            return network.msg_length
+        result_bytes = query.spec.result_fraction * reads * network.page_size
+        return result_bytes * network.msg_time
+
+    def estimated_transfer_time(self, query: Query) -> float:
+        """Figure 6's ``Transfer_Time(q)`` (optimizer view)."""
+        return self._query_transfer_time(query)
+
+    def estimated_return_time(self, query: Query) -> float:
+        """Figure 6's ``Return_Time(q)`` (optimizer view)."""
+        return self._result_transfer_time(query, query.estimated_reads)
+
+    # ------------------------------------------------------------------
+    # Query life cycle
+    # ------------------------------------------------------------------
+    def execute_query(self, query: Query, query_rng):
+        """Drive one query from allocation to results-at-home (a generator).
+
+        Called from the terminal process via ``yield from``.
+        """
+        sim = self.sim
+        execution_site = self.policy.select_site(query, query.home_site)
+        if not 0 <= execution_site < self.config.num_sites:
+            raise ValueError(
+                f"policy {self.policy.name} chose invalid site {execution_site}"
+            )
+        query.allocated_at = sim.now
+        query.execution_site = execution_site
+        self.load_board.register(query, execution_site)
+
+        if execution_site != query.home_site:
+            yield WaitFor(
+                lambda resume: self.ring.send(
+                    Message(
+                        source=query.home_site,
+                        destination=execution_site,
+                        transfer_time=self._query_transfer_time(query),
+                        deliver=resume,
+                        kind="query",
+                        size_bytes=query.spec.query_size,
+                    )
+                )
+            )
+
+        site = self.sites[execution_site]
+        query.started_at = sim.now
+        spec = query.spec
+        for _ in range(query.actual_reads):
+            disk_time = self.workload.disk_time(query_rng)
+            yield site.disk_service(disk_time, query_rng)
+            query.service_acquired += disk_time
+            cpu_time = query_rng.expovariate(1.0 / spec.page_cpu_time)
+            yield site.cpu_service(cpu_time)
+            query.service_acquired += cpu_time
+        query.finished_at = sim.now
+
+        if execution_site != query.home_site:
+            result_bytes = int(
+                spec.result_fraction * query.actual_reads * self.config.network.page_size
+            )
+            yield WaitFor(
+                lambda resume: self.ring.send(
+                    Message(
+                        source=execution_site,
+                        destination=query.home_site,
+                        transfer_time=self._result_transfer_time(
+                            query, query.actual_reads
+                        ),
+                        deliver=resume,
+                        kind="result",
+                        size_bytes=result_bytes,
+                    )
+                )
+            )
+
+        query.completed_at = sim.now
+        self.load_board.deregister(query, execution_site)
+        self.metrics.record(query)
+
+    # ------------------------------------------------------------------
+    # Run control and statistics
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Truncate every monitor (call at the end of warmup)."""
+        self.metrics.reset()
+        self.ring.reset_statistics()
+        for site in self.sites:
+            site.reset_statistics()
+        self._measure_start = self.sim.now
+
+    def run(self, warmup: float, duration: float) -> SystemResults:
+        """Simulate ``warmup + duration`` time units and summarize.
+
+        Statistics gathered during the warmup period are discarded; the
+        returned results cover exactly the ``duration`` window.
+        """
+        if warmup < 0 or duration <= 0:
+            raise ValueError("need warmup >= 0 and duration > 0")
+        if warmup > 0:
+            self.sim.run(until=warmup)
+        self.reset_statistics()
+        self.sim.run(until=warmup + duration)
+        return self.results()
+
+    def results(self) -> SystemResults:
+        """Summarize the statistics collected since the last reset."""
+        sites = self.sites
+        cpu_util = sum(s.cpu_utilization for s in sites) / len(sites)
+        disk_util = sum(s.disk_utilization for s in sites) / len(sites)
+        return summarize(
+            self.metrics,
+            policy=self.policy.name,
+            subnet_utilization=self.ring.utilization,
+            cpu_utilization=cpu_util,
+            disk_utilization=disk_util,
+            measured_time=self.sim.now - self._measure_start,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<DistributedDatabase sites={self.config.num_sites} "
+            f"policy={self.policy.name} t={self.sim.now:.6g}>"
+        )
+
+
+__all__ = ["DistributedDatabase"]

@@ -1,0 +1,105 @@
+"""Workload generation: turning Table 7's distributions into queries.
+
+Per the paper's §5.1:
+
+* the class of a new query is I/O-bound with probability ``class_io_prob``
+  (generally: drawn from ``class_probs``);
+* the number of reads has an exponential distribution with mean
+  ``num_reads`` (rounded to an integer cycle count for execution; the raw
+  draw is kept as the optimizer's estimate);
+* CPU bursts are exponential with the class's ``page_cpu_time`` mean;
+* disk service times are uniform on ``disk_time ± disk_time*disk_time_dev``;
+* think times are exponential with mean ``think_time``.
+
+Every query gets its *own* derived random stream (keyed by home site,
+terminal, and serial number), so the sequence of queries **and their
+realized service demands** is identical across allocation policies under the
+same master seed.  This is the common-random-numbers discipline that makes
+policy comparisons low-variance: BNQ and LERT face literally the same
+workload, they only place it differently.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Tuple
+
+from repro.model.config import SystemConfig
+from repro.model.query import Query, make_query
+from repro.sim.engine import Simulator
+
+
+class WorkloadGenerator:
+    """Samples queries and their service demands for one simulation run."""
+
+    def __init__(self, sim: Simulator, config: SystemConfig) -> None:
+        self.sim = sim
+        self.config = config
+        # Cumulative class probabilities for inverse-CDF class sampling.
+        cumulative = []
+        acc = 0.0
+        for p in config.class_probs:
+            acc += p
+            cumulative.append(acc)
+        cumulative[-1] = 1.0  # absorb rounding
+        self._cumulative_probs = tuple(cumulative)
+
+    # ------------------------------------------------------------------
+    # Query creation
+    # ------------------------------------------------------------------
+    def new_query(
+        self, home_site: int, terminal_id: int, serial: int
+    ) -> Tuple[Query, random.Random]:
+        """Create the next query for a terminal.
+
+        Returns the query plus its private random stream; the stream is used
+        for every stochastic choice the query makes while executing (CPU
+        bursts, disk times, disk selection), keeping realized demands
+        policy-independent.
+        """
+        query_rng = self.sim.rng.stream(
+            f"query.s{home_site}.t{terminal_id}.n{serial}"
+        )
+        class_index = self._sample_class(query_rng)
+        spec = self.config.classes[class_index]
+        estimated_reads = query_rng.expovariate(1.0 / spec.num_reads)
+        query = make_query(
+            self.config,
+            class_index=class_index,
+            home_site=home_site,
+            estimated_reads=estimated_reads,
+            created_at=self.sim.now,
+        )
+        return query, query_rng
+
+    def _sample_class(self, rng: random.Random) -> int:
+        u = rng.random()
+        for index, threshold in enumerate(self._cumulative_probs):
+            if u < threshold:
+                return index
+        return len(self._cumulative_probs) - 1
+
+    # ------------------------------------------------------------------
+    # Per-activity service-time draws
+    # ------------------------------------------------------------------
+    def think_time(self, rng: random.Random) -> float:
+        """One terminal think period."""
+        mean = self.config.site.think_time
+        if mean <= 0:
+            return 0.0
+        return rng.expovariate(1.0 / mean)
+
+    def disk_time(self, rng: random.Random) -> float:
+        """One page-read service time: U(disk_time ± dev·disk_time)."""
+        spec = self.config.site
+        half_width = spec.disk_time * spec.disk_time_dev
+        if half_width == 0:
+            return spec.disk_time
+        return rng.uniform(spec.disk_time - half_width, spec.disk_time + half_width)
+
+    def cpu_burst(self, query: Query, rng: random.Random) -> float:
+        """One per-page CPU burst: exponential with the class mean."""
+        return rng.expovariate(1.0 / query.spec.page_cpu_time)
+
+
+__all__ = ["WorkloadGenerator"]

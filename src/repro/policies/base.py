@@ -1,0 +1,122 @@
+"""Allocation-policy interface and the paper's site-selection loop.
+
+Figure 3 of the paper gives the selection procedure every cost-based policy
+shares::
+
+    function SelectSite(q: query; arrival_site: site): site;
+    begin
+        best_site := arrival_site;
+        min_cost := SiteCost(q, arrival_site);
+        foreach remote_site in {sites} - arrival_site do
+            cur_cost := SiteCost(q, remote_site);
+            if cur_cost < min_cost then ...
+    end
+
+with the noted detail that "the 'foreach' loop that examines possible remote
+execution sites should scan these sites in a round-robin fashion".  Two
+consequences we preserve faithfully:
+
+* the arrival site wins ties (strict ``<``), avoiding pointless transfers;
+* ties among *remote* sites are spread around the ring because the scan's
+  starting position rotates from decision to decision.
+
+Policies read the system's :class:`~repro.model.loadboard.LoadView` and the
+query's optimizer estimates; they never see realized service demands.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.model.loadboard import LoadView
+from repro.model.query import Query
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.system import DistributedDatabase
+
+
+class AllocationPolicy:
+    """Chooses the execution site for each newly arrived query."""
+
+    #: Registry/display name; subclasses override.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.system: Optional["DistributedDatabase"] = None
+
+    def bind(self, system: "DistributedDatabase") -> None:
+        """Attach the policy to a system (called once, before the run)."""
+        self.system = system
+
+    @property
+    def loads(self) -> LoadView:
+        """The load information this policy consults."""
+        if self.system is None:
+            raise RuntimeError(f"policy {self.name!r} is not bound to a system")
+        return self.system.load_view
+
+    def select_site(self, query: Query, arrival_site: int) -> int:
+        """Return the site index that should execute *query*."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<policy {self.name}>"
+
+
+class CostBasedPolicy(AllocationPolicy):
+    """Figure 3's SelectSite over a subclass-provided SiteCost.
+
+    Subclasses implement :meth:`site_cost`.  ``candidate_sites`` restricts
+    the choice set (used by the partial-replication extension, where only
+    sites holding a copy of the data qualify); by default every site is a
+    candidate, as in a fully replicated database.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._scan_offset = 0
+
+    def site_cost(self, query: Query, site: int) -> float:
+        """Estimated cost of executing *query* at *site* (lower is better)."""
+        raise NotImplementedError
+
+    def candidate_sites(self, query: Query) -> Sequence[int]:
+        """Sites eligible to run *query*.
+
+        Delegates to the system: a fully replicated database allows every
+        site; the partial-replication extension narrows the set to the
+        sites holding a copy of the data the query references.
+        """
+        return self.system.candidate_sites(query)
+
+    def select_site(self, query: Query, arrival_site: int) -> int:
+        candidates = list(self.candidate_sites(query))
+        if not candidates:
+            raise RuntimeError(f"no candidate sites for query {query.qid}")
+        if candidates == [arrival_site]:
+            return arrival_site
+
+        if arrival_site in candidates:
+            best_site = arrival_site
+            min_cost = self.site_cost(query, arrival_site)
+        else:
+            # Partial replication: the home site may hold no copy, so the
+            # first candidate seeds the minimum instead.
+            best_site = -1
+            min_cost = float("inf")
+
+        count = len(candidates)
+        start = self._scan_offset % count
+        self._scan_offset += 1
+        for step in range(count):
+            site = candidates[(start + step) % count]
+            if site == arrival_site and best_site == arrival_site:
+                continue
+            cost = self.site_cost(query, site)
+            if cost < min_cost:
+                min_cost = cost
+                best_site = site
+        return best_site
+
+
+__all__ = ["AllocationPolicy", "CostBasedPolicy"]

@@ -1,0 +1,28 @@
+"""BNQ — Balance the Number of Queries (paper §4.1, Figure 4).
+
+The non-information-based comparison point: route each new query to the
+site currently holding the fewest queries, regardless of what those queries
+need.  Cost function (Figure 4)::
+
+    function SiteCost(q: query; s: site): integer;
+    begin
+        SiteCost := Num_Queries(s);
+    end;
+"""
+
+from __future__ import annotations
+
+from repro.model.query import Query
+from repro.policies.base import CostBasedPolicy
+
+
+class BNQPolicy(CostBasedPolicy):
+    """Minimize the total query count at the chosen site."""
+
+    name = "BNQ"
+
+    def site_cost(self, query: Query, site: int) -> float:
+        return self.loads.num_queries(site)
+
+
+__all__ = ["BNQPolicy"]

@@ -1,0 +1,41 @@
+"""BNQRD — Balance the Number of Queries by Resource Demands (§4.2, Fig. 5).
+
+The first information-based heuristic: classify the arriving query as
+I/O-bound or CPU-bound from its optimizer estimates, then route it to the
+site with the fewest queries *of the same kind*.  Cost function (Figure 5)::
+
+    function SiteCost(q: query; s: site): integer;
+    begin
+        if (disk_time / num_disks) > Page_CPU_Time(q) then
+            SiteCost := Num_IO_Queries(s);
+        else
+            SiteCost := Num_CPU_Queries(s);
+    end;
+
+The per-disk I/O demand (``disk_time / num_disks``) handles multi-disk
+sites: with two disks, a page's effective I/O pressure is halved.
+"""
+
+from __future__ import annotations
+
+from repro.model.query import Query
+from repro.policies.base import CostBasedPolicy
+
+
+class BNQRDPolicy(CostBasedPolicy):
+    """Balance counts within the arriving query's boundness class."""
+
+    name = "BNQRD"
+
+    def is_io_bound(self, query: Query) -> bool:
+        """The paper's classification rule, from optimizer estimates."""
+        site_spec = self.system.config.site
+        return site_spec.disk_time / site_spec.num_disks > query.page_cpu_time
+
+    def site_cost(self, query: Query, site: int) -> float:
+        if self.is_io_bound(query):
+            return self.loads.num_io_queries(site)
+        return self.loads.num_cpu_queries(site)
+
+
+__all__ = ["BNQRDPolicy"]

@@ -1,0 +1,130 @@
+"""LERT-MVA: LERT's goal with a real queueing model (ablation A3).
+
+Figure 6's cost function is a deliberately crude response-time estimate —
+it assumes frozen populations, PS disks, and competition only within the
+query's own boundness class.  This extension policy keeps LERT's *decision
+rule* (pick the site minimizing estimated response time plus network cost)
+but computes the estimate with approximate Mean Value Analysis of a
+two-station closed network per site:
+
+* station "disk": the site's ``num_disks`` disks as a multi-server station,
+* station "cpu": the PS processor,
+* three customer classes: the site's committed I/O-bound queries, its
+  committed CPU-bound queries (both at class-mean demands), and the
+  arriving query itself (population 1).
+
+The arriving query's estimated response time is its MVA cycle time.  Results
+are memoized on ``(n_io, n_cpu, class_index)`` — the only inputs — so the
+per-decision cost is a dictionary lookup after warmup.
+
+Comparing LERT-MVA against LERT quantifies how much performance Figure 6's
+approximations leave on the table (the ablation bench shows: very little,
+which is the engineering justification for the paper's simple formula).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.model.query import Query
+from repro.policies.base import CostBasedPolicy
+from repro.queueing.amva import solve_amva
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.stations import Station, StationKind
+
+
+class LERTMVAPolicy(CostBasedPolicy):
+    """Least estimated response time, estimated by approximate MVA."""
+
+    name = "LERT-MVA"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._arrival_site = -1
+        self._cache: Dict[Tuple[int, int, int], float] = {}
+
+    def select_site(self, query: Query, arrival_site: int) -> int:
+        self._arrival_site = arrival_site
+        return super().select_site(query, arrival_site)
+
+    # ------------------------------------------------------------------
+    # Cost model
+    # ------------------------------------------------------------------
+    def _class_demands(self, class_index: int) -> Tuple[float, float]:
+        """(disk, cpu) demand of a whole class-mean query."""
+        config = self.system.config
+        spec = config.classes[class_index]
+        return (
+            spec.num_reads * config.site.disk_time,
+            spec.num_reads * spec.page_cpu_time,
+        )
+
+    def _mean_bound_demands(self, io_bound: bool) -> Tuple[float, float]:
+        """Average (disk, cpu) demand over classes with the given boundness."""
+        config = self.system.config
+        matching = [
+            k
+            for k, spec in enumerate(config.classes)
+            if config.is_io_bound(spec.page_cpu_time) == io_bound
+        ]
+        if not matching:
+            return (0.0, 0.0)
+        disks, cpus = zip(*(self._class_demands(k) for k in matching))
+        return (sum(disks) / len(disks), sum(cpus) / len(cpus))
+
+    def _estimated_response(self, n_io: int, n_cpu: int, class_index: int) -> float:
+        key = (n_io, n_cpu, class_index)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+
+        config = self.system.config
+        io_disk, io_cpu = self._mean_bound_demands(io_bound=True)
+        cpu_disk, cpu_cpu = self._mean_bound_demands(io_bound=False)
+        new_disk, new_cpu = self._class_demands(class_index)
+
+        disk_demands = (io_disk, cpu_disk, new_disk)
+        disks = config.site.num_disks
+        cpu_station = Station("cpu", StationKind.PS, (io_cpu, cpu_cpu, new_cpu))
+        think_times = (0.0, 0.0, 0.0)
+        if disks == 1:
+            disk_station = Station("disk", StationKind.PS, disk_demands)
+        elif len({d for d in disk_demands if d > 0}) <= 1:
+            disk_station = Station(
+                "disk", StationKind.MULTISERVER, disk_demands, servers=disks
+            )
+        else:
+            # Class-dependent multi-server demands are outside BCMP product
+            # form; apply the Seidmann transform by hand (queueing portion as
+            # PS at demand/c, the rest as pure per-class delay).
+            disk_station = Station(
+                "disk", StationKind.PS, tuple(d / disks for d in disk_demands)
+            )
+            think_times = tuple(d * (disks - 1) / disks for d in disk_demands)
+        network = ClosedNetwork(
+            (disk_station, cpu_station),
+            ("io-load", "cpu-load", "arrival"),
+            think_times,
+        )
+        solution = solve_amva(network, (n_io, n_cpu, 1))
+        # think_times[2] is nonzero only on the manual-Seidmann path, where
+        # it is really in-service disk time and belongs in the response.
+        response = solution.cycle_time(2) + think_times[2]
+        self._cache[key] = response
+        return response
+
+    def site_cost(self, query: Query, site: int) -> float:
+        loads = self.loads
+        response = self._estimated_response(
+            loads.num_io_queries(site), loads.num_cpu_queries(site), query.class_index
+        )
+        if site == self._arrival_site:
+            net_time = 0.0
+        else:
+            net_time = self.system.estimated_transfer_time(
+                query
+            ) + self.system.estimated_return_time(query)
+        return response + net_time
+
+
+__all__ = ["LERTMVAPolicy"]

@@ -1,0 +1,35 @@
+"""LOCAL: always process at the arrival site (the paper's baseline).
+
+The paper's W̄_LOCAL columns are produced with this policy: "queries are
+always processed locally (i.e., at their arrival site)".  It represents a
+conventional distributed DBMS with no dynamic allocation at all.
+"""
+
+from __future__ import annotations
+
+from repro.model.query import Query
+from repro.policies.base import AllocationPolicy
+
+
+class LocalPolicy(AllocationPolicy):
+    """Execute every query at its home site.
+
+    Under partial replication the home site may hold no copy of the data;
+    LOCAL then falls back to the nearest holder (lowest ring distance from
+    home), which is what a static allocator with no load information would
+    plausibly do.
+    """
+
+    name = "LOCAL"
+
+    def select_site(self, query: Query, arrival_site: int) -> int:
+        candidates = list(self.system.candidate_sites(query))
+        if arrival_site in candidates:
+            return arrival_site
+        if not candidates:
+            raise RuntimeError(f"no candidate sites for query {query.qid}")
+        num_sites = self.system.config.num_sites
+        return min(candidates, key=lambda s: (s - arrival_site) % num_sites)
+
+
+__all__ = ["LocalPolicy"]

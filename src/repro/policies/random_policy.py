@@ -1,0 +1,28 @@
+"""RANDOM: uniformly random site choice.
+
+Not in the paper, but a standard load-balancing control: it spreads load
+without using *any* state information.  Comparing RANDOM against BNQ
+separates the benefit of "spreading work around" from the benefit of
+actually consulting load state.
+"""
+
+from __future__ import annotations
+
+from repro.model.query import Query
+from repro.policies.base import AllocationPolicy
+
+
+class RandomPolicy(AllocationPolicy):
+    """Pick an execution site uniformly at random."""
+
+    name = "RANDOM"
+
+    def select_site(self, query: Query, arrival_site: int) -> int:
+        rng = self.system.sim.rng.stream("policy.random")
+        candidates = list(self.system.candidate_sites(query))
+        if not candidates:
+            raise RuntimeError(f"no candidate sites for query {query.qid}")
+        return candidates[rng.randrange(len(candidates))]
+
+
+__all__ = ["RandomPolicy"]

@@ -1,0 +1,94 @@
+"""Classic sender-initiated load sharing: THRESHOLD and power-of-d.
+
+Two policies from the load-balancing literature the paper cites and grew
+out of, included as historically meaningful comparison points:
+
+* :class:`ThresholdPolicy` — Eager/Lazowska/Zahorjan-style sender-initiated
+  probing: keep the query home unless the home site's count exceeds a
+  threshold; then probe up to ``probe_limit`` other sites (round-robin) and
+  transfer to the first whose count is below the threshold; if every probe
+  fails, run it at home anyway.  Uses *far less* information than BNQ —
+  only up to ``probe_limit`` remote counts per decision rather than all of
+  them — which is exactly its selling point in the literature.
+* :class:`PowerOfDPolicy` — "power of d choices": sample ``d`` distinct
+  sites uniformly at random and send the query to the least-loaded of the
+  sample (counting the home site as a free candidate).  With d = 2 this is
+  the famous SQ(2) rule.
+
+Both operate on query counts only (no resource-demand information), so in
+the paper's taxonomy they sit beside BNQ, not BNQRD/LERT — comparing them
+isolates "how much load information" from "what kind".
+"""
+
+from __future__ import annotations
+
+from repro.model.query import Query
+from repro.policies.base import AllocationPolicy
+
+
+class ThresholdPolicy(AllocationPolicy):
+    """Sender-initiated threshold probing (count-based, partial information)."""
+
+    name = "THRESHOLD"
+
+    def __init__(self, threshold: int = 4, probe_limit: int = 3) -> None:
+        super().__init__()
+        if threshold < 0:
+            raise ValueError("threshold must be >= 0")
+        if probe_limit < 1:
+            raise ValueError("probe_limit must be >= 1")
+        self.threshold = threshold
+        self.probe_limit = probe_limit
+        self._probe_offset = 0
+        #: Probes issued (for the information-cost comparison).
+        self.probes_sent = 0
+
+    def select_site(self, query: Query, arrival_site: int) -> int:
+        loads = self.loads
+        if loads.num_queries(arrival_site) <= self.threshold:
+            return arrival_site
+        num_sites = self.system.config.num_sites
+        if num_sites == 1:
+            return arrival_site
+        start = self._probe_offset
+        self._probe_offset += 1
+        probed = 0
+        for step in range(num_sites - 1):
+            site = (arrival_site + 1 + (start + step)) % num_sites
+            if site == arrival_site:
+                continue
+            self.probes_sent += 1
+            probed += 1
+            if loads.num_queries(site) < self.threshold:
+                return site
+            if probed >= self.probe_limit:
+                break
+        return arrival_site
+
+
+class PowerOfDPolicy(AllocationPolicy):
+    """SQ(d): least-loaded of d uniformly sampled sites (plus home)."""
+
+    name = "SQ2"
+
+    def __init__(self, d: int = 2) -> None:
+        super().__init__()
+        if d < 1:
+            raise ValueError("d must be >= 1")
+        self.d = d
+
+    def select_site(self, query: Query, arrival_site: int) -> int:
+        loads = self.loads
+        num_sites = self.system.config.num_sites
+        rng = self.system.sim.rng.stream("policy.sq")
+        sample_size = min(self.d, num_sites)
+        candidates = set(rng.sample(range(num_sites), sample_size))
+        candidates.add(arrival_site)
+        # Least count wins; the home site wins ties (no pointless moves).
+        def sort_key(site: int):
+            return (loads.num_queries(site), site != arrival_site, site)
+
+        return min(candidates, key=sort_key)
+
+
+__all__ = ["ThresholdPolicy", "PowerOfDPolicy"]

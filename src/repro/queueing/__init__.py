@@ -1,0 +1,60 @@
+"""Closed multiclass queueing networks and Mean Value Analysis.
+
+This subpackage is the analytic substrate behind the paper's §3 study of
+optimal allocations (Tables 5 and 6) and the LERT-MVA extension policy.
+"""
+
+from repro.queueing.amva import solve_amva
+from repro.queueing.bounds import (
+    ThroughputBounds,
+    asymptotic_bounds,
+    balanced_job_bounds,
+    saturation_population,
+)
+from repro.queueing.simulate import SimulatedSolution, simulate_network
+from repro.queueing.mva import MVASolution, solve_mva
+from repro.queueing.network import ClosedNetwork, closed_network
+from repro.queueing.population import (
+    Population,
+    decrement,
+    lattice,
+    lattice_size,
+    total,
+    validate_population,
+    zero_like,
+)
+from repro.queueing.stations import (
+    Station,
+    StationKind,
+    delay,
+    fcfs,
+    multiserver,
+    ps,
+)
+
+__all__ = [
+    "ClosedNetwork",
+    "closed_network",
+    "MVASolution",
+    "solve_mva",
+    "solve_amva",
+    "ThroughputBounds",
+    "asymptotic_bounds",
+    "balanced_job_bounds",
+    "saturation_population",
+    "SimulatedSolution",
+    "simulate_network",
+    "Population",
+    "decrement",
+    "lattice",
+    "lattice_size",
+    "total",
+    "validate_population",
+    "zero_like",
+    "Station",
+    "StationKind",
+    "ps",
+    "fcfs",
+    "multiserver",
+    "delay",
+]

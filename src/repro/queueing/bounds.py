@@ -1,0 +1,133 @@
+"""Asymptotic and balanced-job bounds for closed queueing networks.
+
+Bounds complement the exact/approximate solvers in two ways:
+
+* they give instant sanity envelopes for solver outputs (used by the
+  property tests: every exact MVA throughput must respect them), and
+* they answer capacity questions (Table 10 style) without simulation —
+  e.g. the saturation population ``N*`` marks where adding terminals stops
+  buying throughput and starts buying only queueing.
+
+Implemented for single-class networks (multi-class bounds require per-class
+aggregation that the experiments do not need):
+
+* **Asymptotic bounds** (Denning & Buzen):
+  ``X(N) <= min(N / (D + Z), 1 / D_max)`` and
+  ``X(N) >= N / (N * D_max + D_other... )`` — here in the standard form
+  ``X(N) >= N / (D + Z + (N - 1) * D_max)``.
+* **Balanced-job bounds** (Zahorjan et al.), which are tighter: the
+  network is bracketed between a perfectly balanced network with the same
+  total demand and one with all demand at the bottleneck.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.stations import StationKind
+
+
+def _single_class_demands(network: ClosedNetwork) -> Tuple[float, ...]:
+    if network.class_count != 1:
+        raise ValueError("bounds are implemented for single-class networks")
+    demands = []
+    for station in network.stations:
+        if station.kind is StationKind.DELAY:
+            continue
+        if station.is_load_dependent:
+            # Conservative treatment: a c-server station can serve at most
+            # c customers at once, so its effective per-customer demand at
+            # saturation is D / c.
+            demands.append(station.demands[0] / station.servers)
+        else:
+            demands.append(station.demands[0])
+    if not demands:
+        raise ValueError("network has no queueing stations")
+    return tuple(demands)
+
+
+def _think(network: ClosedNetwork) -> float:
+    think = network.think_times[0]
+    for station in network.stations:
+        if station.kind is StationKind.DELAY:
+            think += station.demands[0]
+    return think
+
+
+@dataclass(frozen=True)
+class ThroughputBounds:
+    """Lower and upper bounds on X(N) for one population."""
+
+    population: int
+    lower: float
+    upper: float
+
+    def contains(self, value: float, slack: float = 1e-9) -> bool:
+        return self.lower - slack <= value <= self.upper + slack
+
+
+def asymptotic_bounds(network: ClosedNetwork, population: int) -> ThroughputBounds:
+    """Classic asymptotic (optimistic/pessimistic) throughput bounds."""
+    if population < 0:
+        raise ValueError("population must be >= 0")
+    if population == 0:
+        return ThroughputBounds(0, 0.0, 0.0)
+    demands = _single_class_demands(network)
+    total = sum(demands)
+    d_max = max(demands)
+    think = _think(network)
+    upper = min(population / (total + think), 1.0 / d_max)
+    lower = population / (total + think + (population - 1) * total)
+    return ThroughputBounds(population, lower, upper)
+
+
+def balanced_job_bounds(network: ClosedNetwork, population: int) -> ThroughputBounds:
+    """Balanced-job bounds: tighter than asymptotic bounds.
+
+    For a network with total demand ``D``, bottleneck demand ``D_max``,
+    average demand ``D_avg = D/M`` and think time ``Z``::
+
+        X(N) >= N / (D + Z + (N-1) * D_max * (D... ))  [pessimistic side]
+        X(N) <= min(1/D_max, N / (D + Z + (N-1) * D_avg * D / (D + Z)))
+
+    Using the standard formulation from Lazowska et al. (Quantitative
+    System Performance, eq. 5.10-5.12).
+    """
+    if population < 0:
+        raise ValueError("population must be >= 0")
+    if population == 0:
+        return ThroughputBounds(0, 0.0, 0.0)
+    demands = _single_class_demands(network)
+    total = sum(demands)
+    d_max = max(demands)
+    d_avg = total / len(demands)
+    think = _think(network)
+    n = population
+    upper = min(
+        1.0 / d_max,
+        n / (total + think + (n - 1) * d_avg * total / (total + think)),
+    )
+    # Pessimistic side: the worst single-class network with this total
+    # demand concentrates everything at the bottleneck.
+    lower = n / (total + think + (n - 1) * d_max)
+    return ThroughputBounds(population, lower, upper)
+
+
+def saturation_population(network: ClosedNetwork) -> float:
+    """N* = (D + Z) / D_max — where the asymptotic bounds intersect.
+
+    Below N* the network is latency-limited; above it the bottleneck
+    saturates and response time grows linearly with added customers.
+    """
+    demands = _single_class_demands(network)
+    return (sum(demands) + _think(network)) / max(demands)
+
+
+__all__ = [
+    "ThroughputBounds",
+    "asymptotic_bounds",
+    "balanced_job_bounds",
+    "saturation_population",
+]

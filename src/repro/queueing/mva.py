@@ -1,0 +1,255 @@
+"""Exact multiclass Mean Value Analysis (Reiser–Lavenberg).
+
+This is the "Mean Value algorithm [Reis78]" the paper uses for its §3 study
+of optimal allocations.  The solver handles:
+
+* PS / single-server-FCFS / delay stations with the classic recursion
+  ``R_km(v) = D_km * (1 + Q_m(v - e_k))``, and
+* load-dependent multi-server FCFS stations (the 2-disk I/O subsystem) with
+  the marginal-probability recursion::
+
+      R_km(v)   = D_km * sum_{j>=0} ((j+1)/mu(j+1)) * p_m(j | v - e_k)
+      p_m(j|v)  = (1/mu(j)) * sum_k D_km X_k(v) p_m(j-1 | v - e_k),  j >= 1
+      p_m(0|v)  = 1 - sum_{j>=1} p_m(j|v)
+
+The recursion walks the lattice of population vectors in increasing-total
+order, so memory is O(lattice size), which is tiny for the paper's §3
+populations (a handful of queries per site).
+
+Everything returned is exact for product-form networks; the disk station
+qualifies because its service is exponential with a class-independent mean.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.queueing.network import ClosedNetwork
+from repro.queueing.population import (
+    Population,
+    decrement,
+    lattice,
+    total,
+    validate_population,
+)
+from repro.queueing.stations import StationKind
+
+#: Tolerance for the p(0) normalization residual before we declare the
+#: recursion numerically broken.
+_P0_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True)
+class MVASolution:
+    """Steady-state performance measures of a closed network.
+
+    All per-class arrays are indexed by class; per-station arrays by station
+    in network order.
+
+    Attributes:
+        network: The solved network.
+        population: Population vector the solution is for.
+        throughputs: ``X_k`` — class throughput (passages per time unit).
+        residence_times: ``R_km`` — time per passage class ``k`` spends at
+            station ``m`` (queueing + service).
+        queue_lengths: ``Q_m`` — mean total customers at station ``m``.
+        queue_lengths_by_class: ``Q_km``.
+    """
+
+    network: ClosedNetwork
+    population: Population
+    throughputs: Tuple[float, ...]
+    residence_times: Tuple[Tuple[float, ...], ...]
+    queue_lengths: Tuple[float, ...]
+    queue_lengths_by_class: Tuple[Tuple[float, ...], ...]
+
+    # ------------------------------------------------------------------
+    # Derived measures
+    # ------------------------------------------------------------------
+    def cycle_time(self, class_index: int) -> float:
+        """Mean time for one passage, excluding think time."""
+        return sum(self.residence_times[class_index])
+
+    def response_time(self, class_index: int) -> float:
+        """Alias for :meth:`cycle_time` (no think time included)."""
+        return self.cycle_time(class_index)
+
+    def waiting_time(self, class_index: int) -> float:
+        """Queueing time per passage: residence minus pure service demand.
+
+        Zero for a class with no customers — an absent class experiences
+        nothing.
+        """
+        if self.population[class_index] == 0:
+            return 0.0
+        waiting = 0.0
+        for m, station in enumerate(self.network.stations):
+            demand = station.demands[class_index]
+            if demand <= 0:
+                continue
+            waiting += self.residence_times[class_index][m] - demand
+        return waiting
+
+    def normalized_waiting_time(self, class_index: int) -> float:
+        """Ŵ = waiting time / service demand (the paper's fairness basis)."""
+        demand = self.network.total_demand(class_index)
+        if demand == 0:
+            return 0.0
+        return self.waiting_time(class_index) / demand
+
+    def utilization(self, station_index: int) -> float:
+        """Per-server utilization of a station (0 for delay stations)."""
+        station = self.network.stations[station_index]
+        if station.kind is StationKind.DELAY:
+            return 0.0
+        used = sum(
+            self.throughputs[k] * station.demands[k]
+            for k in range(self.network.class_count)
+        )
+        return used / station.servers
+
+    def __str__(self) -> str:
+        lines = [f"MVA solution for population {self.population}:"]
+        for k, name in enumerate(self.network.class_names):
+            lines.append(
+                f"  class {name}: X={self.throughputs[k]:.5g} "
+                f"R={self.cycle_time(k):.5g} W={self.waiting_time(k):.5g}"
+            )
+        for m, station in enumerate(self.network.stations):
+            lines.append(
+                f"  station {station.name}: Q={self.queue_lengths[m]:.5g} "
+                f"U={self.utilization(m):.5g}"
+            )
+        return "\n".join(lines)
+
+
+def solve_mva(network: ClosedNetwork, population: Population) -> MVASolution:
+    """Solve *network* exactly for the given *population* vector.
+
+    Args:
+        network: A product-form closed network.
+        population: Number of customers per class, aligned with
+            ``network.class_names``.
+
+    Returns:
+        The :class:`MVASolution` at the full population.
+    """
+    pop = validate_population(population)
+    classes = network.class_count
+    if len(pop) != classes:
+        raise ValueError(
+            f"population has {len(pop)} entries for {classes} classes"
+        )
+    stations = network.stations
+    station_count = len(stations)
+    ld_indices = [m for m, s in enumerate(stations) if s.is_load_dependent]
+
+    # Q[v] -> list of total queue lengths per station.
+    queue: Dict[Population, List[float]] = {}
+    # Per-class queue lengths, kept only for the final population report.
+    # marginals[m][v] -> list p_m(j | v) for j = 0..total(v)   (LD stations).
+    marginals: Dict[int, Dict[Population, List[float]]] = {m: {} for m in ld_indices}
+
+    final_residence: List[List[float]] = [[0.0] * station_count for _ in range(classes)]
+    final_throughputs: List[float] = [0.0] * classes
+    final_queue_by_class: List[List[float]] = [
+        [0.0] * station_count for _ in range(classes)
+    ]
+
+    for vector in lattice(pop):
+        customers = total(vector)
+        if customers == 0:
+            queue[vector] = [0.0] * station_count
+            for m in ld_indices:
+                marginals[m][vector] = [1.0]
+            continue
+
+        residence = [[0.0] * station_count for _ in range(classes)]
+        throughputs = [0.0] * classes
+        for k in range(classes):
+            if vector[k] == 0:
+                continue
+            reduced = decrement(vector, k)
+            reduced_queue = queue[reduced]
+            for m, station in enumerate(stations):
+                demand = station.demands[k]
+                if demand <= 0:
+                    continue
+                if station.kind is StationKind.DELAY:
+                    residence[k][m] = demand
+                elif station.is_load_dependent:
+                    probs = marginals[m][reduced]
+                    acc = 0.0
+                    for j, p in enumerate(probs):
+                        acc += ((j + 1) / station.rate_multiplier(j + 1)) * p
+                    residence[k][m] = demand * acc
+                else:
+                    residence[k][m] = demand * (1.0 + reduced_queue[m])
+            denom = network.think_times[k] + sum(residence[k])
+            if denom <= 0:
+                raise ValueError(
+                    f"class {network.class_names[k]} has zero total demand; "
+                    "it cannot circulate in a closed network"
+                )
+            throughputs[k] = vector[k] / denom
+
+        totals = [0.0] * station_count
+        for m in range(station_count):
+            totals[m] = sum(throughputs[k] * residence[k][m] for k in range(classes))
+        queue[vector] = totals
+
+        for m in ld_indices:
+            station = stations[m]
+            probs = [0.0] * (customers + 1)
+            for j in range(1, customers + 1):
+                acc = 0.0
+                for k in range(classes):
+                    if vector[k] == 0 or station.demands[k] <= 0:
+                        continue
+                    reduced_probs = marginals[m][decrement(vector, k)]
+                    if j - 1 < len(reduced_probs):
+                        acc += (
+                            station.demands[k]
+                            * throughputs[k]
+                            * reduced_probs[j - 1]
+                        )
+                probs[j] = acc / station.rate_multiplier(j)
+            p0 = 1.0 - sum(probs[1:])
+            if p0 < -_P0_TOLERANCE * max(1.0, customers):
+                raise ArithmeticError(
+                    f"MVA marginal probabilities lost normalization at {vector} "
+                    f"(p0={p0})"
+                )
+            probs[0] = max(p0, 0.0)
+            marginals[m][vector] = probs
+
+        if vector == pop:
+            final_residence = residence
+            final_throughputs = throughputs
+            for k in range(classes):
+                for m in range(station_count):
+                    final_queue_by_class[k][m] = throughputs[k] * residence[k][m]
+
+    if total(pop) == 0:
+        # Degenerate but legal: an empty site. All measures are zero.
+        return MVASolution(
+            network,
+            pop,
+            (0.0,) * classes,
+            tuple((0.0,) * station_count for _ in range(classes)),
+            (0.0,) * station_count,
+            tuple((0.0,) * station_count for _ in range(classes)),
+        )
+
+    return MVASolution(
+        network,
+        pop,
+        tuple(final_throughputs),
+        tuple(tuple(row) for row in final_residence),
+        tuple(queue[pop]),
+        tuple(tuple(row) for row in final_queue_by_class),
+    )
+
+
+__all__ = ["MVASolution", "solve_mva"]

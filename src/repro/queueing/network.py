@@ -1,0 +1,95 @@
+"""Closed multiclass queueing-network descriptions.
+
+A :class:`ClosedNetwork` bundles the stations, the class names, and optional
+per-class think times (an implicit infinite-server "terminals" station).
+It is the input to both the exact solver (:mod:`repro.queueing.mva`) and the
+approximate solver (:mod:`repro.queueing.amva`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.queueing.stations import Station
+
+
+@dataclass(frozen=True)
+class ClosedNetwork:
+    """A product-form closed queueing network with ``C`` customer classes.
+
+    Attributes:
+        stations: The service centers.  Every station's ``demands`` tuple
+            must have one entry per class.
+        class_names: Human-readable class labels (defines ``C``).
+        think_times: Per-class think time ``Z_k`` spent at the implicit
+            terminals between passages; all zeros when omitted.
+    """
+
+    stations: Tuple[Station, ...]
+    class_names: Tuple[str, ...]
+    think_times: Tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.stations:
+            raise ValueError("a network needs at least one station")
+        if not self.class_names:
+            raise ValueError("a network needs at least one class")
+        c = len(self.class_names)
+        for station in self.stations:
+            if station.class_count != c:
+                raise ValueError(
+                    f"station {station.name!r} has {station.class_count} demands "
+                    f"but the network has {c} classes"
+                )
+        if not self.think_times:
+            object.__setattr__(self, "think_times", (0.0,) * c)
+        elif len(self.think_times) != c:
+            raise ValueError(
+                f"think_times has {len(self.think_times)} entries for {c} classes"
+            )
+        if any(z < 0 for z in self.think_times):
+            raise ValueError(f"negative think time in {self.think_times}")
+
+    @property
+    def class_count(self) -> int:
+        return len(self.class_names)
+
+    @property
+    def station_count(self) -> int:
+        return len(self.stations)
+
+    def demand(self, station_index: int, class_index: int) -> float:
+        return self.stations[station_index].demands[class_index]
+
+    def total_demand(self, class_index: int) -> float:
+        """Total service demand of one class across all stations."""
+        return sum(s.demands[class_index] for s in self.stations)
+
+    def station_named(self, name: str) -> Station:
+        for station in self.stations:
+            if station.name == name:
+                return station
+        raise KeyError(f"no station named {name!r}")
+
+    def station_index(self, name: str) -> int:
+        for index, station in enumerate(self.stations):
+            if station.name == name:
+                return index
+        raise KeyError(f"no station named {name!r}")
+
+
+def closed_network(
+    stations: Sequence[Station],
+    class_names: Sequence[str],
+    think_times: Optional[Sequence[float]] = None,
+) -> ClosedNetwork:
+    """Convenience constructor accepting any sequences."""
+    return ClosedNetwork(
+        tuple(stations),
+        tuple(class_names),
+        tuple(think_times) if think_times is not None else (),
+    )
+
+
+__all__ = ["ClosedNetwork", "closed_network"]

@@ -1,0 +1,73 @@
+"""Population-vector utilities for multiclass MVA.
+
+Exact multiclass MVA is a recursion over the lattice of population vectors
+``0 <= v <= N`` (componentwise), evaluated in order of increasing total
+population so that every ``v - e_k`` needed has already been computed.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Tuple
+
+Population = Tuple[int, ...]
+
+
+def validate_population(population: Population) -> Population:
+    """Check that a population vector is non-negative integers."""
+    vector = tuple(int(n) for n in population)
+    if any(n < 0 for n in vector) or vector != tuple(population):
+        raise ValueError(f"population must be non-negative integers, got {population}")
+    return vector
+
+
+def zero_like(population: Population) -> Population:
+    return (0,) * len(population)
+
+
+def total(population: Population) -> int:
+    return sum(population)
+
+
+def decrement(population: Population, class_index: int) -> Population:
+    """Return ``population - e_k``; requires ``population[k] > 0``."""
+    if population[class_index] <= 0:
+        raise ValueError(
+            f"cannot remove a class-{class_index} customer from {population}"
+        )
+    return (
+        population[:class_index]
+        + (population[class_index] - 1,)
+        + population[class_index + 1 :]
+    )
+
+
+def lattice(population: Population) -> Iterator[Population]:
+    """Yield every vector ``0 <= v <= population`` in increasing-total order.
+
+    Within one total, the order is deterministic (lexicographic), which keeps
+    the recursion reproducible and testable.
+    """
+    vector = validate_population(population)
+    ranges = [range(n + 1) for n in vector]
+    everything = sorted(itertools.product(*ranges), key=lambda v: (sum(v), v))
+    return iter(everything)
+
+
+def lattice_size(population: Population) -> int:
+    """Number of vectors in the lattice (product of ``N_k + 1``)."""
+    size = 1
+    for n in validate_population(population):
+        size *= n + 1
+    return size
+
+
+__all__ = [
+    "Population",
+    "validate_population",
+    "zero_like",
+    "total",
+    "decrement",
+    "lattice",
+    "lattice_size",
+]

@@ -1,0 +1,124 @@
+"""Station descriptions for closed multiclass queueing networks.
+
+A *station* is a service center visited by customers of one or more classes.
+The Mean Value Analysis solver (:mod:`repro.queueing.mva`) supports the four
+BCMP-compatible station kinds the paper's model needs:
+
+* ``PS`` — processor sharing; per-class service demands may differ
+  (the DB site's CPU).
+* ``FCFS`` — first-come-first-served single server; BCMP requires the
+  service distribution to be exponential with a class-independent mean
+  (a single disk).
+* ``MULTISERVER`` — ``c`` identical FCFS servers behind one queue, modeled
+  as a load-dependent station with rate multiplier ``min(j, c)`` (the
+  paper's 2-disk I/O subsystem).
+* ``DELAY`` — infinite server, pure think time (terminals).
+
+Demands are *total* service demands per passage through the network
+(visit ratio × mean service time per visit), the standard MVA input.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+class StationKind(enum.Enum):
+    """Service discipline of a station."""
+
+    PS = "ps"
+    FCFS = "fcfs"
+    MULTISERVER = "multiserver"
+    DELAY = "delay"
+
+
+@dataclass(frozen=True)
+class Station:
+    """One service center of a closed network.
+
+    Attributes:
+        name: Identifier used in solution tables.
+        kind: Service discipline.
+        demands: Per-class total service demand (seconds per passage);
+            ``demands[k]`` is class ``k``'s demand.  A zero demand means the
+            class does not visit the station.
+        servers: Number of identical servers; only meaningful for
+            ``MULTISERVER`` (must be >= 1; 1 degenerates to FCFS).
+    """
+
+    name: str
+    kind: StationKind
+    demands: Tuple[float, ...]
+    servers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.demands:
+            raise ValueError(f"station {self.name!r}: at least one class required")
+        if any(d < 0 for d in self.demands):
+            raise ValueError(f"station {self.name!r}: negative demand")
+        if self.servers < 1:
+            raise ValueError(f"station {self.name!r}: servers must be >= 1")
+        if self.kind is StationKind.FCFS and len(set(self.demands)) > 1:
+            # BCMP: FCFS requires class-independent exponential service.
+            # Zero-demand classes (which skip the station) are exempt.
+            nonzero = {d for d in self.demands if d > 0}
+            if len(nonzero) > 1:
+                raise ValueError(
+                    f"station {self.name!r}: FCFS stations need class-independent "
+                    f"demands for product form, got {self.demands}"
+                )
+        if self.kind is StationKind.MULTISERVER:
+            nonzero = {d for d in self.demands if d > 0}
+            if len(nonzero) > 1:
+                raise ValueError(
+                    f"station {self.name!r}: multiserver FCFS stations need "
+                    f"class-independent demands, got {self.demands}"
+                )
+
+    @property
+    def class_count(self) -> int:
+        return len(self.demands)
+
+    @property
+    def is_queueing(self) -> bool:
+        """Whether customers can queue here (everything except DELAY)."""
+        return self.kind is not StationKind.DELAY
+
+    @property
+    def is_load_dependent(self) -> bool:
+        return self.kind is StationKind.MULTISERVER and self.servers > 1
+
+    def rate_multiplier(self, customers: int) -> float:
+        """Service-rate multiplier μ(j) with *customers* present."""
+        if customers <= 0:
+            return 0.0
+        if self.kind is StationKind.DELAY:
+            return float(customers)
+        if self.kind is StationKind.MULTISERVER:
+            return float(min(customers, self.servers))
+        return 1.0
+
+
+def ps(name: str, demands: Sequence[float]) -> Station:
+    """Convenience constructor for a processor-sharing station."""
+    return Station(name, StationKind.PS, tuple(demands))
+
+
+def fcfs(name: str, demands: Sequence[float]) -> Station:
+    """Convenience constructor for a single-server FCFS station."""
+    return Station(name, StationKind.FCFS, tuple(demands))
+
+
+def multiserver(name: str, demands: Sequence[float], servers: int) -> Station:
+    """Convenience constructor for a ``c``-server FCFS station."""
+    return Station(name, StationKind.MULTISERVER, tuple(demands), servers=servers)
+
+
+def delay(name: str, demands: Sequence[float]) -> Station:
+    """Convenience constructor for an infinite-server (think) station."""
+    return Station(name, StationKind.DELAY, tuple(demands))
+
+
+__all__ = ["StationKind", "Station", "ps", "fcfs", "multiserver", "delay"]

@@ -1,0 +1,129 @@
+"""Sanity checks and closed-form references for queueing solutions.
+
+These helpers back the test suite: they express identities every valid
+solution must satisfy (Little's law, population conservation, utilization
+laws) and closed-form results for small reference systems the solvers are
+checked against.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.queueing.mva import MVASolution
+from repro.queueing.stations import StationKind
+
+
+def population_residual(solution: MVASolution) -> float:
+    """|sum of queue lengths + thinking customers - total population|.
+
+    For a solution of a closed network, customers at stations plus customers
+    in think state must equal the population (Little's law applied to the
+    whole network).
+    """
+    network = solution.network
+    at_stations = sum(solution.queue_lengths)
+    thinking = sum(
+        solution.throughputs[k] * network.think_times[k]
+        for k in range(network.class_count)
+    )
+    return abs(at_stations + thinking - sum(solution.population))
+
+
+def littles_law_residual(solution: MVASolution) -> float:
+    """Max over stations of |Q_m - sum_k X_k R_km|."""
+    network = solution.network
+    worst = 0.0
+    for m in range(network.station_count):
+        flow = sum(
+            solution.throughputs[k] * solution.residence_times[k][m]
+            for k in range(network.class_count)
+        )
+        worst = max(worst, abs(solution.queue_lengths[m] - flow))
+    return worst
+
+
+def utilization_bounds_violation(solution: MVASolution) -> float:
+    """How far any station utilization exceeds 1 (0 when all are legal)."""
+    worst = 0.0
+    for m, station in enumerate(solution.network.stations):
+        if station.kind is StationKind.DELAY:
+            continue
+        u = solution.utilization(m)
+        worst = max(worst, u - 1.0)
+    return max(worst, 0.0)
+
+
+def machine_repairman_throughput(
+    machines: int, think_time: float, service_time: float
+) -> float:
+    """Closed-form throughput of the M/M/1 machine-repairman model.
+
+    ``machines`` customers alternate between an exponential think (mean
+    ``think_time``) and a single exponential FCFS repairman (mean
+    ``service_time``).  Exact MVA must match this closed form, which is
+    computed from the Erlang-like product-form state probabilities.
+    """
+    if machines < 1:
+        raise ValueError("need at least one machine")
+    rho = service_time / think_time if think_time > 0 else math.inf
+    if think_time == 0:
+        return 1.0 / service_time
+    # p(n) ∝ (N!/(N-n)!) * rho^n for n customers at the repairman.
+    weights: List[float] = []
+    for n in range(machines + 1):
+        w = rho**n
+        for i in range(n):
+            w *= machines - i
+        weights.append(w)
+    total = sum(weights)
+    busy_probability = 1.0 - weights[0] / total
+    return busy_probability / service_time
+
+
+def mm1_queue_length(utilization: float) -> float:
+    """Mean customers in an open M/M/1 at the given utilization."""
+    if not 0 <= utilization < 1:
+        raise ValueError("M/M/1 requires utilization in [0, 1)")
+    return utilization / (1.0 - utilization)
+
+
+def mmc_erlang_c(servers: int, offered_load: float) -> float:
+    """Erlang-C probability of queueing in an open M/M/c.
+
+    ``offered_load`` is ``lambda * service_time`` (in Erlangs); requires
+    ``offered_load < servers`` for stability.
+    """
+    if servers < 1:
+        raise ValueError("need at least one server")
+    if offered_load >= servers:
+        raise ValueError("M/M/c requires offered load < servers")
+    a = offered_load
+    inv_sum = 0.0
+    term = 1.0
+    for n in range(servers):
+        if n > 0:
+            term *= a / n
+        inv_sum += term
+    term *= a / servers
+    last = term * servers / (servers - a)
+    return last / (inv_sum + last)
+
+
+def mmc_mean_wait(servers: int, arrival_rate: float, service_time: float) -> float:
+    """Mean queueing delay in an open M/M/c."""
+    a = arrival_rate * service_time
+    c_prob = mmc_erlang_c(servers, a)
+    return c_prob * service_time / (servers - a)
+
+
+__all__ = [
+    "population_residual",
+    "littles_law_residual",
+    "utilization_bounds_violation",
+    "machine_repairman_throughput",
+    "mm1_queue_length",
+    "mmc_erlang_c",
+    "mmc_mean_wait",
+]

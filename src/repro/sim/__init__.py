@@ -1,0 +1,69 @@
+"""Discrete-event simulation kernel (the DISS-equivalent substrate).
+
+Exports the pieces model code actually touches:
+
+* :class:`Simulator` — clock, event loop, process launcher, RNG streams.
+* :class:`Hold`, :class:`Passivate` — process commands.
+* :class:`FCFSServer`, :class:`PSServer`, :class:`DelayStation` — resources.
+* :class:`Tally`, :class:`TimeWeighted` — statistics monitors.
+* Distribution classes for declarative workload specifications.
+"""
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import (
+    MonitorError,
+    ProcessError,
+    ResourceError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.sim.monitor import Tally, TimeWeighted
+from repro.sim.process import Hold, Passivate, Process, ProcessState, WaitFor
+from repro.sim.resources import DelayStation, FCFSServer, PSServer, Server
+from repro.sim.rng import (
+    Constant,
+    Discrete,
+    Distribution,
+    Exponential,
+    Geometric,
+    RandomStreams,
+    Uniform,
+    UniformAround,
+    bernoulli,
+    choose_index,
+)
+from repro.sim.stats import IntervalEstimate, batch_means, mean_and_ci, relative_change
+
+__all__ = [
+    "Simulator",
+    "SimulationError",
+    "SchedulingError",
+    "ProcessError",
+    "ResourceError",
+    "MonitorError",
+    "Tally",
+    "TimeWeighted",
+    "Hold",
+    "Passivate",
+    "WaitFor",
+    "Process",
+    "ProcessState",
+    "Server",
+    "FCFSServer",
+    "PSServer",
+    "DelayStation",
+    "RandomStreams",
+    "Distribution",
+    "Constant",
+    "Exponential",
+    "Uniform",
+    "UniformAround",
+    "Geometric",
+    "Discrete",
+    "bernoulli",
+    "choose_index",
+    "IntervalEstimate",
+    "batch_means",
+    "mean_and_ci",
+    "relative_change",
+]

@@ -1,0 +1,187 @@
+"""The simulation engine: clock, event loop, and process management.
+
+:class:`Simulator` is the single object that owns the simulated clock and
+the future-event list.  Model components (resources, processes, monitors)
+hold a reference to it.  The engine is deliberately free of any modelling
+vocabulary — queries, sites, and networks live in :mod:`repro.model`.
+
+Typical use::
+
+    sim = Simulator(seed=42)
+    cpu = PSServer(sim, name="cpu")
+
+    def job(demand: float):
+        yield cpu.service(demand)
+
+    sim.launch(job(1.5))
+    sim.run(until=100.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.errors import ProcessError, SchedulingError
+from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue, validate_delay
+from repro.sim.rng import RandomStreams
+
+
+class Simulator:
+    """Discrete-event simulation engine.
+
+    Attributes:
+        now: Current simulated time.  Starts at 0 and only moves forward.
+        rng: Named random-number streams (see :class:`~repro.sim.rng.RandomStreams`).
+        trace: Optional callable ``(time, text)`` used for debugging traces.
+    """
+
+    def __init__(self, seed: int = 0, trace: Optional[Callable[[float, str], None]] = None) -> None:
+        self.now: float = 0.0
+        self.rng = RandomStreams(seed)
+        self.trace = trace
+        self._queue = EventQueue()
+        self._running = False
+        self._process_count = 0
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Event scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule *callback* to run ``delay`` time units from now.
+
+        Args:
+            delay: Non-negative, finite offset from the current time.
+            callback: Zero-argument callable run when the event fires.
+            priority: Tie-break among simultaneous events (lower first).
+            label: Optional tag for traces.
+
+        Returns:
+            The scheduled :class:`Event`; keep it if you may need to cancel.
+        """
+        validate_delay(self.now, delay)
+        event = Event(self.now + delay, callback, priority=priority, label=label)
+        return self._queue.push(event)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: Optional[str] = None,
+    ) -> Event:
+        """Schedule *callback* at absolute simulated time *time*."""
+        if time < self.now:
+            raise SchedulingError(f"cannot schedule at t={time} < now={self.now}")
+        return self.schedule(time - self.now, callback, priority=priority, label=label)
+
+    def cancel(self, event: Event) -> None:
+        """Retract a previously scheduled event."""
+        self._queue.cancel(event)
+
+    # ------------------------------------------------------------------
+    # Process management (see repro.sim.process for the Process class)
+    # ------------------------------------------------------------------
+    def launch(self, generator: Generator[Any, Any, Any], name: Optional[str] = None, delay: float = 0.0):
+        """Wrap *generator* in a :class:`~repro.sim.process.Process` and start it.
+
+        The process's first step runs ``delay`` time units from now (default:
+        at the current instant, after already-scheduled simultaneous events).
+
+        Returns:
+            The new :class:`~repro.sim.process.Process`.
+        """
+        from repro.sim.process import Process  # local import to avoid a cycle
+
+        process = Process(self, generator, name=name)
+        process.activate(delay=delay)
+        self._process_count += 1
+        return process
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the single next event.
+
+        Returns:
+            ``True`` if an event fired, ``False`` if the queue was empty.
+        """
+        if not self._queue:
+            return False
+        event = self._queue.pop()
+        if event.time < self.now:
+            raise SchedulingError(
+                f"time went backwards: event at {event.time} < now {self.now}"
+            )
+        self.now = event.time
+        self._event_count += 1
+        if self.trace is not None and event.label:
+            self.trace(self.now, event.label)
+        event.callback()
+        return True
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the event loop.
+
+        Args:
+            until: Stop once the clock would pass this time.  The clock is
+                advanced to exactly ``until`` on a timed stop so that
+                time-weighted statistics close out correctly.
+            max_events: Stop after firing this many events (safety valve for
+                tests); ``None`` means unlimited.
+
+        Returns:
+            The simulated time at which the loop stopped.
+        """
+        if self._running:
+            raise ProcessError("simulator is already running (re-entrant run())")
+        self._running = True
+        fired = 0
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    self.now = until
+                    break
+                self.step()
+                fired += 1
+                if max_events is not None and fired >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self.now < until and self._queue.peek_time() is None:
+            # Event list drained before the horizon: advance the clock so
+            # callers measuring over [0, until] get consistent denominators.
+            self.now = until
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events in the future-event list."""
+        return len(self._queue)
+
+    @property
+    def events_fired(self) -> int:
+        """Total number of events executed so far."""
+        return self._event_count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self.now:.6g} pending={self.pending_events} "
+            f"fired={self._event_count}>"
+        )
+
+
+__all__ = ["Simulator"]

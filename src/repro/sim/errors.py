@@ -1,0 +1,33 @@
+"""Exception hierarchy for the discrete-event simulation kernel.
+
+All kernel-level failures derive from :class:`SimulationError` so that model
+code can catch simulator problems without accidentally swallowing ordinary
+Python errors raised by model logic.
+"""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for every error raised by the simulation kernel."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled at an invalid time (e.g. in the past)."""
+
+
+class ProcessError(SimulationError):
+    """A process was driven in an invalid way.
+
+    Examples: activating an already-terminated process, reactivating a
+    process that is not passivated, or a process yielding an object that is
+    not a kernel command.
+    """
+
+
+class ResourceError(SimulationError):
+    """A resource was used incorrectly (e.g. a negative service demand)."""
+
+
+class MonitorError(SimulationError):
+    """A statistics monitor was updated inconsistently."""

@@ -1,0 +1,173 @@
+"""Event objects and the future-event list for the simulation kernel.
+
+The kernel is event-driven at its core: every state change happens inside an
+:class:`Event` that fires at a simulated time.  Process-oriented modelling
+(:mod:`repro.sim.process`) is layered on top by turning each generator resume
+into an event.
+
+The future-event list is a binary heap ordered by ``(time, priority, seq)``.
+The monotonically increasing sequence number guarantees deterministic FIFO
+ordering among events scheduled for the same instant, which in turn makes
+whole simulation runs exactly reproducible for a given random seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+from repro.sim.errors import SchedulingError
+
+#: Default event priority.  Lower values fire earlier among simultaneous
+#: events.  Model code rarely needs to change this; the kernel uses elevated
+#: priorities internally for bookkeeping events that must precede model logic.
+DEFAULT_PRIORITY = 0
+
+
+class Event:
+    """A callback scheduled to run at a simulated time.
+
+    Events are created through :meth:`repro.sim.engine.Simulator.schedule`
+    rather than directly.  An event may be *cancelled*, which is the only
+    safe way to retract it: cancelled events stay in the heap but are
+    silently discarded when popped (lazy deletion).
+
+    Attributes:
+        time: Simulated time at which the event fires.
+        priority: Tie-break among simultaneous events (lower fires first).
+        seq: Monotone sequence number assigned by the event queue;
+            final FIFO tie-break.
+        callback: Zero-argument callable invoked when the event fires.
+        label: Optional human-readable tag used in traces and error messages.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "label", "_cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        priority: int = DEFAULT_PRIORITY,
+        label: Optional[str] = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = -1  # assigned on push
+        self.callback = callback
+        self.label = label
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event has been retracted and will not fire."""
+        return self._cancelled
+
+    def cancel(self) -> None:
+        """Retract the event.
+
+        Cancelling an event that has already fired or was already cancelled
+        is a no-op; this keeps resource code simple (it may hold on to stale
+        completion events).
+        """
+        self._cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = f" {self.label!r}" if self.label else ""
+        state = " cancelled" if self._cancelled else ""
+        return f"<Event t={self.time:.6g} p={self.priority}{tag}{state}>"
+
+
+class EventQueue:
+    """Future-event list: a binary heap of :class:`Event` with lazy deletion.
+
+    The queue never raises on cancelled events; they are skipped during
+    :meth:`pop`.  ``len(queue)`` counts live (non-cancelled) events.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def push(self, event: Event) -> Event:
+        """Insert *event* and stamp its FIFO sequence number."""
+        event.seq = next(self._counter)
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def cancel(self, event: Event) -> None:
+        """Retract *event* (lazy deletion)."""
+        if not event._cancelled:
+            event.cancel()
+            self._live -= 1
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event:
+        """Remove and return the next live event.
+
+        Raises:
+            SchedulingError: If the queue holds no live events.
+        """
+        self._drop_cancelled()
+        if not self._heap:
+            raise SchedulingError("event queue is empty")
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Discard every pending event."""
+        self._heap.clear()
+        self._live = 0
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0]._cancelled:
+            heapq.heappop(heap)
+
+
+def validate_delay(now: float, delay: float, what: str = "delay") -> float:
+    """Validate a non-negative, finite scheduling delay and return it.
+
+    Args:
+        now: Current simulated time (used only for the error message).
+        delay: Proposed delay relative to *now*.
+        what: Name of the quantity for error messages.
+
+    Raises:
+        SchedulingError: If *delay* is negative, NaN, or infinite.
+    """
+    if delay != delay or delay in (float("inf"), float("-inf")):
+        raise SchedulingError(f"{what} must be finite, got {delay!r} at t={now}")
+    if delay < 0:
+        raise SchedulingError(f"{what} must be >= 0, got {delay!r} at t={now}")
+    return delay
+
+
+__all__ = [
+    "DEFAULT_PRIORITY",
+    "Event",
+    "EventQueue",
+    "validate_delay",
+]

@@ -1,0 +1,231 @@
+"""Process-oriented modelling on top of the event kernel.
+
+A *process* is a Python generator driven by the simulator.  The generator
+yields kernel commands and is resumed when the command completes:
+
+* ``yield Hold(delay)`` — sleep for ``delay`` simulated time units.
+* ``yield Passivate()`` — suspend until another component calls
+  :meth:`Process.reactivate`.  The value passed to ``reactivate`` becomes the
+  value of the ``yield`` expression.
+* ``yield server.service(demand)`` — request ``demand`` units of service from
+  a resource (see :mod:`repro.sim.resources`); the process resumes when the
+  service completes.
+
+Sub-behaviours compose with plain ``yield from``, since the driver only ever
+sees the flattened stream of commands.
+
+This mirrors the process-interaction worldview of the DISS simulation
+methodology used by the paper [Melm84], where model entities are active
+processes that alternate between holding, queueing for service, and
+passivating.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim.errors import ProcessError
+from repro.sim.events import Event, validate_delay
+
+
+class Command:
+    """Base class for objects a process may yield to the kernel."""
+
+    def execute(self, process: "Process") -> None:
+        """Arrange for *process* to be resumed when the command completes."""
+        raise NotImplementedError
+
+
+class Hold(Command):
+    """Sleep for a fixed simulated duration."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        self.delay = delay
+
+    def execute(self, process: "Process") -> None:
+        validate_delay(process.sim.now, self.delay, "hold delay")
+        process._schedule_resume(self.delay, None)
+
+
+class Passivate(Command):
+    """Suspend until :meth:`Process.reactivate` is called by someone else."""
+
+    def execute(self, process: "Process") -> None:
+        process._state = ProcessState.PASSIVE
+
+
+class WaitFor(Command):
+    """Suspend until an externally armed callback fires.
+
+    ``arm`` is called with a single ``resume(value=None)`` function; the
+    process stays WAITING until some component invokes it.  This is the
+    bridge between processes and callback-style components (e.g. waiting for
+    the token ring to deliver a message)::
+
+        yield WaitFor(lambda resume: ring.send(Message(..., deliver=resume)))
+    """
+
+    __slots__ = ("arm",)
+
+    def __init__(self, arm: Callable[[Callable[..., None]], None]) -> None:
+        self.arm = arm
+
+    def execute(self, process: "Process") -> None:
+        def resume(value: Any = None) -> None:
+            process.resume_now(value)
+
+        self.arm(resume)
+
+
+class ProcessState(enum.Enum):
+    """Lifecycle states of a :class:`Process`."""
+
+    CREATED = "created"
+    SCHEDULED = "scheduled"  # a resume event is pending
+    RUNNING = "running"  # currently executing a step
+    WAITING = "waiting"  # waiting on a resource or custom command
+    PASSIVE = "passive"  # explicitly passivated
+    TERMINATED = "terminated"
+
+
+class Process:
+    """A simulated process wrapping a command-yielding generator.
+
+    Create processes with :meth:`repro.sim.engine.Simulator.launch`.
+
+    Attributes:
+        sim: The owning simulator.
+        name: Optional label used in traces and error messages.
+        state: Current :class:`ProcessState`.
+    """
+
+    _ids = iter(range(1, 1 << 62))
+
+    def __init__(self, sim, generator: Generator[Any, Any, Any], name: Optional[str] = None) -> None:
+        self.sim = sim
+        self.pid = next(Process._ids)
+        self.name = name or f"process-{self.pid}"
+        self._generator = generator
+        self._state = ProcessState.CREATED
+        self._resume_event: Optional[Event] = None
+        self._on_terminate: List[Callable[["Process"], None]] = []
+        self.result: Any = None
+
+    # ------------------------------------------------------------------
+    # Public control surface
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> ProcessState:
+        return self._state
+
+    @property
+    def terminated(self) -> bool:
+        return self._state is ProcessState.TERMINATED
+
+    def activate(self, delay: float = 0.0) -> None:
+        """Schedule the process's first step ``delay`` units from now."""
+        if self._state is not ProcessState.CREATED:
+            raise ProcessError(f"{self.name}: activate() on a {self._state.value} process")
+        self._schedule_resume(delay, None)
+
+    def reactivate(self, value: Any = None, delay: float = 0.0) -> None:
+        """Resume a passivated process, delivering *value* to its ``yield``."""
+        if self._state is not ProcessState.PASSIVE:
+            raise ProcessError(
+                f"{self.name}: reactivate() on a {self._state.value} process"
+            )
+        self._schedule_resume(delay, value)
+
+    def interrupt(self, exception: BaseException) -> None:
+        """Throw *exception* into the process at the current instant.
+
+        The process may catch it to implement preemption/migration logic; an
+        uncaught exception terminates the process and propagates.
+        """
+        if self._state in (ProcessState.TERMINATED, ProcessState.RUNNING):
+            raise ProcessError(
+                f"{self.name}: cannot interrupt a {self._state.value} process"
+            )
+        if self._resume_event is not None:
+            self.sim.cancel(self._resume_event)
+        self._state = ProcessState.SCHEDULED
+        # Record the throw event so a subsequent interrupt (or resume)
+        # supersedes this one instead of double-firing.
+        self._resume_event = self.sim.schedule(
+            0.0, lambda: self._throw(exception), label=f"{self.name}:interrupt"
+        )
+
+    def on_terminate(self, callback: Callable[["Process"], None]) -> None:
+        """Register *callback* to run when the process finishes."""
+        if self.terminated:
+            callback(self)
+        else:
+            self._on_terminate.append(callback)
+
+    # ------------------------------------------------------------------
+    # Kernel-side driving machinery
+    # ------------------------------------------------------------------
+    def _schedule_resume(self, delay: float, value: Any) -> None:
+        validate_delay(self.sim.now, delay, "resume delay")
+        self._state = ProcessState.SCHEDULED
+        self._resume_event = self.sim.schedule(
+            delay, lambda: self._step(value), label=f"{self.name}:resume"
+        )
+
+    def resume_now(self, value: Any = None) -> None:
+        """Resume a WAITING process at the current instant (resource use).
+
+        Resources call this when a service completes.  Unlike
+        :meth:`reactivate` it expects the WAITING state.
+        """
+        if self._state is not ProcessState.WAITING:
+            raise ProcessError(
+                f"{self.name}: resume_now() on a {self._state.value} process"
+            )
+        self._schedule_resume(0.0, value)
+
+    def _step(self, value: Any) -> None:
+        self._resume_event = None
+        self._state = ProcessState.RUNNING
+        try:
+            command = self._generator.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _throw(self, exception: BaseException) -> None:
+        self._resume_event = None
+        self._state = ProcessState.RUNNING
+        try:
+            command = self._generator.throw(exception)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        if not isinstance(command, Command):
+            raise ProcessError(
+                f"{self.name} yielded {command!r}, which is not a kernel Command"
+            )
+        # Commands either schedule a resume (Hold), park the process on a
+        # resource queue (service requests -> WAITING), or passivate it.
+        self._state = ProcessState.WAITING
+        command.execute(self)
+
+    def _finish(self, result: Any) -> None:
+        self._state = ProcessState.TERMINATED
+        self.result = result
+        callbacks, self._on_terminate = self._on_terminate, []
+        for callback in callbacks:
+            callback(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Process {self.name} {self._state.value}>"
+
+
+__all__ = ["Command", "Hold", "Passivate", "WaitFor", "Process", "ProcessState"]

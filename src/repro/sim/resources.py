@@ -1,0 +1,274 @@
+"""Service-center resources: FCFS servers and a Processor-Sharing server.
+
+The paper's DB-site model (its Figure 2) needs exactly two service
+disciplines:
+
+* **FCFS** for disks — "the disks are modeled as FCFS servers".
+  :class:`FCFSServer` implements an ``m``-server station with a single FIFO
+  queue (``m=1`` gives a plain FCFS server; per-disk queues are built from
+  several 1-server instances).
+* **Processor Sharing** for the CPU — "the CPU is modeled as a PS server".
+  :class:`PSServer` uses virtual-time fair queueing so that every
+  arrival/departure costs O(log n) with *no* per-quantum events: a job's
+  finish *virtual* time is fixed at arrival, and the virtual clock advances
+  at rate ``1/n`` in real time while ``n`` jobs share the server.
+
+Both servers integrate with the process layer: a model process does
+``yield server.service(demand)`` and is resumed when its service completes.
+Each server keeps standard monitors (utilization, queue length, waiting and
+response-time tallies) so experiments can read statistics without
+instrumenting model code.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.sim.errors import ResourceError
+from repro.sim.events import Event
+from repro.sim.monitor import Tally, TimeWeighted
+from repro.sim.process import Command, Process
+
+
+class ServiceRequest(Command):
+    """Yielded by a process to request ``demand`` units of service."""
+
+    __slots__ = ("server", "demand")
+
+    def __init__(self, server: "Server", demand: float) -> None:
+        self.server = server
+        self.demand = demand
+
+    def execute(self, process: Process) -> None:
+        self.server._accept(process, self.demand)
+
+
+class Server:
+    """Common statistics plumbing for service centers."""
+
+    def __init__(self, sim, name: str) -> None:
+        self.sim = sim
+        self.name = name
+        #: Time-average number of customers at the station (queue + service).
+        self.population = TimeWeighted(sim, name=f"{name}.population")
+        #: Time-average number of busy servers (for utilization).
+        self.busy = TimeWeighted(sim, name=f"{name}.busy")
+        #: Queueing delay from arrival to start of service.
+        self.waits = Tally(name=f"{name}.wait")
+        #: Total time at the station (queueing + service).
+        self.responses = Tally(name=f"{name}.response")
+        self.completions = 0
+
+    def service(self, demand: float) -> ServiceRequest:
+        """Build the command a process yields to obtain service."""
+        if demand < 0 or demand != demand:
+            raise ResourceError(f"{self.name}: invalid service demand {demand!r}")
+        return ServiceRequest(self, demand)
+
+    def _accept(self, process: Process, demand: float) -> None:
+        raise NotImplementedError
+
+    def reset_statistics(self) -> None:
+        """Truncate all monitors (warmup end)."""
+        self.population.reset()
+        self.busy.reset()
+        self.waits.reset()
+        self.responses.reset()
+        self.completions = 0
+
+    def utilization(self, server_count: int = 1) -> float:
+        """Fraction of capacity in use over the observation window."""
+        return self.busy.time_average / server_count
+
+    @property
+    def queue_length_avg(self) -> float:
+        """Time-average number of customers at the station."""
+        return self.population.time_average
+
+
+class FCFSServer(Server):
+    """An ``m``-server FCFS station with one shared FIFO queue.
+
+    With ``servers=1`` this is a plain FCFS single server (one disk).  The
+    shared-queue multi-server organization is used for the disk-ablation
+    study and matches the load-dependent station of the MVA model.
+    """
+
+    def __init__(self, sim, name: str = "fcfs", servers: int = 1) -> None:
+        if servers < 1:
+            raise ResourceError(f"{name}: need at least one server, got {servers}")
+        super().__init__(sim, name)
+        self.servers = servers
+        self._queue: Deque[Tuple[Process, float, float]] = deque()
+        self._in_service = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Number of customers waiting (not yet in service)."""
+        return len(self._queue)
+
+    @property
+    def busy_servers(self) -> int:
+        return self._in_service
+
+    def _accept(self, process: Process, demand: float) -> None:
+        now = self.sim.now
+        self.population.add(1)
+        if self._in_service < self.servers:
+            self._begin(process, demand, arrived=now)
+        else:
+            self._queue.append((process, demand, now))
+
+    def _begin(self, process: Process, demand: float, arrived: float) -> None:
+        now = self.sim.now
+        self._in_service += 1
+        self.busy.add(1)
+        self.waits.record(now - arrived)
+        self.sim.schedule(
+            demand,
+            lambda: self._complete(process, arrived),
+            label=f"{self.name}:done",
+        )
+
+    def _complete(self, process: Process, arrived: float) -> None:
+        now = self.sim.now
+        self._in_service -= 1
+        self.busy.add(-1)
+        self.population.add(-1)
+        self.responses.record(now - arrived)
+        self.completions += 1
+        if self._queue:
+            next_process, next_demand, next_arrived = self._queue.popleft()
+            self._begin(next_process, next_demand, arrived=next_arrived)
+        process.resume_now()
+
+    def utilization(self, server_count: Optional[int] = None) -> float:
+        return super().utilization(server_count or self.servers)
+
+
+class _PSJob:
+    """Bookkeeping record for one job inside a :class:`PSServer`."""
+
+    __slots__ = ("process", "finish_virtual", "arrived", "seq")
+
+    def __init__(self, process: Process, finish_virtual: float, arrived: float, seq: int) -> None:
+        self.process = process
+        self.finish_virtual = finish_virtual
+        self.arrived = arrived
+        self.seq = seq
+
+
+class PSServer(Server):
+    """An egalitarian Processor-Sharing server (virtual-time fair queueing).
+
+    While ``n`` jobs are present each receives service at rate ``1/n``.  The
+    implementation tracks a *virtual clock* ``V`` that advances at rate
+    ``1/n`` in real time; a job with remaining demand ``d`` arriving at
+    virtual time ``V`` finishes when the virtual clock reaches ``V + d``.
+    Only the earliest virtual finish needs a scheduled event, and the event
+    is rebuilt on every arrival/departure.
+    """
+
+    def __init__(self, sim, name: str = "cpu") -> None:
+        super().__init__(sim, name)
+        self._virtual = 0.0
+        self._last_update = sim.now
+        self._heap: List[Tuple[float, int, _PSJob]] = []
+        self._seq = itertools.count()
+        self._completion_event: Optional[Event] = None
+
+    @property
+    def job_count(self) -> int:
+        return len(self._heap)
+
+    def _advance_virtual(self) -> None:
+        now = self.sim.now
+        n = len(self._heap)
+        if n:
+            self._virtual += (now - self._last_update) / n
+        self._last_update = now
+
+    def _accept(self, process: Process, demand: float) -> None:
+        now = self.sim.now
+        self._advance_virtual()
+        job = _PSJob(process, self._virtual + demand, now, next(self._seq))
+        heapq.heappush(self._heap, (job.finish_virtual, job.seq, job))
+        self.population.add(1)
+        if len(self._heap) == 1:
+            self.busy.set(1)
+        # PS has no queueing phase: service starts immediately at reduced rate.
+        self.waits.record(0.0)
+        self._reschedule()
+
+    def _reschedule(self) -> None:
+        if self._completion_event is not None:
+            self.sim.cancel(self._completion_event)
+            self._completion_event = None
+        if not self._heap:
+            return
+        n = len(self._heap)
+        finish_virtual = self._heap[0][0]
+        remaining_virtual = finish_virtual - self._virtual
+        if remaining_virtual < 0:  # floating-point drift guard
+            remaining_virtual = 0.0
+        self._completion_event = self.sim.schedule(
+            remaining_virtual * n,
+            self._complete_front,
+            label=f"{self.name}:done",
+        )
+
+    def _complete_front(self) -> None:
+        self._completion_event = None
+        self._advance_virtual()
+        finish_virtual, _seq, job = heapq.heappop(self._heap)
+        # Pin the virtual clock to the finish value to stop drift compounding.
+        self._virtual = max(self._virtual, finish_virtual)
+        now = self.sim.now
+        self.population.add(-1)
+        if not self._heap:
+            self.busy.set(0)
+        self.responses.record(now - job.arrived)
+        self.completions += 1
+        self._reschedule()
+        job.process.resume_now()
+
+
+class DelayStation(Server):
+    """An infinite-server (pure delay) station.
+
+    Every customer is served immediately for exactly its demand; there is
+    never any queueing.  Used for terminal think times in validation models
+    (the DB model's terminals use :class:`~repro.sim.process.Hold` directly,
+    but the queueing-theory cross-checks need a delay *station*).
+    """
+
+    def __init__(self, sim, name: str = "delay") -> None:
+        super().__init__(sim, name)
+
+    def _accept(self, process: Process, demand: float) -> None:
+        now = self.sim.now
+        self.population.add(1)
+        self.busy.add(1)
+        self.waits.record(0.0)
+        self.sim.schedule(
+            demand, lambda: self._complete(process, now), label=f"{self.name}:done"
+        )
+
+    def _complete(self, process: Process, arrived: float) -> None:
+        self.population.add(-1)
+        self.busy.add(-1)
+        self.responses.record(self.sim.now - arrived)
+        self.completions += 1
+        process.resume_now()
+
+
+__all__ = [
+    "ServiceRequest",
+    "Server",
+    "FCFSServer",
+    "PSServer",
+    "DelayStation",
+]

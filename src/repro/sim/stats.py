@@ -1,0 +1,117 @@
+"""Output analysis: batch means, confidence intervals, and summaries.
+
+Steady-state simulation output is autocorrelated, so naive per-observation
+confidence intervals are too narrow.  The standard remedy — and the one used
+here for every simulation experiment — is the *method of batch means*: the
+post-warmup observations are grouped into ``k`` contiguous batches, the batch
+averages are treated as (approximately) independent samples, and a Student-t
+interval is computed over them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from scipy import stats as _scipy_stats
+
+from repro.sim.errors import MonitorError
+
+
+@dataclass(frozen=True)
+class IntervalEstimate:
+    """A point estimate with a symmetric confidence interval."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    batches: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_half_width(self) -> float:
+        """Half-width as a fraction of the mean (inf when the mean is 0)."""
+        if self.mean == 0:
+            return math.inf
+        return abs(self.half_width / self.mean)
+
+    def __str__(self) -> str:
+        pct = int(round(self.confidence * 100))
+        return f"{self.mean:.4g} ± {self.half_width:.3g} ({pct}% CI, k={self.batches})"
+
+
+def batch_means(
+    observations: Sequence[float],
+    batches: int = 20,
+    confidence: float = 0.95,
+) -> IntervalEstimate:
+    """Batch-means interval estimate for a steady-state mean.
+
+    Args:
+        observations: Post-warmup observations, in collection order.
+        batches: Number of contiguous batches (k >= 2).  Observations that do
+            not fill a whole batch are discarded from the tail.
+        confidence: Two-sided confidence level, e.g. 0.95.
+
+    Raises:
+        MonitorError: With fewer observations than batches, or bad arguments.
+    """
+    if batches < 2:
+        raise MonitorError(f"need at least 2 batches, got {batches}")
+    if not 0 < confidence < 1:
+        raise MonitorError(f"confidence must be in (0,1), got {confidence}")
+    n = len(observations)
+    if n < batches:
+        raise MonitorError(
+            f"need at least {batches} observations for {batches} batches, got {n}"
+        )
+    batch_size = n // batches
+    means: List[float] = []
+    for b in range(batches):
+        chunk = observations[b * batch_size : (b + 1) * batch_size]
+        means.append(sum(chunk) / batch_size)
+    grand = sum(means) / batches
+    if batches == 1:
+        return IntervalEstimate(grand, math.inf, confidence, batches)
+    var = sum((m - grand) ** 2 for m in means) / (batches - 1)
+    t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=batches - 1)
+    half = t * math.sqrt(var / batches)
+    return IntervalEstimate(grand, half, confidence, batches)
+
+
+def mean_and_ci(
+    samples: Sequence[float], confidence: float = 0.95
+) -> IntervalEstimate:
+    """Student-t interval over *independent* samples (e.g. replications)."""
+    n = len(samples)
+    if n == 0:
+        raise MonitorError("mean_and_ci of an empty sample")
+    mean = sum(samples) / n
+    if n == 1:
+        return IntervalEstimate(mean, math.inf, confidence, 1)
+    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
+    half = t * math.sqrt(var / n)
+    return IntervalEstimate(mean, half, confidence, n)
+
+
+def relative_change(new: float, base: float) -> float:
+    """``(base - new) / base`` — the paper's improvement measure ΔX/X.
+
+    Positive when *new* improves on (is smaller than) *base*.  Returns 0.0
+    when *base* is 0 to keep tables printable for degenerate corners.
+    """
+    if base == 0:
+        return 0.0
+    return (base - new) / base
+
+
+__all__ = ["IntervalEstimate", "batch_means", "mean_and_ci", "relative_change"]

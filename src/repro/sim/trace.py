@@ -1,0 +1,179 @@
+"""Structured event tracing for simulation debugging and inspection.
+
+The engine's ``trace`` hook is a bare ``(time, text)`` callable; this module
+provides production-quality consumers for it plus a query-level tracer for
+the DB model:
+
+* :class:`TraceRecorder` — bounded in-memory ring buffer of trace lines
+  with filtering and rendering; attach with ``Simulator(trace=recorder)``.
+* :class:`QueryTracer` — per-query life-cycle records (created, allocated,
+  transferred, started, finished, returned) built from the query
+  timestamps; useful when a policy misbehaves and you need to see *which*
+  decisions went wrong.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Optional, Tuple
+
+from repro.model.query import Query
+
+
+class TraceRecorder:
+    """Bounded recorder for engine trace lines.
+
+    Args:
+        capacity: Maximum retained lines (oldest dropped first).
+        filter_substring: When given, only lines containing it are kept.
+    """
+
+    def __init__(self, capacity: int = 10_000, filter_substring: Optional[str] = None) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.filter_substring = filter_substring
+        self._lines: Deque[Tuple[float, str]] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.seen = 0
+
+    def __call__(self, time: float, text: str) -> None:
+        """The engine-facing hook."""
+        self.seen += 1
+        if self.filter_substring is not None and self.filter_substring not in text:
+            return
+        if len(self._lines) == self.capacity:
+            self.dropped += 1
+        self._lines.append((time, text))
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    @property
+    def lines(self) -> List[Tuple[float, str]]:
+        return list(self._lines)
+
+    def matching(self, substring: str) -> List[Tuple[float, str]]:
+        """Retained lines containing *substring*."""
+        return [(t, s) for t, s in self._lines if substring in s]
+
+    def between(self, start: float, end: float) -> List[Tuple[float, str]]:
+        """Retained lines with ``start <= time <= end``."""
+        return [(t, s) for t, s in self._lines if start <= t <= end]
+
+    def render(self, limit: Optional[int] = None) -> str:
+        """Human-readable dump (most recent *limit* lines)."""
+        lines = self.lines
+        if limit is not None:
+            lines = lines[-limit:]
+        return "\n".join(f"{t:12.4f}  {s}" for t, s in lines)
+
+    def clear(self) -> None:
+        self._lines.clear()
+        self.dropped = 0
+        self.seen = 0
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """A completed query's life cycle, flattened for inspection."""
+
+    qid: int
+    class_name: str
+    home_site: int
+    execution_site: int
+    remote: bool
+    created_at: float
+    allocated_at: float
+    started_at: float
+    finished_at: float
+    completed_at: float
+    service: float
+    waiting: float
+    migrations: int
+
+    @property
+    def transfer_out_delay(self) -> float:
+        """Allocation to execution start (0 for local queries)."""
+        return self.started_at - self.allocated_at
+
+    @property
+    def return_delay(self) -> float:
+        """Execution end to results-home (0 for local queries)."""
+        return self.completed_at - self.finished_at
+
+
+class QueryTracer:
+    """Collects :class:`QueryRecord` for every completed query.
+
+    Attach by wrapping the system's metrics recorder::
+
+        tracer = QueryTracer()
+        tracer.attach(system)
+        system.run(...)
+        slowest = tracer.slowest(10)
+    """
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._records: Deque[QueryRecord] = deque(maxlen=capacity)
+
+    def attach(self, system) -> None:
+        """Interpose on ``system.metrics.record``."""
+        original = system.metrics.record
+
+        def recording(query: Query) -> None:
+            self._records.append(self._record(query))
+            original(query)
+
+        system.metrics.record = recording
+
+    @staticmethod
+    def _record(query: Query) -> QueryRecord:
+        return QueryRecord(
+            qid=query.qid,
+            class_name=query.spec.name,
+            home_site=query.home_site,
+            execution_site=query.execution_site,
+            remote=query.remote,
+            created_at=query.created_at,
+            allocated_at=query.allocated_at,
+            started_at=query.started_at,
+            finished_at=query.finished_at,
+            completed_at=query.completed_at,
+            service=query.service_acquired,
+            waiting=query.waiting_time,
+            migrations=query.migrations,
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> List[QueryRecord]:
+        return list(self._records)
+
+    def slowest(self, count: int = 10) -> List[QueryRecord]:
+        """The *count* queries with the largest waiting time."""
+        return sorted(self._records, key=lambda r: r.waiting, reverse=True)[:count]
+
+    def by_site(self, site: int) -> List[QueryRecord]:
+        """Queries that executed at *site*."""
+        return [r for r in self._records if r.execution_site == site]
+
+    def remote_records(self) -> List[QueryRecord]:
+        return [r for r in self._records if r.remote]
+
+    def mean_waiting(self, class_name: Optional[str] = None) -> float:
+        records: Iterable[QueryRecord] = self._records
+        if class_name is not None:
+            records = [r for r in records if r.class_name == class_name]
+        records = list(records)
+        if not records:
+            return 0.0
+        return sum(r.waiting for r in records) / len(records)
+
+
+__all__ = ["TraceRecorder", "QueryRecord", "QueryTracer"]

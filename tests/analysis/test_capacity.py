@@ -1,0 +1,100 @@
+"""Unit tests for the analytic capacity curves."""
+
+import pytest
+
+from repro.analysis.capacity import (
+    capacity_curve,
+    fluctuation_headroom,
+    local_response_time,
+    local_throughput,
+)
+from repro.analysis.capacity import _split_population
+from repro.model.config import paper_defaults
+
+
+class TestSplitPopulation:
+    def test_even_split(self):
+        assert _split_population(20, (0.5, 0.5)) == (10, 10)
+
+    def test_rounding_preserves_total(self):
+        for mpl in range(1, 30):
+            split = _split_population(mpl, (0.3, 0.7))
+            assert sum(split) == mpl
+
+    def test_skewed_split(self):
+        assert _split_population(10, (0.8, 0.2)) == (8, 2)
+
+    def test_three_classes(self):
+        split = _split_population(10, (1 / 3, 1 / 3, 1 / 3))
+        assert sum(split) == 10
+        assert max(split) - min(split) <= 1
+
+
+class TestLocalResponseTime:
+    def test_monotone_in_mpl(self):
+        config = paper_defaults()
+        values = [local_response_time(config, mpl) for mpl in (5, 10, 20, 30)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_magnitude_matches_simulation(self):
+        # Simulated LOCAL RT at mpl=20, think=350 is ~45-55; the analytic
+        # fixed-population model lands in the same regime.
+        config = paper_defaults()
+        analytic = local_response_time(config, 20)
+        assert 35.0 < analytic < 75.0
+
+    def test_minimum_is_service_demand(self):
+        # At mpl=1 there is no contention: RT -> mean service demand.
+        config = paper_defaults()
+        rt = local_response_time(config, 1)
+        # population split gives one customer of a single class; both
+        # classes' demands are 21 and 40, so the value is one of them.
+        assert rt == pytest.approx(21.0, rel=0.01) or rt == pytest.approx(
+            40.0, rel=0.01
+        )
+
+    def test_invalid_mpl(self):
+        with pytest.raises(ValueError):
+            local_response_time(paper_defaults(), 0)
+
+    def test_throughput_saturates(self):
+        config = paper_defaults()
+        x_small = local_throughput(config, 5)
+        x_big = local_throughput(config, 60)
+        x_bigger = local_throughput(config, 80)
+        assert x_big > x_small
+        assert (x_bigger - x_big) / x_big < 0.05
+
+
+class TestCapacityCurve:
+    def test_curve_and_max_mpl(self):
+        config = paper_defaults()
+        curve = capacity_curve(config, mpl_grid=tuple(range(5, 31, 5)))
+        assert len(curve.local) == len(curve.mpl_grid)
+        assert curve.max_mpl(1e9) == 30
+        assert curve.max_mpl(0.0) == 0
+        # Monotone: the feasible set is a prefix.
+        bound = curve.local[2]
+        assert curve.max_mpl(bound) == curve.mpl_grid[2]
+
+    def test_against_paper_table10_local_column(self):
+        # Paper: LOCAL sustains ~21 terminals at RT <= 60 and ~10 at <= 40.
+        config = paper_defaults()
+        curve = capacity_curve(config, mpl_grid=tuple(range(4, 41)))
+        at60 = curve.max_mpl(60.0)
+        at40 = curve.max_mpl(40.0)
+        assert 14 <= at60 <= 28
+        assert 5 <= at40 <= 16
+        assert at40 < at60
+
+
+class TestFluctuationHeadroom:
+    def test_sign_and_scale(self):
+        config = paper_defaults()
+        # If simulation says 52 and the analytic model says ~56, headroom
+        # is slightly negative; with 70 it is positive.
+        low = fluctuation_headroom(config, simulated_local_response=70.0, mpl=20)
+        assert -1.0 < low < 1.0
+
+    def test_zero_simulated(self):
+        assert fluctuation_headroom(paper_defaults(), 0.0, 20) == 0.0

@@ -1,0 +1,138 @@
+"""Unit tests for the optimal-allocation analysis (§3 machinery)."""
+
+import pytest
+
+from repro.analysis.optimal import (
+    TIE_AVERAGE,
+    TIE_BEST,
+    TIE_FIRST,
+    TIE_WORST,
+    add_arrival,
+    bnq_candidates,
+    query_difference,
+    study_arrival,
+    system_fairness,
+    system_waiting,
+    validate_load,
+)
+from repro.analysis.site_network import SiteModel
+
+
+@pytest.fixture
+def model():
+    return SiteModel(cpu_means=(0.05, 1.0), disk_time=1.0, num_disks=2)
+
+
+class TestLoadMatrixHelpers:
+    def test_validate_accepts(self):
+        assert validate_load([[1, 2], [3, 4]]) == ((1, 2), (3, 4))
+
+    def test_validate_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            validate_load([[1, 2], [3]])
+
+    def test_validate_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_load([[1, -1]])
+
+    def test_add_arrival(self):
+        load = ((1, 0), (0, 1))
+        assert add_arrival(load, 1, 0) == ((1, 0), (1, 1))
+
+    def test_query_difference(self):
+        assert query_difference(((2, 1, 0, 0), (0, 0, 1, 1))) == 1
+        assert query_difference(((1, 1), (1, 1))) == 0
+
+    def test_bnq_candidates_all_tied(self):
+        load = ((1, 1, 0, 0), (0, 0, 1, 1))
+        assert bnq_candidates(load) == (0, 1, 2, 3)
+
+    def test_bnq_candidates_unique_minimum(self):
+        load = ((2, 1, 0, 0), (0, 0, 1, 1))
+        # totals (2,1,1,1): adding to 1, 2, or 3 keeps QD at 1; adding to 0
+        # raises it to 2.
+        assert bnq_candidates(load) == (1, 2, 3)
+
+
+class TestSystemMeasures:
+    def test_system_waiting_zero_for_singletons(self, model):
+        # One query per site: nobody ever queues in steady state.
+        load = ((1, 1, 0, 0), (0, 0, 1, 1))
+        assert system_waiting(model, load) == pytest.approx(0.0, abs=1e-9)
+
+    def test_system_waiting_positive_under_contention(self, model):
+        load = ((2, 0, 0, 0), (0, 0, 0, 0))
+        assert system_waiting(model, load) > 0
+
+    def test_system_fairness_nonnegative(self, model):
+        load = ((2, 1, 0, 0), (0, 0, 1, 1))
+        assert system_fairness(model, load) >= 0
+
+    def test_system_fairness_zero_for_symmetric_classes(self):
+        symmetric = SiteModel(cpu_means=(0.5, 0.5), disk_time=1.0, num_disks=2)
+        load = ((1, 1), (1, 1))
+        assert system_fairness(symmetric, load) == pytest.approx(0.0, abs=1e-9)
+
+    def test_fairness_requires_two_classes(self):
+        three = SiteModel(cpu_means=(0.1, 0.5, 1.0))
+        with pytest.raises(ValueError):
+            system_fairness(three, ((1,), (1,), (1,)))
+
+
+class TestStudyArrival:
+    def test_wif_nonnegative_and_below_one(self, model):
+        study = study_arrival(model, ((1, 1, 0, 0), (0, 0, 1, 1)), 0)
+        assert 0.0 <= study.wif < 1.0
+
+    def test_opt_is_minimum(self, model):
+        study = study_arrival(model, ((2, 1, 1, 0), (0, 0, 0, 1)), 0)
+        assert study.waiting_opt == min(study.waiting)
+        assert study.fairness_opt == min(study.fairness)
+
+    def test_bnq_average_over_ties(self, model):
+        study = study_arrival(model, ((1, 1, 0, 0), (0, 0, 1, 1)), 0)
+        assert study.bnq_sites == (0, 1, 2, 3)
+        assert study.waiting_bnq == pytest.approx(sum(study.waiting) / 4)
+
+    def test_tie_rules_ordering(self, model):
+        load = ((1, 1, 0, 0), (0, 0, 1, 1))
+        best = study_arrival(model, load, 0, tie_break=TIE_BEST)
+        average = study_arrival(model, load, 0, tie_break=TIE_AVERAGE)
+        worst = study_arrival(model, load, 0, tie_break=TIE_WORST)
+        assert best.waiting_bnq <= average.waiting_bnq <= worst.waiting_bnq
+        assert best.wif <= average.wif <= worst.wif
+
+    def test_tie_first_uses_lowest_index(self, model):
+        load = ((1, 1, 0, 0), (0, 0, 1, 1))
+        first = study_arrival(model, load, 0, tie_break=TIE_FIRST)
+        assert first.waiting_bnq == first.waiting[0]
+
+    def test_unique_minimum_no_tie_effect(self, model):
+        load = ((2, 2, 2, 0), (1, 1, 1, 0))
+        for rule in (TIE_AVERAGE, TIE_FIRST, TIE_BEST, TIE_WORST):
+            study = study_arrival(model, load, 0, tie_break=rule)
+            assert study.bnq_sites == (3,)
+            assert study.waiting_bnq == study.waiting[3]
+
+    def test_pairing_io_with_cpu_is_optimal(self, model):
+        # An I/O arrival prefers a site whose resident query is CPU-bound.
+        study = study_arrival(model, ((1, 1, 0, 0), (0, 0, 1, 1)), 0)
+        assert study.opt_wait_site in (2, 3)
+
+    def test_invalid_class_index(self, model):
+        with pytest.raises(ValueError):
+            study_arrival(model, ((1, 0), (0, 1)), 5)
+
+    def test_class_count_mismatch(self, model):
+        with pytest.raises(ValueError):
+            study_arrival(model, ((1, 0),), 0)
+
+    def test_invalid_tie_rule(self, model):
+        with pytest.raises(ValueError):
+            study_arrival(model, ((1, 0), (0, 1)), 0, tie_break="coin-flip")
+
+    def test_conflicting_goals_flag(self, model):
+        study = study_arrival(model, ((1, 1, 0, 0), (0, 0, 1, 1)), 0)
+        assert study.conflicting_goals == (
+            study.opt_wait_site != study.opt_fair_site
+        )

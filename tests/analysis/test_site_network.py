@@ -1,0 +1,88 @@
+"""Unit tests for the per-site MVA networks of the §3 study."""
+
+import pytest
+
+from repro.analysis.site_network import (
+    SiteModel,
+    normalized_waiting_per_cycle,
+    solve_site,
+    waiting_per_cycle,
+)
+
+
+class TestSiteModel:
+    def test_service_demand(self):
+        model = SiteModel(cpu_means=(0.05, 1.0), disk_time=1.0)
+        assert model.service_demand(0) == pytest.approx(1.05)
+        assert model.service_demand(1) == pytest.approx(2.0)
+
+    def test_per_disk_network_structure(self):
+        model = SiteModel(cpu_means=(0.05, 1.0), disk_time=1.0, num_disks=2)
+        network = model.network()
+        names = [s.name for s in network.stations]
+        assert names == ["disk0", "disk1", "cpu"]
+        # Per-disk demand is disk_time / num_disks (visit ratio 1/2).
+        assert network.stations[0].demands == (0.5, 0.5)
+
+    def test_shared_network_structure(self):
+        model = SiteModel(
+            cpu_means=(0.05, 1.0), disk_time=1.0, num_disks=2,
+            disk_organization="shared",
+        )
+        network = model.network()
+        assert [s.name for s in network.stations] == ["disk", "cpu"]
+        assert network.stations[0].servers == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteModel(cpu_means=())
+        with pytest.raises(ValueError):
+            SiteModel(cpu_means=(0.0,))
+        with pytest.raises(ValueError):
+            SiteModel(cpu_means=(0.5,), disk_time=0.0)
+        with pytest.raises(ValueError):
+            SiteModel(cpu_means=(0.5,), num_disks=0)
+        with pytest.raises(ValueError):
+            SiteModel(cpu_means=(0.5,), disk_organization="striped")
+
+
+class TestWaitingPerCycle:
+    def test_lone_query_never_waits(self):
+        model = SiteModel(cpu_means=(0.05, 1.0))
+        assert waiting_per_cycle(model, (1, 0), 0) == pytest.approx(0.0, abs=1e-12)
+
+    def test_absent_class_waits_zero(self):
+        model = SiteModel(cpu_means=(0.05, 1.0))
+        assert waiting_per_cycle(model, (2, 0), 1) == 0.0
+
+    def test_two_io_queries_collide_on_disks(self):
+        # The per-disk organization produces nonzero waiting for two
+        # I/O-bound queries even though there are two disks — random
+        # routing collides them half the time.  (This is the modeling
+        # choice that makes Table 5's class-1 columns nonzero.)
+        model = SiteModel(cpu_means=(0.05, 1.0))
+        assert waiting_per_cycle(model, (2, 0), 0) > 0.05
+
+    def test_shared_queue_waits_less(self):
+        per_disk = SiteModel(cpu_means=(0.05, 1.0))
+        shared = SiteModel(cpu_means=(0.05, 1.0), disk_organization="shared")
+        assert waiting_per_cycle(shared, (2, 0), 0) < waiting_per_cycle(
+            per_disk, (2, 0), 0
+        )
+
+    def test_mixed_pair_interferes_less_than_same_pair(self):
+        model = SiteModel(cpu_means=(0.05, 1.0))
+        same = waiting_per_cycle(model, (2, 0), 0)
+        mixed = waiting_per_cycle(model, (1, 1), 0)
+        assert mixed < same
+
+    def test_normalized_waiting(self):
+        model = SiteModel(cpu_means=(0.05, 1.0))
+        wait = waiting_per_cycle(model, (2, 1), 0)
+        assert normalized_waiting_per_cycle(model, (2, 1), 0) == pytest.approx(
+            wait / 1.05
+        )
+
+    def test_solver_cache_returns_identical_solution(self):
+        model = SiteModel(cpu_means=(0.05, 1.0))
+        assert solve_site(model, (2, 1)) is solve_site(model, (2, 1))

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.model.config import (
+    NetworkSpec,
+    QueryClassSpec,
+    SiteSpec,
+    SystemConfig,
+    paper_defaults,
+)
+
+
+@pytest.fixture
+def tiny_config() -> SystemConfig:
+    """A very small system for fast end-to-end tests."""
+    return SystemConfig(
+        num_sites=3,
+        site=SiteSpec(num_disks=2, disk_time=1.0, disk_time_dev=0.2, mpl=4, think_time=50.0),
+        classes=(
+            QueryClassSpec("io", page_cpu_time=0.05, num_reads=5.0),
+            QueryClassSpec("cpu", page_cpu_time=1.0, num_reads=5.0),
+        ),
+        class_probs=(0.5, 0.5),
+        network=NetworkSpec(msg_length=1.0),
+    )
+
+
+@pytest.fixture
+def default_config() -> SystemConfig:
+    """The paper's Table 7 defaults."""
+    return paper_defaults()

@@ -1,0 +1,65 @@
+"""Smoke tests for the ablation experiment modules (tiny scale)."""
+
+import pytest
+
+from repro.experiments import ablations
+from repro.experiments.runconfig import RunSettings
+
+TINY = RunSettings(warmup=300.0, duration=1200.0, replications=1, base_seed=55)
+
+
+class TestStaleInfoSweep:
+    def test_sweep_structure(self):
+        result = ablations.stale_info_sweep(TINY, intervals=(0.0, 200.0))
+        assert set(result.waits) == {0.0, 200.0}
+        assert result.w_local > 0
+        text = ablations.format_stale_info(result)
+        assert "always current" in text
+
+    def test_collapse_interval_semantics(self):
+        result = ablations.stale_info_sweep(TINY, intervals=(0.0, 400.0))
+        collapse = result.collapse_interval()
+        if collapse != float("inf"):
+            assert result.waits[collapse] > result.w_local
+
+
+class TestDiskOrganization:
+    def test_study_structure(self):
+        result = ablations.disk_organization_study(TINY, policies=("LOCAL",))
+        assert ("per_disk", "LOCAL") in result.waits
+        assert ("shared", "LOCAL") in result.waits
+        text = ablations.format_disk_organization(result)
+        assert "per-disk" in text
+
+    def test_shared_not_materially_worse(self):
+        result = ablations.disk_organization_study(TINY, policies=("LOCAL",))
+        assert result.shared_advantage("LOCAL") > -10.0
+
+
+class TestUpdateFraction:
+    def test_sweep_structure(self):
+        result = ablations.update_fraction_sweep(TINY, fractions=(0.0, 0.3))
+        assert set(result.rows) == {0.0, 0.3}
+        assert result.subnet[0.3] > result.subnet[0.0]
+        text = ablations.format_update_fraction(result)
+        assert "update %" in text
+
+    def test_lert_still_wins_under_updates(self):
+        result = ablations.update_fraction_sweep(TINY, fractions=(0.2,))
+        assert result.lert_improvement(0.2) > 0
+
+
+class TestHeterogeneity:
+    def test_study_structure(self):
+        result = ablations.heterogeneity_study(
+            TINY, speed_factors=(0.5, 1.0, 2.0)
+        )
+        assert set(result.response_times) == {"LOCAL", "BNQ", "LERT", "LERT-HET"}
+        text = ablations.format_heterogeneity(result)
+        assert "LERT-HET" in text
+
+    def test_informed_allocation_wins_on_mixed_fleet(self):
+        result = ablations.heterogeneity_study(
+            TINY, speed_factors=(0.5, 0.5, 1.0, 2.0, 2.0)
+        )
+        assert result.informed_advantage() > 0

@@ -1,0 +1,39 @@
+"""Tests for the analytic table experiments (Tables 5 and 6)."""
+
+from repro.experiments import table5, table6
+from repro.experiments.paper_data import TABLE5_WIF, TABLE6_FIF
+from repro.analysis.improvement import PAPER_CPU_PAIRS
+
+
+class TestTable5:
+    def test_runs_and_formats(self):
+        result = table5.run_experiment()
+        text = table5.format_table(result)
+        assert "Table 5" in text
+        assert "repro" in text and "paper" in text
+
+    def test_rows_align_with_paper_data(self):
+        result = table5.run_experiment()
+        for pair in PAPER_CPU_PAIRS:
+            assert len(result.measured_row(pair)) == 12
+            assert result.paper_row(pair) == list(TABLE5_WIF[pair])
+
+
+class TestTable6:
+    def test_runs_and_formats(self):
+        result = table6.run_experiment()
+        text = table6.format_table(result)
+        assert "Table 6" in text
+        assert "MAD" in text
+
+    def test_mad_reported_per_row(self):
+        result = table6.run_experiment()
+        mads = [result.mean_absolute_deviation(pair) for pair in PAPER_CPU_PAIRS]
+        assert all(m >= 0 for m in mads)
+        # At least four of six rows reproduce the paper almost exactly.
+        assert sum(1 for m in mads if m < 0.10) >= 4
+
+    def test_paper_rows_are_authentic(self):
+        result = table6.run_experiment()
+        for pair in PAPER_CPU_PAIRS:
+            assert result.paper_row(pair) == list(TABLE6_FIF[pair])

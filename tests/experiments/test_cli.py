@@ -1,0 +1,59 @@
+"""Tests for the repro-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_accepts_known_experiments(self):
+        parser = build_parser()
+        args = parser.parse_args(["table5"])
+        assert args.experiment == "table5"
+        assert args.scale == "standard"
+
+    def test_scale_option(self):
+        parser = build_parser()
+        args = parser.parse_args(["table8", "--scale", "quick"])
+        assert args.scale == "quick"
+
+    def test_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table99"])
+
+    def test_rejects_unknown_scale(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table5", "--scale", "cosmic"])
+
+    def test_report_choice_and_out_flag(self):
+        parser = build_parser()
+        args = parser.parse_args(["report", "--out", "x.md"])
+        assert args.experiment == "report"
+        assert args.out == "x.md"
+
+    def test_ablations_and_validation_registered(self):
+        parser = build_parser()
+        for name in (
+            "ablation-stale",
+            "ablation-disk",
+            "ablation-updates",
+            "ablation-heterogeneous",
+            "ablation-subnet",
+            "validation",
+        ):
+            assert parser.parse_args([name]).experiment == name
+
+
+class TestMain:
+    def test_analytic_experiment_end_to_end(self, capsys):
+        exit_code = main(["table5"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Table 5" in output
+        assert "repro" in output
+
+    def test_table6_end_to_end(self, capsys):
+        assert main(["table6"]) == 0
+        assert "Table 6" in capsys.readouterr().out

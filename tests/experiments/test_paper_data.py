@@ -1,0 +1,83 @@
+"""Integrity checks on the transcribed paper data.
+
+These guard against transcription drift: the experiment modules and the
+benchmark assertions both consume this data, so its internal consistency
+matters as much as any code path.
+"""
+
+from repro.analysis.improvement import PAPER_CPU_PAIRS, PAPER_LOADS
+from repro.experiments.paper_data import (
+    TABLE5_WIF,
+    TABLE6_FIF,
+    TABLE8_THINK,
+    TABLE9_MPL,
+    TABLE10_CAPACITY,
+    TABLE11_SITES,
+    TABLE12_FAIRNESS,
+)
+
+
+class TestAnalyticTables:
+    def test_grids_cover_every_cpu_pair(self):
+        assert set(TABLE5_WIF) == set(PAPER_CPU_PAIRS)
+        assert set(TABLE6_FIF) == set(PAPER_CPU_PAIRS)
+
+    def test_rows_have_twelve_cells(self):
+        for row in list(TABLE5_WIF.values()) + list(TABLE6_FIF.values()):
+            assert len(row) == 12
+
+    def test_values_are_fractions(self):
+        for row in list(TABLE5_WIF.values()) + list(TABLE6_FIF.values()):
+            assert all(0.0 <= v <= 1.0 for v in row)
+
+    def test_load_totals_increase(self):
+        totals = [sum(sum(r) for r in load) for load in PAPER_LOADS]
+        assert totals == sorted(totals)
+
+
+class TestSimulationTables:
+    def test_table8_utilization_decreases_with_think_time(self):
+        thinks = sorted(TABLE8_THINK)
+        rhos = [TABLE8_THINK[t][0] for t in thinks]
+        assert rhos == sorted(rhos, reverse=True)
+
+    def test_table8_w_local_decreases_with_think_time(self):
+        thinks = sorted(TABLE8_THINK)
+        waits = [TABLE8_THINK[t][1] for t in thinks]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_table9_monotone_in_mpl(self):
+        mpls = sorted(TABLE9_MPL)
+        rhos = [TABLE9_MPL[m][0] for m in mpls]
+        waits = [TABLE9_MPL[m][1] for m in mpls]
+        assert rhos == sorted(rhos)
+        assert waits == sorted(waits)
+
+    def test_table10_lert_dominates_local(self):
+        for bound, (local, lert) in TABLE10_CAPACITY.items():
+            assert lert > local, bound
+
+    def test_table10_capacity_monotone_in_bound(self):
+        bounds = sorted(TABLE10_CAPACITY)
+        locals_ = [TABLE10_CAPACITY[b][0] for b in bounds]
+        lerts = [TABLE10_CAPACITY[b][1] for b in bounds]
+        assert locals_ == sorted(locals_)
+        assert lerts == sorted(lerts)
+
+    def test_table11_subnet_utilization_monotone(self):
+        sites = sorted(TABLE11_SITES)
+        bnq_util = [TABLE11_SITES[s][2] for s in sites]
+        lert_util = [TABLE11_SITES[s][3] for s in sites]
+        assert bnq_util == sorted(bnq_util)
+        assert lert_util == sorted(lert_util)
+
+    def test_table12_fairness_crosses_zero(self):
+        probs = sorted(TABLE12_FAIRNESS)
+        f_values = [TABLE12_FAIRNESS[p][4] for p in probs]
+        assert f_values[0] < 0 < f_values[-1]
+        assert f_values == sorted(f_values)
+
+    def test_table12_rho_ratio_monotone_in_io_prob(self):
+        probs = sorted(TABLE12_FAIRNESS)
+        ratios = [TABLE12_FAIRNESS[p][0] for p in probs]
+        assert ratios == sorted(ratios)

@@ -1,0 +1,51 @@
+"""Tests for the one-shot report generator."""
+
+import pytest
+
+from repro.experiments.report import SECTIONS, generate_report, write_report
+from repro.experiments.runconfig import RunSettings
+
+TINY = RunSettings(warmup=150.0, duration=600.0, replications=1, base_seed=3)
+
+
+class TestSections:
+    def test_every_paper_table_has_a_section(self):
+        titles = " ".join(title for title, _, _ in SECTIONS)
+        for table in ("Table 5", "Table 6", "Table 8", "Table 9", "Table 10",
+                      "Table 11", "Table 12"):
+            assert table in titles
+
+
+class TestGenerate:
+    def test_analytic_only_report(self):
+        text = generate_report(TINY, sections=["Table 5", "Table 6"])
+        assert text.startswith("# Reproduction report")
+        assert "## Table 5" in text
+        assert "## Table 6" in text
+        assert "Table 8" not in text
+        assert "generated in" in text
+
+    def test_filter_is_case_insensitive(self):
+        text = generate_report(TINY, sections=["table 5"])
+        assert "## Table 5" in text
+
+    def test_settings_recorded(self):
+        text = generate_report(TINY, sections=["Table 5"])
+        assert "base seed 3" in text
+
+    def test_no_matching_sections(self):
+        with pytest.raises(ValueError):
+            generate_report(TINY, sections=["Table 99"])
+
+    def test_simulated_section_runs(self):
+        text = generate_report(TINY, sections=["Message-length"])
+        assert "msg_length" in text
+
+
+class TestWrite:
+    def test_write_report(self, tmp_path):
+        path = tmp_path / "report.md"
+        write_report(path, TINY, sections=["Table 5"])
+        content = path.read_text(encoding="utf-8")
+        assert "# Reproduction report" in content
+        assert "WIF" in content

@@ -1,0 +1,52 @@
+"""Unit tests for run-length presets."""
+
+import pytest
+
+from repro.experiments.runconfig import (
+    PAPER,
+    QUICK,
+    STANDARD,
+    RunSettings,
+    settings_for,
+)
+
+
+class TestRunSettings:
+    def test_defaults_valid(self):
+        settings = RunSettings()
+        assert settings.warmup >= 0
+        assert settings.duration > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RunSettings(warmup=-1.0)
+        with pytest.raises(ValueError):
+            RunSettings(duration=0.0)
+        with pytest.raises(ValueError):
+            RunSettings(replications=0)
+
+    def test_seed_for_is_stable_and_distinct(self):
+        settings = RunSettings(base_seed=10)
+        assert settings.seed_for(0) == RunSettings(base_seed=10).seed_for(0)
+        seeds = {settings.seed_for(r) for r in range(5)}
+        assert len(seeds) == 5
+
+    def test_scaled(self):
+        settings = RunSettings(warmup=100.0, duration=1000.0)
+        longer = settings.scaled(2.0)
+        assert longer.warmup == 200.0
+        assert longer.duration == 2000.0
+        with pytest.raises(ValueError):
+            settings.scaled(0.0)
+
+
+class TestPresets:
+    def test_presets_ordered_by_length(self):
+        assert QUICK.duration < STANDARD.duration <= PAPER.duration
+        assert PAPER.replications >= STANDARD.replications
+
+    def test_settings_for(self):
+        assert settings_for("quick") is QUICK
+        assert settings_for("paper") is PAPER
+        with pytest.raises(ValueError):
+            settings_for("galactic")

@@ -1,0 +1,99 @@
+"""Smoke tests for the simulation-table experiments at tiny scale.
+
+These verify the harness plumbing (sweeps, row structure, formatting) with
+very short runs; the *shape* assertions versus the paper live in the
+benchmark suite, which uses longer runs.
+"""
+
+import pytest
+
+from repro.experiments import (
+    msg_sensitivity,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+from repro.experiments.runconfig import RunSettings
+
+TINY = RunSettings(warmup=300.0, duration=1200.0, replications=1, base_seed=77)
+
+
+class TestTable8Harness:
+    def test_reduced_sweep(self):
+        result = table8.run_experiment(TINY, think_times=(250.0, 450.0))
+        assert len(result.rows) == 2
+        row = result.rows[0]
+        assert set(row.results) == {"LOCAL", "BNQ", "BNQRD", "LERT"}
+        assert row.w_local > 0
+        text = table8.format_table(result)
+        assert "250" in text
+
+    def test_improvements_computable(self):
+        result = table8.run_experiment(TINY, think_times=(350.0,))
+        row = result.rows[0]
+        for policy in ("BNQ", "BNQRD", "LERT"):
+            assert isinstance(row.vs_local(policy), float)
+            assert isinstance(row.vs_bnq(policy), float)
+
+
+class TestTable9Harness:
+    def test_reduced_sweep(self):
+        result = table9.run_experiment(TINY, mpl_values=(10, 20))
+        assert [row.mpl for row in result.rows] == [10, 20]
+        assert result.rows[0].w_local < result.rows[1].w_local
+        assert "Table 9" in table9.format_table(result)
+
+
+class TestTable10Harness:
+    def test_capacity_extraction(self):
+        result = table10.run_experiment(TINY, mpl_grid=(10, 20, 30))
+        # Smoothed curve is monotone by construction.
+        for policy in ("LOCAL", "LERT"):
+            curve = result.smoothed_curve(policy)
+            assert curve == sorted(curve)
+        assert result.max_mpl("LOCAL", bound=1e9) == 30
+        assert result.max_mpl("LOCAL", bound=0.0) == 0
+        assert "Table 10" in table10.format_table(result)
+
+
+class TestTable11Harness:
+    def test_reduced_sweep(self):
+        result = table11.run_experiment(TINY, site_counts=(2, 4))
+        assert [row.num_sites for row in result.rows] == [2, 4]
+        assert result.peak_improvement_sites("LERT") in (2, 4)
+        assert "Table 11" in table11.format_table(result)
+
+    def test_subnet_utilization_present(self):
+        result = table11.run_experiment(TINY, site_counts=(4,))
+        assert result.rows[0].subnet_utilization("BNQ") > 0
+
+
+class TestTable12Harness:
+    def test_reduced_sweep(self):
+        result = table12.run_experiment(TINY, io_probs=(0.3, 0.8))
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.f_local == pytest.approx(
+                row.results["LOCAL"].fairness or 0.0
+            )
+        assert "Table 12" in table12.format_table(result)
+
+    def test_fairness_improvement_sign_convention(self):
+        result = table12.run_experiment(TINY, io_probs=(0.3,))
+        row = result.rows[0]
+        # Positive means |F| shrank.
+        improvement = row.fairness_improvement("LERT")
+        f_local = abs(row.f_local)
+        f_lert = abs(row.results["LERT"].fairness or 0.0)
+        expected = 100.0 * (f_local - f_lert) / f_local if f_local else 0.0
+        assert improvement == pytest.approx(expected)
+
+
+class TestMsgSensitivityHarness:
+    def test_reduced_sweep(self):
+        result = msg_sensitivity.run_experiment(TINY, msg_lengths=(1.0, 3.0))
+        assert len(result.rows) == 2
+        assert isinstance(result.gap_widens_with_msg_length(), bool)
+        assert "msg_length" in msg_sensitivity.format_table(result)

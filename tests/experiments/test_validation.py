@@ -1,0 +1,43 @@
+"""Tests for the substrate cross-validation experiment."""
+
+import pytest
+
+from repro.experiments import validation
+from repro.experiments.runconfig import RunSettings
+
+TINY = RunSettings(warmup=200.0, duration=2500.0, replications=1, base_seed=12)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return validation.run_experiment(TINY)
+
+
+class TestValidationExperiment:
+    def test_covers_every_station_type(self):
+        cases = validation.standard_cases()
+        kinds = set()
+        for case in cases:
+            for station in case.network.stations:
+                kinds.add(station.kind.value)
+        assert {"fcfs", "ps", "multiserver"} <= kinds
+
+    def test_simulator_agrees_with_exact_mva(self, result):
+        assert result.worst_sim_error_pct() < 6.0
+
+    def test_exact_solutions_respect_bounds(self, result):
+        assert result.all_within_bounds()
+
+    def test_amva_tracks_exact(self, result):
+        for row in result.rows:
+            assert row.approximate == pytest.approx(row.exact, rel=0.15)
+
+    def test_formatting(self, result):
+        text = validation.format_table(result)
+        assert "cross-validation" in text
+        assert "machine-repairman" in text
+
+    def test_rows_cover_all_populated_classes(self, result):
+        names = {(row.case, row.class_name) for row in result.rows}
+        assert ("db-site (per-disk)", "io") in names
+        assert ("db-site (per-disk)", "cpu") in names

@@ -1,0 +1,74 @@
+"""Integration tests: the paper's headline findings at reduced scale.
+
+These run the full system (simulator + policies + ring + metrics) long
+enough for the qualitative results to be stable under the fixed seed.
+"""
+
+import pytest
+
+from repro.experiments.common import simulate
+from repro.experiments.runconfig import RunSettings
+from repro.model.config import paper_defaults
+
+SETTINGS = RunSettings(warmup=1000.0, duration=5000.0, replications=1, base_seed=424242)
+
+
+@pytest.fixture(scope="module")
+def default_runs():
+    config = paper_defaults()
+    return {
+        name: simulate(config, name, SETTINGS)
+        for name in ("LOCAL", "BNQ", "BNQRD", "LERT")
+    }
+
+
+@pytest.mark.slow
+class TestHeadlineOrdering:
+    def test_dynamic_allocation_beats_local(self, default_runs):
+        w_local = default_runs["LOCAL"].mean_waiting_time
+        for policy in ("BNQ", "BNQRD", "LERT"):
+            assert default_runs[policy].mean_waiting_time < w_local
+
+    def test_information_beats_count_balancing(self, default_runs):
+        w_bnq = default_runs["BNQ"].mean_waiting_time
+        assert default_runs["BNQRD"].mean_waiting_time < w_bnq
+        assert default_runs["LERT"].mean_waiting_time < w_bnq
+
+    def test_improvement_magnitude_in_papers_band(self, default_runs):
+        # Paper Table 8 @ think 350: 38-44% improvement over LOCAL.
+        w_local = default_runs["LOCAL"].mean_waiting_time
+        w_lert = default_runs["LERT"].mean_waiting_time
+        improvement = (w_local - w_lert) / w_local
+        assert 0.25 < improvement < 0.60
+
+    def test_local_waiting_magnitude(self, default_runs):
+        # Paper: W_LOCAL = 22.71 at these settings; generous band.
+        assert 14.0 < default_runs["LOCAL"].mean_waiting_time < 32.0
+
+    def test_utilizations_match_paper_rho(self, default_runs):
+        # Paper: rho_c = 0.53 at think 350.
+        assert default_runs["LOCAL"].cpu_utilization == pytest.approx(0.53, abs=0.08)
+
+    def test_subnet_utilization_at_six_sites(self, default_runs):
+        # Paper Table 11: ~36-37% at 6 sites.
+        assert 0.2 < default_runs["LERT"].subnet_utilization < 0.5
+
+    def test_dynamic_allocation_improves_fairness(self, default_runs):
+        assert abs(default_runs["LERT"].fairness) < abs(
+            default_runs["LOCAL"].fairness
+        ) + 0.02
+
+
+@pytest.mark.slow
+class TestCommonRandomNumbers:
+    def test_policies_face_identical_workloads(self):
+        # With CRN, the terminals generate the same queries regardless of
+        # policy; verify via the total realized service demand of the
+        # queries each policy completed being extremely close.
+        config = paper_defaults()
+        settings = RunSettings(warmup=500.0, duration=2000.0, base_seed=31)
+        runs = {
+            name: simulate(config, name, settings) for name in ("BNQ", "LERT")
+        }
+        completions = [r.completions for r in runs.values()]
+        assert abs(completions[0] - completions[1]) < 0.1 * max(completions)

@@ -1,0 +1,31 @@
+"""The repository tooling must keep working (docs generation)."""
+
+import pathlib
+import subprocess
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+class TestApiIndexGenerator:
+    def test_generates_index(self, tmp_path, monkeypatch):
+        result = subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "gen_api_index.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        index = REPO_ROOT / "docs" / "api_index.md"
+        assert index.exists()
+        content = index.read_text(encoding="utf-8")
+        # Spot-check the load-bearing exports appear.
+        for needle in (
+            "repro.sim.engine",
+            "repro.queueing.mva",
+            "repro.model.system",
+            "repro.policies.lert",
+            "`solve_mva`",
+            "`DistributedDatabase`",
+        ):
+            assert needle in content, f"missing {needle} in API index"

@@ -1,0 +1,64 @@
+"""Unit tests for the load-balance monitor."""
+
+import pytest
+
+from repro.model.balance import BalanceMonitor
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+
+
+class TestConstruction:
+    def test_invalid_interval(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=1)
+        with pytest.raises(ValueError):
+            BalanceMonitor(system, sample_interval=0.0)
+
+
+class TestSampling:
+    def test_sample_count(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=1)
+        monitor = BalanceMonitor(system, sample_interval=10.0)
+        system.run(warmup=0.0, duration=500.0)
+        assert monitor.qd.count == 50
+
+    def test_summary_fields_consistent(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("BNQ"), seed=1)
+        monitor = BalanceMonitor(system, sample_interval=5.0)
+        system.run(warmup=0.0, duration=500.0)
+        summary = monitor.summary()
+        assert summary.samples == monitor.qd.count
+        assert 0 <= summary.mean_qd <= summary.max_qd
+        assert summary.mean_site_stddev >= 0
+        assert "QD" in str(summary)
+
+    def test_reset_truncates(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=1)
+        monitor = BalanceMonitor(system, sample_interval=5.0)
+        system.run(warmup=0.0, duration=200.0)
+        monitor.reset()
+        assert monitor.qd.count == 0
+
+    def test_balancing_policy_reduces_qd(self, tiny_config):
+        summaries = {}
+        for policy in ("LOCAL", "BNQ"):
+            system = DistributedDatabase(tiny_config, make_policy(policy), seed=2)
+            monitor = BalanceMonitor(system, sample_interval=5.0)
+            system.run(warmup=200.0, duration=1500.0)
+            monitor_summary = monitor.summary()
+            summaries[policy] = monitor_summary
+        assert summaries["BNQ"].mean_qd < summaries["LOCAL"].mean_qd
+
+    def test_informed_policy_balances_per_kind(self, tiny_config):
+        # LERT should control the per-kind imbalance at least as well as
+        # BNQ controls it (usually better).
+        summaries = {}
+        for policy in ("BNQ", "LERT"):
+            system = DistributedDatabase(tiny_config, make_policy(policy), seed=3)
+            monitor = BalanceMonitor(system, sample_interval=5.0)
+            system.run(warmup=200.0, duration=2500.0)
+            summaries[policy] = monitor.summary()
+        lert = summaries["LERT"]
+        bnq = summaries["BNQ"]
+        assert (lert.mean_io_qd + lert.mean_cpu_qd) <= (
+            bnq.mean_io_qd + bnq.mean_cpu_qd
+        ) * 1.10

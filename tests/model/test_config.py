@@ -1,0 +1,170 @@
+"""Unit tests for the model configuration dataclasses."""
+
+import dataclasses
+
+import pytest
+
+from repro.model.config import (
+    DISK_PER_DISK,
+    DISK_SHARED,
+    ConfigError,
+    NetworkSpec,
+    QueryClassSpec,
+    SiteSpec,
+    SystemConfig,
+    paper_classes,
+    paper_defaults,
+)
+
+
+class TestQueryClassSpec:
+    def test_valid(self):
+        spec = QueryClassSpec("io", page_cpu_time=0.05, num_reads=20.0)
+        assert spec.name == "io"
+
+    def test_mean_service_demand(self):
+        spec = QueryClassSpec("io", page_cpu_time=0.05, num_reads=20.0)
+        assert spec.mean_service_demand(disk_time=1.0) == pytest.approx(21.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"page_cpu_time": 0.0},
+            {"page_cpu_time": -1.0},
+            {"num_reads": 0.5},
+            {"result_fraction": -0.1},
+            {"query_size": -5},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        base = dict(page_cpu_time=0.05, num_reads=20.0)
+        base.update(kwargs)
+        with pytest.raises(ConfigError):
+            QueryClassSpec("bad", **base)
+
+
+class TestSiteSpec:
+    def test_io_demand_per_disk(self):
+        spec = SiteSpec(num_disks=2, disk_time=1.0)
+        assert spec.io_demand_per_disk == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_disks": 0},
+            {"disk_time": 0.0},
+            {"disk_time_dev": 1.5},
+            {"mpl": 0},
+            {"think_time": -1.0},
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            SiteSpec(**kwargs)
+
+
+class TestNetworkSpec:
+    def test_constant_mode(self):
+        spec = NetworkSpec(msg_length=2.0)
+        assert spec.msg_length == 2.0
+
+    def test_linear_mode(self):
+        spec = NetworkSpec(msg_length=None, msg_time=0.001, page_size=2048)
+        assert spec.msg_length is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"msg_length": -1.0}, {"msg_time": -0.1}, {"page_size": 0}],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            NetworkSpec(**kwargs)
+
+
+class TestSystemConfig:
+    def test_paper_defaults_match_table7(self):
+        config = paper_defaults()
+        assert config.num_sites == 6
+        assert config.site.num_disks == 2
+        assert config.site.disk_time == 1.0
+        assert config.site.disk_time_dev == 0.20
+        assert config.site.mpl == 20
+        assert config.site.think_time == 350.0
+        assert config.class_probs == (0.5, 0.5)
+        assert config.classes[0].page_cpu_time == 0.05
+        assert config.classes[1].page_cpu_time == 1.0
+        assert config.classes[0].num_reads == 20.0
+        assert config.network.msg_length == 1.0
+
+    def test_is_io_bound_rule(self):
+        # Per-disk I/O demand is 0.5: class with cpu 0.05 is I/O-bound,
+        # class with cpu 1.0 is CPU-bound; a 0.5 tie is CPU-bound (strict >).
+        config = paper_defaults()
+        assert config.is_io_bound(0.05)
+        assert not config.is_io_bound(1.0)
+        assert not config.is_io_bound(0.5)
+
+    def test_class_probabilities_must_sum_to_one(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                num_sites=2,
+                classes=paper_classes(),
+                class_probs=(0.5, 0.6),
+            )
+
+    def test_probability_count_must_match_classes(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_sites=2, classes=paper_classes(), class_probs=(1.0,))
+
+    def test_duplicate_class_names_rejected(self):
+        dup = (
+            QueryClassSpec("x", 0.05, 20.0),
+            QueryClassSpec("x", 1.0, 20.0),
+        )
+        with pytest.raises(ConfigError):
+            SystemConfig(num_sites=2, classes=dup, class_probs=(0.5, 0.5))
+
+    def test_requires_at_least_one_class(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(num_sites=2, classes=(), class_probs=())
+
+    def test_invalid_disk_organization(self):
+        with pytest.raises(ConfigError):
+            SystemConfig(
+                num_sites=2,
+                classes=paper_classes(),
+                class_probs=(0.5, 0.5),
+                disk_organization="raid5",
+            )
+
+    def test_disk_organizations_accepted(self):
+        for organization in (DISK_PER_DISK, DISK_SHARED):
+            config = dataclasses.replace(
+                paper_defaults(), disk_organization=organization
+            )
+            assert config.disk_organization == organization
+
+    def test_class_index_lookup(self):
+        config = paper_defaults()
+        assert config.class_index("io") == 0
+        assert config.class_index("cpu") == 1
+        with pytest.raises(KeyError):
+            config.class_index("nope")
+
+    def test_mean_query_service_demand(self):
+        config = paper_defaults()
+        # 0.5 * 20*(1+0.05) + 0.5 * 20*(1+1.0) = 0.5*21 + 0.5*40 = 30.5,
+        # the execution time the paper quotes in §5.2.
+        assert config.mean_query_service_demand() == pytest.approx(30.5)
+
+    def test_with_site_and_with_network(self):
+        config = paper_defaults()
+        changed = config.with_site(mpl=30).with_network(msg_length=2.0)
+        assert changed.site.mpl == 30
+        assert changed.network.msg_length == 2.0
+        assert config.site.mpl == 20  # original untouched
+
+    def test_frozen(self):
+        config = paper_defaults()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            config.num_sites = 9

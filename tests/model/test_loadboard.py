@@ -1,0 +1,84 @@
+"""Unit tests for the global load board."""
+
+import pytest
+
+from repro.model.config import paper_defaults
+from repro.model.loadboard import FrozenLoadView, LoadBoard
+from repro.model.query import make_query
+
+
+@pytest.fixture
+def config():
+    return paper_defaults()
+
+
+def _query(config, class_index):
+    return make_query(config, class_index, home_site=0, estimated_reads=5.0, created_at=0.0)
+
+
+class TestLoadBoard:
+    def test_starts_empty(self):
+        board = LoadBoard(4)
+        assert board.query_distribution() == [0, 0, 0, 0]
+        assert board.total_queries == 0
+
+    def test_register_by_boundness(self, config):
+        board = LoadBoard(3)
+        board.register(_query(config, 0), site=1)  # io-bound
+        board.register(_query(config, 1), site=1)  # cpu-bound
+        assert board.num_io_queries(1) == 1
+        assert board.num_cpu_queries(1) == 1
+        assert board.num_queries(1) == 2
+        assert board.num_queries(0) == 0
+
+    def test_deregister(self, config):
+        board = LoadBoard(2)
+        query = _query(config, 0)
+        board.register(query, 0)
+        board.deregister(query, 0)
+        assert board.total_queries == 0
+
+    def test_deregister_below_zero_raises(self, config):
+        board = LoadBoard(2)
+        with pytest.raises(ValueError):
+            board.deregister(_query(config, 0), 0)
+        with pytest.raises(ValueError):
+            board.deregister(_query(config, 1), 1)
+
+    def test_distribution_vector(self, config):
+        board = LoadBoard(3)
+        for site, count in ((0, 2), (2, 1)):
+            for _ in range(count):
+                board.register(_query(config, 0), site)
+        assert board.query_distribution() == [2, 0, 1]
+
+    def test_invalid_site_count(self):
+        with pytest.raises(ValueError):
+            LoadBoard(0)
+
+
+class TestSnapshot:
+    def test_snapshot_is_frozen(self, config):
+        board = LoadBoard(2)
+        board.register(_query(config, 0), 0)
+        snapshot = board.snapshot()
+        board.register(_query(config, 0), 0)
+        assert board.num_io_queries(0) == 2
+        assert snapshot.num_io_queries(0) == 1
+
+    def test_snapshot_interface_parity(self, config):
+        board = LoadBoard(2)
+        board.register(_query(config, 0), 0)
+        board.register(_query(config, 1), 1)
+        snapshot = board.snapshot()
+        for site in range(2):
+            assert snapshot.num_queries(site) == board.num_queries(site)
+            assert snapshot.num_io_queries(site) == board.num_io_queries(site)
+            assert snapshot.num_cpu_queries(site) == board.num_cpu_queries(site)
+        assert snapshot.query_distribution() == board.query_distribution()
+
+    def test_frozen_view_direct_construction(self):
+        view = FrozenLoadView((1, 0), (0, 2))
+        assert view.num_queries(0) == 1
+        assert view.num_queries(1) == 2
+        assert view.query_distribution() == [1, 2]

@@ -1,0 +1,122 @@
+"""Unit tests for the metrics collector and results summary."""
+
+import pytest
+
+from repro.model.config import paper_defaults
+from repro.model.metrics import MetricsCollector, summarize
+from repro.model.query import make_query
+
+
+def _completed_query(config, class_index, wait, service, remote=False):
+    query = make_query(config, class_index, home_site=0, estimated_reads=5.0, created_at=0.0)
+    query.execution_site = 1 if remote else 0
+    query.service_acquired = service
+    query.completed_at = wait + service
+    return query
+
+
+@pytest.fixture
+def config():
+    return paper_defaults()
+
+
+class TestCollector:
+    def test_record_accumulates(self, config):
+        collector = MetricsCollector(config)
+        collector.record(_completed_query(config, 0, wait=4.0, service=6.0))
+        collector.record(_completed_query(config, 1, wait=8.0, service=2.0))
+        assert collector.completions == 2
+        assert collector.mean_waiting_time == pytest.approx(6.0)
+        assert collector.mean_response_time == pytest.approx(10.0)
+
+    def test_per_class_split(self, config):
+        collector = MetricsCollector(config)
+        collector.record(_completed_query(config, 0, wait=4.0, service=6.0))
+        collector.record(_completed_query(config, 1, wait=8.0, service=2.0))
+        assert collector.by_class_waiting[0].mean == pytest.approx(4.0)
+        assert collector.by_class_waiting[1].mean == pytest.approx(8.0)
+
+    def test_fairness_sign(self, config):
+        collector = MetricsCollector(config)
+        # io: normalized wait 4/6; cpu: 8/2 -> F = 0.667 - 4 < 0.
+        collector.record(_completed_query(config, 0, wait=4.0, service=6.0))
+        collector.record(_completed_query(config, 1, wait=8.0, service=2.0))
+        assert collector.fairness == pytest.approx(4.0 / 6.0 - 4.0)
+
+    def test_remote_fraction(self, config):
+        collector = MetricsCollector(config)
+        collector.record(_completed_query(config, 0, 1.0, 1.0, remote=True))
+        collector.record(_completed_query(config, 0, 1.0, 1.0, remote=False))
+        assert collector.remote_fraction == pytest.approx(0.5)
+
+    def test_reset(self, config):
+        collector = MetricsCollector(config)
+        collector.record(_completed_query(config, 0, 1.0, 1.0))
+        collector.reset()
+        assert collector.completions == 0
+        assert collector.mean_waiting_time == 0.0
+        assert collector.remote_count == 0
+
+    def test_fairness_requires_two_classes(self):
+        import dataclasses
+
+        from repro.model.config import QueryClassSpec, SystemConfig
+
+        config = SystemConfig(
+            num_sites=2,
+            classes=(QueryClassSpec("only", 0.5, 10.0),),
+            class_probs=(1.0,),
+        )
+        collector = MetricsCollector(config)
+        with pytest.raises(ValueError):
+            _ = collector.fairness
+
+
+class TestSummarize:
+    def test_summary_fields(self, config):
+        collector = MetricsCollector(config)
+        for _ in range(3):
+            collector.record(_completed_query(config, 0, 2.0, 3.0, remote=True))
+            collector.record(_completed_query(config, 1, 2.0, 3.0))
+        results = summarize(
+            collector,
+            policy="TEST",
+            subnet_utilization=0.4,
+            cpu_utilization=0.6,
+            disk_utilization=0.7,
+            measured_time=1000.0,
+        )
+        assert results.policy == "TEST"
+        assert results.mean_waiting_time == pytest.approx(2.0)
+        assert results.completions == 6
+        assert results.remote_fraction == pytest.approx(0.5)
+        assert results.subnet_utilization == 0.4
+        assert results.fairness is not None
+
+    def test_summary_without_enough_data_for_ci(self, config):
+        collector = MetricsCollector(config)
+        collector.record(_completed_query(config, 0, 2.0, 3.0))
+        results = summarize(collector, "TEST", 0.0, 0.0, 0.0, 10.0)
+        assert results.waiting_ci is None
+
+    def test_summary_with_ci(self, config):
+        collector = MetricsCollector(config)
+        for i in range(100):
+            collector.record(_completed_query(config, 0, 2.0 + (i % 5) * 0.1, 3.0))
+        results = summarize(collector, "TEST", 0.0, 0.0, 0.0, 10.0)
+        assert results.waiting_ci is not None
+        eps = 1e-9
+        assert (
+            results.waiting_ci.low - eps
+            <= results.mean_waiting_time
+            <= results.waiting_ci.high + eps
+        )
+
+    def test_str_rendering(self, config):
+        collector = MetricsCollector(config)
+        collector.record(_completed_query(config, 0, 2.0, 3.0))
+        collector.record(_completed_query(config, 1, 2.0, 3.0))
+        results = summarize(collector, "LERT", 0.33, 0.5, 0.6, 10.0)
+        text = str(results)
+        assert "LERT" in text
+        assert "W=" in text

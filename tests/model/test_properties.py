@@ -1,0 +1,85 @@
+"""Property-based tests over randomized system configurations.
+
+Hypothesis generates small-but-varied configs; every run of the full model
+must satisfy the structural invariants regardless of parameters or policy.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.model.config import NetworkSpec, QueryClassSpec, SiteSpec, SystemConfig
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+
+
+@st.composite
+def small_configs(draw):
+    num_sites = draw(st.integers(min_value=1, max_value=4))
+    num_disks = draw(st.integers(min_value=1, max_value=3))
+    io_cpu = draw(st.floats(min_value=0.01, max_value=0.3))
+    cpu_cpu = draw(st.floats(min_value=0.5, max_value=2.0))
+    io_prob = draw(st.floats(min_value=0.1, max_value=0.9))
+    mpl = draw(st.integers(min_value=1, max_value=5))
+    think = draw(st.floats(min_value=10.0, max_value=120.0))
+    msg_length = draw(st.floats(min_value=0.0, max_value=3.0))
+    subnet = draw(st.sampled_from(["ring", "mesh"])) if num_sites > 1 else "ring"
+    reads = draw(st.floats(min_value=1.0, max_value=10.0))
+    return SystemConfig(
+        num_sites=num_sites,
+        site=SiteSpec(
+            num_disks=num_disks,
+            disk_time=1.0,
+            disk_time_dev=0.2,
+            mpl=mpl,
+            think_time=think,
+        ),
+        classes=(
+            QueryClassSpec("io", page_cpu_time=io_cpu, num_reads=reads),
+            QueryClassSpec("cpu", page_cpu_time=cpu_cpu, num_reads=reads),
+        ),
+        class_probs=(io_prob, 1.0 - io_prob),
+        network=NetworkSpec(msg_length=msg_length, subnet_kind=subnet),
+    )
+
+
+POLICIES = ("LOCAL", "BNQ", "BNQRD", "LERT", "RANDOM", "SQ2")
+
+
+@settings(deadline=None, max_examples=25)
+@given(small_configs(), st.sampled_from(POLICIES), st.integers(0, 1000))
+def test_system_invariants_hold_for_any_config(config, policy, seed):
+    system = DistributedDatabase(config, make_policy(policy), seed=seed)
+    results = system.run(warmup=50.0, duration=400.0)
+
+    # Counting invariants.
+    population = config.num_sites * config.site.mpl
+    assert 0 <= system.load_board.total_queries <= population
+    assert results.completions >= 0
+
+    # Physical bounds.
+    assert 0.0 <= results.cpu_utilization <= 1.0 + 1e-9
+    assert 0.0 <= results.disk_utilization <= 1.0 + 1e-9
+    assert 0.0 <= results.subnet_utilization <= 1.0 + 1e-9
+    assert 0.0 <= results.remote_fraction <= 1.0
+
+    # Timing sanity: waiting is response minus service, so response bounds
+    # waiting from above, and neither is negative in aggregate.
+    assert results.mean_waiting_time >= -1e-9
+    assert results.mean_response_time >= results.mean_waiting_time - 1e-9
+
+    # LOCAL never touches the subnet.
+    if policy == "LOCAL" or config.num_sites == 1:
+        assert results.remote_fraction == 0.0
+
+
+@settings(deadline=None, max_examples=10)
+@given(small_configs(), st.integers(0, 1000))
+def test_runs_are_reproducible_for_any_config(config, seed):
+    a = DistributedDatabase(config, make_policy("LERT"), seed=seed)
+    b = DistributedDatabase(config, make_policy("LERT"), seed=seed)
+    ra = a.run(warmup=50.0, duration=300.0)
+    rb = b.run(warmup=50.0, duration=300.0)
+    assert ra.mean_waiting_time == rb.mean_waiting_time
+    assert ra.completions == rb.completions
+    assert ra.subnet_utilization == rb.subnet_utilization

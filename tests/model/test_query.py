@@ -1,0 +1,95 @@
+"""Unit tests for Query objects and their derived measures."""
+
+import pytest
+
+from repro.model.config import paper_defaults
+from repro.model.query import Query, make_query
+
+
+@pytest.fixture
+def config():
+    return paper_defaults()
+
+
+class TestMakeQuery:
+    def test_integer_rounding(self, config):
+        query = make_query(config, 0, home_site=1, estimated_reads=7.6, created_at=0.0)
+        assert query.actual_reads == 8
+        assert query.estimated_reads == 7.6
+
+    def test_minimum_one_read(self, config):
+        query = make_query(config, 0, home_site=0, estimated_reads=0.01, created_at=0.0)
+        assert query.actual_reads == 1
+
+    def test_classification(self, config):
+        io_query = make_query(config, 0, 0, 10.0, 0.0)
+        cpu_query = make_query(config, 1, 0, 10.0, 0.0)
+        assert io_query.io_bound
+        assert not cpu_query.io_bound
+
+    def test_unique_ids(self, config):
+        a = make_query(config, 0, 0, 5.0, 0.0)
+        b = make_query(config, 0, 0, 5.0, 0.0)
+        assert a.qid != b.qid
+
+    def test_truncation_mode(self, config):
+        import dataclasses
+
+        truncating = dataclasses.replace(config, integer_reads=False)
+        query = make_query(truncating, 0, 0, 7.9, 0.0)
+        assert query.actual_reads == 7
+
+
+class TestEstimates:
+    def test_cpu_demand_estimate(self, config):
+        query = make_query(config, 1, 0, estimated_reads=10.0, created_at=0.0)
+        # class "cpu": page_cpu_time = 1.0
+        assert query.estimated_cpu_demand == pytest.approx(10.0)
+
+    def test_io_demand_estimate(self, config):
+        query = make_query(config, 0, 0, estimated_reads=10.0, created_at=0.0)
+        assert query.estimated_io_demand(disk_time=1.0) == pytest.approx(10.0)
+
+    def test_page_cpu_time_is_class_mean(self, config):
+        query = make_query(config, 0, 0, 10.0, 0.0)
+        assert query.page_cpu_time == 0.05
+
+
+class TestDerivedMeasures:
+    def _completed_query(self, config):
+        query = make_query(config, 0, home_site=0, estimated_reads=5.0, created_at=10.0)
+        query.allocated_at = 10.0
+        query.execution_site = 2
+        query.started_at = 11.0
+        query.finished_at = 29.0
+        query.completed_at = 30.0
+        query.service_acquired = 12.0
+        return query
+
+    def test_response_time(self, config):
+        query = self._completed_query(config)
+        assert query.response_time == pytest.approx(20.0)
+
+    def test_waiting_time(self, config):
+        query = self._completed_query(config)
+        assert query.waiting_time == pytest.approx(8.0)
+
+    def test_normalized_waiting(self, config):
+        query = self._completed_query(config)
+        assert query.normalized_waiting_time == pytest.approx(8.0 / 12.0)
+
+    def test_remote_flag(self, config):
+        query = self._completed_query(config)
+        assert query.remote
+        query.execution_site = query.home_site
+        assert not query.remote
+
+    def test_incomplete_query_raises(self, config):
+        query = make_query(config, 0, 0, 5.0, created_at=0.0)
+        with pytest.raises(ValueError):
+            _ = query.response_time
+
+    def test_zero_service_normalized_is_zero(self, config):
+        query = self._completed_query(config)
+        query.service_acquired = 0.0
+        assert query.normalized_waiting_time == 0.0

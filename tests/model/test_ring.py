@@ -1,0 +1,143 @@
+"""Unit tests for the token-ring subnet model."""
+
+import pytest
+
+from repro.model.ring import Message, TokenRing
+from repro.sim.engine import Simulator
+from repro.sim.errors import SimulationError
+
+
+def _message(source, destination, transfer_time, log, tag):
+    return Message(
+        source=source,
+        destination=destination,
+        transfer_time=transfer_time,
+        deliver=lambda: log.append((tag, None)),
+        kind="query",
+    )
+
+
+class TestDelivery:
+    def test_single_message_takes_transfer_time(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 3)
+        log = []
+        message = Message(0, 1, 2.5, deliver=lambda: log.append(sim.now))
+        ring.send(message)
+        sim.run()
+        assert log == [2.5]
+
+    def test_messages_from_one_site_serialize(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        log = []
+        for i in range(3):
+            ring.send(Message(0, 1, 1.0, deliver=lambda i=i: log.append((i, sim.now))))
+        sim.run()
+        assert log == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_round_robin_alternates_between_sites(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        order = []
+        for i in range(2):
+            ring.send(Message(0, 1, 1.0, deliver=lambda i=i: order.append(f"s0-{i}")))
+            ring.send(Message(1, 0, 1.0, deliver=lambda i=i: order.append(f"s1-{i}")))
+        sim.run()
+        assert order == ["s0-0", "s1-0", "s0-1", "s1-1"]
+
+    def test_wakes_after_idle_period(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        log = []
+        sim.schedule(
+            10.0,
+            lambda: ring.send(Message(0, 1, 1.0, deliver=lambda: log.append(sim.now))),
+        )
+        sim.run()
+        assert log == [11.0]
+
+    def test_two_batches_with_idle_gap(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        log = []
+        ring.send(Message(0, 1, 1.0, deliver=lambda: log.append(sim.now)))
+        sim.schedule(
+            50.0,
+            lambda: ring.send(Message(1, 0, 2.0, deliver=lambda: log.append(sim.now))),
+        )
+        sim.run()
+        assert log == [1.0, 52.0]
+
+    def test_zero_transfer_time_delivers_immediately(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        log = []
+        ring.send(Message(0, 1, 0.0, deliver=lambda: log.append(sim.now)))
+        sim.run()
+        assert log == [0.0]
+
+
+class TestStatistics:
+    def test_utilization(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        ring.send(Message(0, 1, 3.0, deliver=lambda: None))
+        sim.run(until=6.0)
+        assert ring.utilization == pytest.approx(0.5)
+
+    def test_message_and_byte_counters(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        for size in (100, 200):
+            ring.send(Message(0, 1, 1.0, deliver=lambda: None, size_bytes=size))
+        sim.run()
+        assert ring.messages_delivered == 2
+        assert ring.bytes_delivered == 300
+
+    def test_latency_includes_queueing(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        for _ in range(2):
+            ring.send(Message(0, 1, 2.0, deliver=lambda: None))
+        sim.run()
+        # First latency 2, second waits 2 then transfers 2 -> 4.
+        assert ring.latencies.mean == pytest.approx(3.0)
+
+    def test_pending_counts(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 3)
+        ring.send(Message(0, 1, 5.0, deliver=lambda: None))
+        ring.send(Message(2, 1, 5.0, deliver=lambda: None))
+        assert ring.pending_messages() == 2
+        assert ring.pending_messages(2) == 1
+
+    def test_reset_statistics(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        ring.send(Message(0, 1, 1.0, deliver=lambda: None))
+        sim.run()
+        ring.reset_statistics()
+        assert ring.messages_delivered == 0
+        assert ring.utilization == 0.0
+
+
+class TestValidation:
+    def test_invalid_sites_rejected(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        with pytest.raises(SimulationError):
+            ring.send(Message(5, 0, 1.0, deliver=lambda: None))
+        with pytest.raises(SimulationError):
+            ring.send(Message(0, -1, 1.0, deliver=lambda: None))
+
+    def test_negative_transfer_time_rejected(self):
+        sim = Simulator()
+        ring = TokenRing(sim, 2)
+        with pytest.raises(SimulationError):
+            ring.send(Message(0, 1, -1.0, deliver=lambda: None))
+
+    def test_needs_at_least_one_site(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            TokenRing(sim, 0)

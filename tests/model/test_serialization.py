@@ -1,0 +1,88 @@
+"""Unit tests for config serialization."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.model.config import ConfigError, NetworkSpec, paper_defaults
+from repro.model.serialization import (
+    FORMAT_VERSION,
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+)
+
+
+class TestRoundTrip:
+    def test_paper_defaults_round_trip(self):
+        config = paper_defaults()
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+    def test_linear_network_round_trip(self):
+        config = dataclasses.replace(
+            paper_defaults(),
+            network=NetworkSpec(msg_length=None, msg_time=0.002, page_size=512),
+        )
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+        assert rebuilt.network.msg_length is None
+
+    def test_nondefault_everything(self, tiny_config):
+        config = dataclasses.replace(
+            tiny_config, disk_organization="shared", integer_reads=False
+        )
+        rebuilt = config_from_dict(config_to_dict(config))
+        assert rebuilt == config
+
+    def test_dict_is_json_compatible(self):
+        payload = json.dumps(config_to_dict(paper_defaults()))
+        assert "num_sites" in payload
+
+
+class TestFileIO:
+    def test_save_and_load(self, tmp_path):
+        config = paper_defaults(mpl=25)
+        path = tmp_path / "config.json"
+        save_config(config, path)
+        assert load_config(path) == config
+
+    def test_load_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ConfigError):
+            load_config(path)
+
+
+class TestValidation:
+    def test_missing_key(self):
+        data = config_to_dict(paper_defaults())
+        del data["site"]
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+    def test_wrong_type(self):
+        with pytest.raises(ConfigError):
+            config_from_dict("not a dict")
+
+    def test_unknown_version(self):
+        data = config_to_dict(paper_defaults())
+        data["format_version"] = FORMAT_VERSION + 1
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+    def test_invalid_values_rejected_by_dataclasses(self):
+        data = config_to_dict(paper_defaults())
+        data["site"]["num_disks"] = 0
+        with pytest.raises(ConfigError):
+            config_from_dict(data)
+
+    def test_defaults_for_optional_keys(self):
+        data = config_to_dict(paper_defaults())
+        del data["disk_organization"]
+        del data["integer_reads"]
+        rebuilt = config_from_dict(data)
+        assert rebuilt.disk_organization == "per_disk"
+        assert rebuilt.integer_reads is True

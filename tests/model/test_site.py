@@ -1,0 +1,91 @@
+"""Unit tests for the DB-site service-center bundle."""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.model.config import DISK_PER_DISK, DISK_SHARED, paper_defaults
+from repro.model.site import DBSite
+from repro.sim.engine import Simulator
+
+
+class TestStructure:
+    def test_per_disk_organization_builds_separate_queues(self):
+        sim = Simulator()
+        site = DBSite(sim, paper_defaults(), index=0)
+        assert len(site.disks) == 2
+        assert all(d.servers == 1 for d in site.disks)
+
+    def test_shared_organization_builds_one_multiserver(self):
+        sim = Simulator()
+        config = dataclasses.replace(paper_defaults(), disk_organization=DISK_SHARED)
+        site = DBSite(sim, config, index=0)
+        assert len(site.disks) == 1
+        assert site.disks[0].servers == 2
+
+    def test_single_disk_site(self):
+        sim = Simulator()
+        config = paper_defaults().with_site(num_disks=1)
+        site = DBSite(sim, config, index=0)
+        assert len(site.disks) == 1
+
+
+class TestService:
+    def test_disk_service_spreads_over_disks(self):
+        sim = Simulator()
+        site = DBSite(sim, paper_defaults(), index=0)
+        rng = random.Random(0)
+
+        def reader():
+            for _ in range(60):
+                yield site.disk_service(0.1, rng)
+
+        sim.launch(reader())
+        sim.run()
+        counts = [d.completions for d in site.disks]
+        assert sum(counts) == 60
+        assert all(c > 10 for c in counts), f"unbalanced routing: {counts}"
+
+    def test_cpu_service(self):
+        sim = Simulator()
+        site = DBSite(sim, paper_defaults(), index=0)
+
+        def worker():
+            yield site.cpu_service(2.0)
+
+        sim.launch(worker())
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        assert site.cpu.completions == 1
+
+
+class TestStatistics:
+    def test_disk_utilization_average(self):
+        sim = Simulator()
+        site = DBSite(sim, paper_defaults(), index=0)
+        rng = random.Random(1)
+
+        def reader():
+            for _ in range(10):
+                yield site.disk_service(1.0, rng)
+
+        sim.launch(reader())
+        sim.run()
+        # One reader: total busy time 10 over elapsed 10, split over 2 disks.
+        assert site.disk_utilization == pytest.approx(0.5)
+
+    def test_reset_statistics(self):
+        sim = Simulator()
+        site = DBSite(sim, paper_defaults(), index=0)
+        rng = random.Random(2)
+
+        def reader():
+            yield site.disk_service(1.0, rng)
+            yield site.cpu_service(1.0)
+
+        sim.launch(reader())
+        sim.run()
+        site.reset_statistics()
+        assert site.disk_completions == 0
+        assert site.cpu.completions == 0

@@ -1,0 +1,103 @@
+"""Unit tests for the workload generator."""
+
+import dataclasses
+
+import pytest
+
+from repro.model.config import paper_defaults
+from repro.model.workload import WorkloadGenerator
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def generator():
+    return WorkloadGenerator(Simulator(seed=3), paper_defaults())
+
+
+class TestQueryCreation:
+    def test_class_mix_matches_probability(self, generator):
+        classes = [
+            generator.new_query(0, 0, serial)[0].class_index
+            for serial in range(4000)
+        ]
+        io_fraction = classes.count(0) / len(classes)
+        assert io_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_skewed_class_mix(self):
+        config = dataclasses.replace(paper_defaults(), class_probs=(0.8, 0.2))
+        generator = WorkloadGenerator(Simulator(seed=4), config)
+        classes = [
+            generator.new_query(0, 0, serial)[0].class_index
+            for serial in range(4000)
+        ]
+        assert classes.count(0) / len(classes) == pytest.approx(0.8, abs=0.03)
+
+    def test_reads_mean_matches_spec(self, generator):
+        reads = [
+            generator.new_query(0, 0, serial)[0].estimated_reads
+            for serial in range(4000)
+        ]
+        assert sum(reads) / len(reads) == pytest.approx(20.0, rel=0.06)
+
+    def test_same_seed_same_workload(self):
+        config = paper_defaults()
+        a = WorkloadGenerator(Simulator(seed=9), config)
+        b = WorkloadGenerator(Simulator(seed=9), config)
+        for serial in range(50):
+            qa, _ = a.new_query(2, 1, serial)
+            qb, _ = b.new_query(2, 1, serial)
+            assert qa.class_index == qb.class_index
+            assert qa.estimated_reads == qb.estimated_reads
+
+    def test_per_query_stream_is_deterministic(self):
+        # The stream handed out with a query depends only on (site,
+        # terminal, serial) and the master seed — not on consumption of
+        # other streams.  This is the common-random-numbers guarantee.
+        config = paper_defaults()
+        a = WorkloadGenerator(Simulator(seed=9), config)
+        b = WorkloadGenerator(Simulator(seed=9), config)
+        _, rng_a = a.new_query(1, 2, 3)
+        # b consumes unrelated queries first.
+        for serial in range(10):
+            b.new_query(0, 0, serial)
+        _, rng_b = b.new_query(1, 2, 3)
+        assert [rng_a.random() for _ in range(5)] == [
+            rng_b.random() for _ in range(5)
+        ]
+
+    def test_home_site_recorded(self, generator):
+        query, _ = generator.new_query(4, 0, 1)
+        assert query.home_site == 4
+
+
+class TestServiceDraws:
+    def test_disk_time_within_band(self, generator):
+        rng = generator.sim.rng.stream("test")
+        samples = [generator.disk_time(rng) for _ in range(2000)]
+        assert all(0.8 <= s <= 1.2 for s in samples)
+        assert sum(samples) / len(samples) == pytest.approx(1.0, abs=0.01)
+
+    def test_disk_time_degenerate_without_deviation(self):
+        config = paper_defaults().with_site(disk_time_dev=0.0)
+        generator = WorkloadGenerator(Simulator(seed=1), config)
+        rng = generator.sim.rng.stream("test")
+        assert generator.disk_time(rng) == 1.0
+
+    def test_think_time_exponential_mean(self, generator):
+        rng = generator.sim.rng.stream("think-test")
+        samples = [generator.think_time(rng) for _ in range(20000)]
+        assert sum(samples) / len(samples) == pytest.approx(350.0, rel=0.05)
+
+    def test_zero_think_time(self):
+        config = paper_defaults().with_site(think_time=0.0)
+        generator = WorkloadGenerator(Simulator(seed=1), config)
+        rng = generator.sim.rng.stream("t")
+        assert generator.think_time(rng) == 0.0
+
+    def test_cpu_burst_mean_per_class(self, generator):
+        rng = generator.sim.rng.stream("cpu-test")
+        query, _ = generator.new_query(0, 0, 1)
+        bursts = [generator.cpu_burst(query, rng) for _ in range(20000)]
+        assert sum(bursts) / len(bursts) == pytest.approx(
+            query.spec.page_cpu_time, rel=0.05
+        )

@@ -1,0 +1,171 @@
+"""Unit tests for the paper's cost functions (Figures 4, 5, 6).
+
+A stub system provides a scripted load board so each cost function's
+arithmetic can be checked against hand computation.
+"""
+
+import pytest
+
+from repro.model.config import paper_defaults
+from repro.model.loadboard import FrozenLoadView
+from repro.model.query import make_query
+from repro.policies.bnq import BNQPolicy
+from repro.policies.bnqrd import BNQRDPolicy
+from repro.policies.lert import LERTPolicy
+from repro.policies.local import LocalPolicy
+from repro.policies.random_policy import RandomPolicy
+
+
+class StubSystem:
+    def __init__(self, io_counts, cpu_counts, num_sites=None, msg_length=1.0):
+        self.config = paper_defaults(
+            num_sites=num_sites or len(io_counts), msg_length=msg_length
+        )
+        self.load_view = FrozenLoadView(io_counts, cpu_counts)
+
+    def candidate_sites(self, query):
+        return range(self.config.num_sites)
+
+    def estimated_transfer_time(self, query):
+        return self.config.network.msg_length
+
+    def estimated_return_time(self, query):
+        return self.config.network.msg_length
+
+
+def _io_query(system, reads=10.0):
+    return make_query(system.config, 0, home_site=0, estimated_reads=reads, created_at=0.0)
+
+
+def _cpu_query(system, reads=10.0):
+    return make_query(system.config, 1, home_site=0, estimated_reads=reads, created_at=0.0)
+
+
+class TestBNQ:
+    def test_cost_is_total_count(self):
+        system = StubSystem(io_counts=(2, 0, 1), cpu_counts=(1, 3, 0))
+        policy = BNQPolicy()
+        policy.bind(system)
+        query = _io_query(system)
+        assert policy.site_cost(query, 0) == 3
+        assert policy.site_cost(query, 1) == 3
+        assert policy.site_cost(query, 2) == 1
+
+    def test_selects_least_loaded(self):
+        system = StubSystem(io_counts=(2, 0, 1), cpu_counts=(1, 3, 0))
+        policy = BNQPolicy()
+        policy.bind(system)
+        assert policy.select_site(_io_query(system), arrival_site=0) == 2
+
+
+class TestBNQRD:
+    def test_io_query_counts_io_load_only(self):
+        system = StubSystem(io_counts=(5, 1, 3), cpu_counts=(0, 9, 0))
+        policy = BNQRDPolicy()
+        policy.bind(system)
+        query = _io_query(system)
+        assert policy.is_io_bound(query)
+        assert policy.site_cost(query, 0) == 5
+        assert policy.site_cost(query, 1) == 1
+
+    def test_cpu_query_counts_cpu_load_only(self):
+        system = StubSystem(io_counts=(9, 9, 9), cpu_counts=(2, 0, 1))
+        policy = BNQRDPolicy()
+        policy.bind(system)
+        query = _cpu_query(system)
+        assert not policy.is_io_bound(query)
+        assert policy.site_cost(query, 1) == 0
+
+    def test_classification_uses_per_disk_demand(self):
+        # With 4 disks the per-disk I/O demand is 0.25 < 0.3, so a query
+        # with page CPU 0.3 counts as CPU-bound despite being light.
+        system = StubSystem(io_counts=(0,), cpu_counts=(0,), num_sites=1)
+        import dataclasses
+
+        config = system.config.with_site(num_disks=4)
+        system.config = config
+        policy = BNQRDPolicy()
+        policy.bind(system)
+        query = make_query(config, 0, 0, 10.0, 0.0)
+        query.spec = dataclasses.replace(query.spec, page_cpu_time=0.3)
+        assert not policy.is_io_bound(query)
+
+    def test_routes_to_matching_class_minimum(self):
+        system = StubSystem(io_counts=(3, 0, 2), cpu_counts=(0, 5, 0))
+        policy = BNQRDPolicy()
+        policy.bind(system)
+        # An I/O query ignores site 1's huge CPU population.
+        assert policy.select_site(_io_query(system), arrival_site=0) == 1
+
+
+class TestLERT:
+    def test_cost_formula_local(self):
+        system = StubSystem(io_counts=(2, 0), cpu_counts=(1, 0))
+        policy = LERTPolicy()
+        policy.bind(system)
+        query = _io_query(system, reads=10.0)
+        policy._arrival_site = 0
+        # cpu_time = 10*0.05 = 0.5 ; io_time = 10*1 = 10
+        # cpu_wait = 0.5*1 = 0.5 ; io_wait = 10*(2/2) = 10 ; net = 0
+        assert policy.site_cost(query, 0) == pytest.approx(0.5 + 0.5 + 10 + 10)
+
+    def test_cost_formula_remote_adds_network(self):
+        system = StubSystem(io_counts=(0, 0), cpu_counts=(0, 0), msg_length=1.5)
+        policy = LERTPolicy()
+        policy.bind(system)
+        query = _cpu_query(system, reads=10.0)
+        policy._arrival_site = 0
+        # cpu_time = 10*1 = 10 ; io_time = 10 ; waits 0 ; net = 1.5+1.5.
+        assert policy.site_cost(query, 1) == pytest.approx(10 + 10 + 3.0)
+        assert policy.site_cost(query, 0) == pytest.approx(20.0)
+
+    def test_io_wait_divides_by_disks(self):
+        system = StubSystem(io_counts=(4, 0), cpu_counts=(0, 0))
+        policy = LERTPolicy()
+        policy.bind(system)
+        query = _io_query(system, reads=10.0)
+        policy._arrival_site = 0
+        # io_wait = 10 * (4/2) = 20.
+        cost = policy.site_cost(query, 0)
+        assert cost == pytest.approx(0.5 + 0.0 + 10 + 20)
+
+    def test_prefers_local_when_gain_below_transfer_cost(self):
+        # Site 1 is idle but the job is tiny: transferring costs more than
+        # the queueing it avoids.
+        system = StubSystem(io_counts=(1, 0), cpu_counts=(0, 0), msg_length=10.0)
+        policy = LERTPolicy()
+        policy.bind(system)
+        query = _io_query(system, reads=1.0)
+        assert policy.select_site(query, arrival_site=0) == 0
+
+    def test_transfers_when_gain_exceeds_cost(self):
+        system = StubSystem(io_counts=(8, 0), cpu_counts=(0, 0), msg_length=1.0)
+        policy = LERTPolicy()
+        policy.bind(system)
+        query = _io_query(system, reads=10.0)
+        assert policy.select_site(query, arrival_site=0) == 1
+
+
+class TestLocalAndRandom:
+    def test_local_returns_arrival(self):
+        system = StubSystem(io_counts=(9, 0), cpu_counts=(9, 0))
+        policy = LocalPolicy()
+        policy.bind(system)
+        assert policy.select_site(_io_query(system), arrival_site=0) == 0
+
+    def test_random_covers_all_sites(self):
+        class RandomStub(StubSystem):
+            def __init__(self):
+                super().__init__((0, 0, 0), (0, 0, 0))
+                from repro.sim.engine import Simulator
+
+                self.sim = Simulator(seed=12)
+
+        system = RandomStub()
+        policy = RandomPolicy()
+        policy.bind(system)
+        picks = {
+            policy.select_site(_io_query(system), arrival_site=0)
+            for _ in range(100)
+        }
+        assert picks == {0, 1, 2}

@@ -1,0 +1,80 @@
+"""Unit tests for the LERT-MVA extension policy."""
+
+import pytest
+
+from repro.model.config import paper_defaults
+from repro.model.loadboard import FrozenLoadView
+from repro.model.query import make_query
+from repro.policies.lert_mva import LERTMVAPolicy
+
+
+class StubSystem:
+    def __init__(self, io_counts, cpu_counts, msg_length=1.0):
+        self.config = paper_defaults(
+            num_sites=len(io_counts), msg_length=msg_length
+        )
+        self.load_view = FrozenLoadView(io_counts, cpu_counts)
+
+    def candidate_sites(self, query):
+        return range(self.config.num_sites)
+
+    def estimated_transfer_time(self, query):
+        return self.config.network.msg_length
+
+    def estimated_return_time(self, query):
+        return self.config.network.msg_length
+
+
+def _query(system, class_index=0):
+    return make_query(system.config, class_index, 0, estimated_reads=20.0, created_at=0.0)
+
+
+class TestEstimates:
+    def test_empty_site_estimate_is_service_demand(self):
+        system = StubSystem((0, 0), (0, 0))
+        policy = LERTMVAPolicy()
+        policy.bind(system)
+        # io class: 20 reads * (1.0 disk + 0.05 cpu) = 21.
+        estimate = policy._estimated_response(0, 0, class_index=0)
+        assert estimate == pytest.approx(21.0, rel=0.01)
+
+    def test_estimate_increases_with_load(self):
+        system = StubSystem((0, 0), (0, 0))
+        policy = LERTMVAPolicy()
+        policy.bind(system)
+        estimates = [
+            policy._estimated_response(n, n, class_index=0) for n in range(4)
+        ]
+        assert all(b > a for a, b in zip(estimates, estimates[1:]))
+
+    def test_cache_hit_returns_same_object_value(self):
+        system = StubSystem((0, 0), (0, 0))
+        policy = LERTMVAPolicy()
+        policy.bind(system)
+        first = policy._estimated_response(2, 1, 0)
+        assert (2, 1, 0) in policy._cache
+        assert policy._estimated_response(2, 1, 0) == first
+
+    def test_io_query_penalized_by_io_load(self):
+        system = StubSystem((0, 0), (0, 0))
+        policy = LERTMVAPolicy()
+        policy.bind(system)
+        with_io_load = policy._estimated_response(4, 0, class_index=0)
+        with_cpu_load = policy._estimated_response(0, 4, class_index=0)
+        # An I/O-bound arrival suffers more from I/O-bound competitors.
+        assert with_io_load > with_cpu_load
+
+
+class TestSelection:
+    def test_selects_idle_site(self):
+        system = StubSystem((6, 0, 6), (4, 0, 4))
+        policy = LERTMVAPolicy()
+        policy.bind(system)
+        assert policy.select_site(_query(system), arrival_site=0) == 1
+
+    def test_network_cost_discourages_marginal_transfers(self):
+        system = StubSystem((1, 0), (0, 0), msg_length=50.0)
+        policy = LERTMVAPolicy()
+        policy.bind(system)
+        # One competitor at home, but moving costs 100 time units.
+        assert policy.select_site(_query(system), arrival_site=0) == 0

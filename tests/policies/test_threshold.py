@@ -1,0 +1,128 @@
+"""Unit tests for the THRESHOLD and power-of-d policies."""
+
+import pytest
+
+from repro.model.config import paper_defaults
+from repro.model.loadboard import FrozenLoadView
+from repro.model.query import make_query
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+from repro.policies.threshold import PowerOfDPolicy, ThresholdPolicy
+from repro.sim.engine import Simulator
+
+
+class StubSystem:
+    def __init__(self, io_counts, cpu_counts):
+        self.config = paper_defaults(num_sites=len(io_counts))
+        self.load_view = FrozenLoadView(io_counts, cpu_counts)
+        self.sim = Simulator(seed=77)
+
+    def candidate_sites(self, query):
+        return range(self.config.num_sites)
+
+
+def _query(system):
+    return make_query(system.config, 0, 0, estimated_reads=5.0, created_at=0.0)
+
+
+class TestThresholdPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdPolicy(threshold=-1)
+        with pytest.raises(ValueError):
+            ThresholdPolicy(probe_limit=0)
+
+    def test_stays_home_below_threshold(self):
+        system = StubSystem((3, 0, 0, 0), (0, 0, 0, 0))
+        policy = ThresholdPolicy(threshold=4)
+        policy.bind(system)
+        assert policy.select_site(_query(system), arrival_site=0) == 0
+        assert policy.probes_sent == 0
+
+    def test_transfers_when_overloaded(self):
+        system = StubSystem((9, 0, 0, 0), (0, 0, 0, 0))
+        policy = ThresholdPolicy(threshold=4)
+        policy.bind(system)
+        chosen = policy.select_site(_query(system), arrival_site=0)
+        assert chosen != 0
+        assert policy.probes_sent >= 1
+
+    def test_probe_limit_respected(self):
+        # Every remote site is also overloaded: the policy gives up after
+        # probe_limit probes and keeps the query home.
+        system = StubSystem((9, 9, 9, 9, 9, 9), (0, 0, 0, 0, 0, 0))
+        policy = ThresholdPolicy(threshold=4, probe_limit=2)
+        policy.bind(system)
+        assert policy.select_site(_query(system), arrival_site=0) == 0
+        assert policy.probes_sent == 2
+
+    def test_probe_start_rotates(self):
+        system = StubSystem((9, 0, 0, 0), (0, 0, 0, 0))
+        policy = ThresholdPolicy(threshold=4, probe_limit=1)
+        policy.bind(system)
+        picks = {policy.select_site(_query(system), arrival_site=0) for _ in range(6)}
+        assert len(picks) > 1  # different first-probe targets over time
+
+    def test_single_site_system(self):
+        system = StubSystem((9,), (0,))
+        policy = ThresholdPolicy(threshold=1)
+        policy.bind(system)
+        assert policy.select_site(_query(system), arrival_site=0) == 0
+
+
+class TestPowerOfDPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerOfDPolicy(d=0)
+
+    def test_picks_least_loaded_of_sample(self):
+        # d = num_sites makes the sample deterministic: all sites.
+        system = StubSystem((5, 2, 7, 0), (0, 0, 0, 0))
+        policy = PowerOfDPolicy(d=4)
+        policy.bind(system)
+        assert policy.select_site(_query(system), arrival_site=0) == 3
+
+    def test_home_wins_ties(self):
+        system = StubSystem((1, 1, 1, 1), (0, 0, 0, 0))
+        policy = PowerOfDPolicy(d=4)
+        policy.bind(system)
+        assert policy.select_site(_query(system), arrival_site=2) == 2
+
+    def test_d_larger_than_sites_is_clamped(self):
+        system = StubSystem((1, 0), (0, 0))
+        policy = PowerOfDPolicy(d=10)
+        policy.bind(system)
+        assert policy.select_site(_query(system), arrival_site=0) == 1
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("name", ["THRESHOLD", "SQ2"])
+    def test_registered_and_runs(self, tiny_config, name):
+        system = DistributedDatabase(tiny_config, make_policy(name), seed=1)
+        results = system.run(warmup=100.0, duration=600.0)
+        assert results.completions > 20
+
+    def test_threshold_profile_between_local_and_bnq(self, tiny_config):
+        runs = {}
+        # The tiny config carries ~1-2 queries per site, so the default
+        # threshold of 4 would never trigger; use 1.
+        policies = {
+            "LOCAL": make_policy("LOCAL"),
+            "THRESHOLD": ThresholdPolicy(threshold=1),
+            "BNQ": make_policy("BNQ"),
+        }
+        for name, policy in policies.items():
+            system = DistributedDatabase(tiny_config, policy, seed=2)
+            runs[name] = system.run(300.0, 2500.0)
+        # THRESHOLD transfers sparingly: its remote fraction sits strictly
+        # between LOCAL's zero and BNQ's (the defining partial-information
+        # signature), and it does not do worse than LOCAL.
+        assert (
+            runs["LOCAL"].remote_fraction
+            < runs["THRESHOLD"].remote_fraction
+            < runs["BNQ"].remote_fraction
+        )
+        assert (
+            runs["THRESHOLD"].mean_waiting_time
+            < runs["LOCAL"].mean_waiting_time * 1.02
+        )

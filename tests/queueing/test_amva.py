@@ -1,0 +1,98 @@
+"""Unit tests for the Bard–Schweitzer approximate solver."""
+
+import pytest
+
+from repro.queueing.amva import solve_amva
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import closed_network
+from repro.queueing.stations import delay, fcfs, multiserver, ps
+
+
+class TestAgainstExact:
+    def test_single_class_close_to_exact(self):
+        net = closed_network(
+            [fcfs("disk", [1.0]), ps("cpu", [0.5])], ["jobs"], [5.0]
+        )
+        exact = solve_mva(net, (10,))
+        approx = solve_amva(net, (10,))
+        # Bard-Schweitzer is known to err by ~5-8% at moderate load.
+        assert approx.throughputs[0] == pytest.approx(
+            exact.throughputs[0], rel=0.08
+        )
+
+    def test_multiclass_close_to_exact(self):
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.05, 1.0])],
+            ["io", "cpu"],
+            [3.0, 3.0],
+        )
+        exact = solve_mva(net, (6, 6))
+        approx = solve_amva(net, (6, 6))
+        for k in range(2):
+            assert approx.throughputs[k] == pytest.approx(
+                exact.throughputs[k], rel=0.10
+            )
+            assert approx.cycle_time(k) == pytest.approx(
+                exact.cycle_time(k), rel=0.15
+            )
+
+    def test_multiserver_close_to_exact(self):
+        net = closed_network(
+            [multiserver("disk", [1.0, 1.0], 2), ps("cpu", [0.05, 1.0])],
+            ["io", "cpu"],
+        )
+        exact = solve_mva(net, (4, 3))
+        approx = solve_amva(net, (4, 3))
+        for k in range(2):
+            assert approx.cycle_time(k) == pytest.approx(
+                exact.cycle_time(k), rel=0.30
+            )
+
+    def test_exact_at_population_one(self):
+        # With one customer Bard–Schweitzer's shrink factor is 0, so the
+        # result is exact.
+        net = closed_network([fcfs("d", [1.0]), ps("c", [0.5])], ["jobs"])
+        exact = solve_mva(net, (1,))
+        approx = solve_amva(net, (1,))
+        assert approx.throughputs[0] == pytest.approx(exact.throughputs[0], rel=1e-6)
+
+
+class TestBehaviour:
+    def test_scales_to_large_populations(self):
+        # Exact MVA would need a 101x101 lattice; AMVA is a fixed point.
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.05, 1.0])],
+            ["io", "cpu"],
+            [50.0, 50.0],
+        )
+        solution = solve_amva(net, (100, 100))
+        assert solution.throughputs[0] > 0
+        assert solution.utilization(0) <= 1.0 + 1e-9
+
+    def test_zero_population_class(self):
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.5, 0.5])], ["a", "b"]
+        )
+        solution = solve_amva(net, (5, 0))
+        assert solution.throughputs[1] == 0.0
+
+    def test_delay_station_residence_is_demand(self):
+        net = closed_network(
+            [delay("think", [7.0]), fcfs("d", [1.0])], ["jobs"]
+        )
+        solution = solve_amva(net, (4,))
+        assert solution.residence_times[0][0] == pytest.approx(7.0)
+
+    def test_population_length_mismatch(self):
+        net = closed_network([fcfs("d", [1.0])], ["a"])
+        with pytest.raises(ValueError):
+            solve_amva(net, (1, 2))
+
+    def test_multiserver_residence_includes_seidmann_delay(self):
+        # At light load the c-server residence must approach the full
+        # demand D (not D/c): the Seidmann delay portion is folded back.
+        net = closed_network(
+            [multiserver("disk", [1.0], 3)], ["jobs"], [100.0]
+        )
+        solution = solve_amva(net, (1,))
+        assert solution.residence_times[0][0] == pytest.approx(1.0, rel=1e-6)

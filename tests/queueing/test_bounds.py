@@ -1,0 +1,92 @@
+"""Unit tests for the throughput bounds."""
+
+import pytest
+
+from repro.queueing.bounds import (
+    asymptotic_bounds,
+    balanced_job_bounds,
+    saturation_population,
+)
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import closed_network
+from repro.queueing.stations import delay, fcfs, multiserver, ps
+
+
+@pytest.fixture
+def reference_network():
+    return closed_network(
+        [fcfs("disk", [1.0]), ps("cpu", [0.5])], ["jobs"], [5.0]
+    )
+
+
+class TestAsymptoticBounds:
+    @pytest.mark.parametrize("population", [1, 3, 7, 15, 40])
+    def test_exact_mva_within_bounds(self, reference_network, population):
+        bounds = asymptotic_bounds(reference_network, population)
+        exact = solve_mva(reference_network, (population,)).throughputs[0]
+        assert bounds.contains(exact)
+
+    def test_population_one_upper_is_exact(self, reference_network):
+        bounds = asymptotic_bounds(reference_network, 1)
+        exact = solve_mva(reference_network, (1,)).throughputs[0]
+        assert bounds.upper == pytest.approx(exact)
+        assert bounds.lower == pytest.approx(exact)
+
+    def test_upper_saturates_at_bottleneck(self, reference_network):
+        bounds = asymptotic_bounds(reference_network, 500)
+        assert bounds.upper == pytest.approx(1.0)  # 1 / D_max = 1/1.0
+
+    def test_zero_population(self, reference_network):
+        bounds = asymptotic_bounds(reference_network, 0)
+        assert bounds.lower == bounds.upper == 0.0
+
+    def test_negative_population_rejected(self, reference_network):
+        with pytest.raises(ValueError):
+            asymptotic_bounds(reference_network, -1)
+
+    def test_multiclass_rejected(self):
+        net = closed_network([ps("cpu", [1.0, 1.0])], ["a", "b"])
+        with pytest.raises(ValueError):
+            asymptotic_bounds(net, 3)
+
+    def test_pure_delay_network_rejected(self):
+        net = closed_network([delay("think", [1.0])], ["a"])
+        with pytest.raises(ValueError):
+            asymptotic_bounds(net, 3)
+
+    def test_multiserver_effective_demand(self):
+        # A 2-server station with D=1 saturates at rate 2.
+        net = closed_network([multiserver("disk", [1.0], 2)], ["jobs"], [1.0])
+        bounds = asymptotic_bounds(net, 100)
+        assert bounds.upper == pytest.approx(2.0)
+
+
+class TestBalancedJobBounds:
+    @pytest.mark.parametrize("population", [1, 3, 7, 15, 40])
+    def test_exact_mva_within_bounds(self, reference_network, population):
+        bounds = balanced_job_bounds(reference_network, population)
+        exact = solve_mva(reference_network, (population,)).throughputs[0]
+        assert bounds.contains(exact), (population, bounds, exact)
+
+    @pytest.mark.parametrize("population", [2, 5, 10, 30])
+    def test_at_least_as_tight_as_asymptotic(self, reference_network, population):
+        asymptotic = asymptotic_bounds(reference_network, population)
+        balanced = balanced_job_bounds(reference_network, population)
+        assert balanced.upper <= asymptotic.upper + 1e-12
+        assert balanced.lower >= asymptotic.lower - 1e-12
+
+
+class TestSaturation:
+    def test_saturation_population(self, reference_network):
+        # (D + Z) / D_max = (1.5 + 5) / 1 = 6.5.
+        assert saturation_population(reference_network) == pytest.approx(6.5)
+
+    def test_throughput_flattens_past_saturation(self, reference_network):
+        n_star = saturation_population(reference_network)
+        below = solve_mva(reference_network, (max(1, int(n_star // 2)),)).throughputs[0]
+        above = solve_mva(reference_network, (int(n_star * 3),)).throughputs[0]
+        far_above = solve_mva(reference_network, (int(n_star * 6),)).throughputs[0]
+        # Below saturation throughput is well under the cap; far above, the
+        # marginal gain is tiny.
+        assert below < 0.95 * (1.0 / 1.0)
+        assert (far_above - above) < 0.02

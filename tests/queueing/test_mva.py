@@ -1,0 +1,181 @@
+"""Unit tests for the exact MVA solver."""
+
+import pytest
+
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import ClosedNetwork, closed_network
+from repro.queueing.stations import delay, fcfs, multiserver, ps
+from repro.queueing.validate import (
+    littles_law_residual,
+    machine_repairman_throughput,
+    population_residual,
+    utilization_bounds_violation,
+)
+
+
+class TestClosedForms:
+    @pytest.mark.parametrize("machines", [1, 2, 5, 10, 25])
+    def test_machine_repairman(self, machines):
+        think, service = 10.0, 1.0
+        net = closed_network([fcfs("repair", [service])], ["m"], think_times=[think])
+        solution = solve_mva(net, (machines,))
+        reference = machine_repairman_throughput(machines, think, service)
+        assert solution.throughputs[0] == pytest.approx(reference, rel=1e-12)
+
+    def test_single_customer_never_waits(self):
+        net = closed_network(
+            [fcfs("disk", [1.0]), ps("cpu", [0.5])], ["jobs"]
+        )
+        solution = solve_mva(net, (1,))
+        assert solution.waiting_time(0) == pytest.approx(0.0, abs=1e-12)
+        assert solution.cycle_time(0) == pytest.approx(1.5)
+        assert solution.throughputs[0] == pytest.approx(1 / 1.5)
+
+    def test_two_station_single_customer_residences_are_demands(self):
+        net = closed_network([ps("a", [2.0]), ps("b", [3.0])], ["jobs"])
+        solution = solve_mva(net, (1,))
+        assert solution.residence_times[0] == (
+            pytest.approx(2.0),
+            pytest.approx(3.0),
+        )
+
+    def test_asymptotic_bottleneck_throughput(self):
+        # With many customers, throughput approaches 1 / max demand.
+        net = closed_network([fcfs("slow", [2.0]), fcfs("fast", [1.0])], ["jobs"])
+        solution = solve_mva(net, (50,))
+        assert solution.throughputs[0] == pytest.approx(0.5, rel=1e-3)
+        assert solution.utilization(0) == pytest.approx(1.0, rel=1e-3)
+
+
+class TestMultiServer:
+    def test_two_servers_single_customer_is_plain_service(self):
+        net = closed_network([multiserver("disk", [1.0], 2)], ["jobs"], [5.0])
+        solution = solve_mva(net, (1,))
+        assert solution.cycle_time(0) == pytest.approx(1.0)
+
+    def test_two_customers_two_servers_never_queue_without_think(self):
+        net = closed_network([multiserver("disk", [1.0], 2)], ["jobs"])
+        solution = solve_mva(net, (2,))
+        # Both customers always at the 2-server station: no queueing.
+        assert solution.cycle_time(0) == pytest.approx(1.0)
+        assert solution.throughputs[0] == pytest.approx(2.0)
+
+    def test_multiserver_beats_single_fast_load(self):
+        single = closed_network([fcfs("d", [1.0])], ["jobs"], [2.0])
+        double = closed_network([multiserver("d", [1.0], 2)], ["jobs"], [2.0])
+        x1 = solve_mva(single, (6,)).throughputs[0]
+        x2 = solve_mva(double, (6,)).throughputs[0]
+        assert x2 > x1
+
+    def test_multiserver_matches_erlang_machine_repairman_limit(self):
+        # c servers, population <= c: nobody ever queues.
+        net = closed_network([multiserver("d", [1.0], 4)], ["jobs"], [1.0])
+        solution = solve_mva(net, (4,))
+        assert solution.waiting_time(0) == pytest.approx(0.0, abs=1e-10)
+
+
+class TestMultiClass:
+    def test_symmetric_classes_get_identical_measures(self):
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.4, 0.4])], ["a", "b"]
+        )
+        solution = solve_mva(net, (3, 3))
+        assert solution.throughputs[0] == pytest.approx(solution.throughputs[1])
+        assert solution.waiting_time(0) == pytest.approx(solution.waiting_time(1))
+
+    def test_heavier_class_waits_longer_at_its_resource(self):
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.05, 1.0])], ["io", "cpu"]
+        )
+        solution = solve_mva(net, (2, 2))
+        # The CPU-bound class's CPU residence exceeds the I/O class's.
+        assert solution.residence_times[1][1] > solution.residence_times[0][1]
+
+    def test_empty_class_contributes_nothing(self):
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.5, 0.5])], ["a", "b"]
+        )
+        with_empty = solve_mva(net, (3, 0))
+        single = closed_network([fcfs("disk", [1.0]), ps("cpu", [0.5])], ["a"])
+        alone = solve_mva(single, (3,))
+        assert with_empty.throughputs[0] == pytest.approx(alone.throughputs[0])
+        assert with_empty.throughputs[1] == 0.0
+
+    def test_zero_population_solution(self):
+        net = closed_network([fcfs("d", [1.0])], ["a"])
+        solution = solve_mva(net, (0,))
+        assert solution.throughputs == (0.0,)
+        assert solution.queue_lengths == (0.0,)
+
+    def test_waiting_increases_with_population(self):
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.05, 1.0])], ["io", "cpu"]
+        )
+        waits = [
+            solve_mva(net, (n, n)).waiting_time(0) for n in range(1, 5)
+        ]
+        assert all(b > a for a, b in zip(waits, waits[1:]))
+
+    def test_think_time_reduces_contention(self):
+        busy = closed_network([fcfs("d", [1.0])], ["a"], [0.0])
+        relaxed = closed_network([fcfs("d", [1.0])], ["a"], [10.0])
+        assert (
+            solve_mva(relaxed, (4,)).waiting_time(0)
+            < solve_mva(busy, (4,)).waiting_time(0)
+        )
+
+
+class TestInvariants:
+    @pytest.mark.parametrize(
+        "population", [(1, 1), (3, 2), (0, 4), (5, 5)]
+    )
+    def test_conservation_laws(self, population):
+        net = closed_network(
+            [
+                multiserver("disk", [1.0, 1.0], 2),
+                ps("cpu", [0.05, 1.0]),
+            ],
+            ["io", "cpu"],
+            [2.0, 2.0],
+        )
+        solution = solve_mva(net, population)
+        assert population_residual(solution) < 1e-9
+        assert littles_law_residual(solution) < 1e-9
+        assert utilization_bounds_violation(solution) < 1e-9
+
+    def test_normalized_waiting_definition(self):
+        net = closed_network(
+            [fcfs("disk", [1.0, 1.0]), ps("cpu", [0.05, 1.0])], ["io", "cpu"]
+        )
+        solution = solve_mva(net, (2, 2))
+        for k, demand in ((0, 1.05), (1, 2.0)):
+            assert solution.normalized_waiting_time(k) == pytest.approx(
+                solution.waiting_time(k) / demand
+            )
+
+
+class TestErrors:
+    def test_population_length_mismatch(self):
+        net = closed_network([fcfs("d", [1.0, 1.0])], ["a", "b"])
+        with pytest.raises(ValueError):
+            solve_mva(net, (1,))
+
+    def test_class_with_no_demand_anywhere(self):
+        net = closed_network([ps("cpu", [1.0, 0.0])], ["a", "b"])
+        with pytest.raises(ValueError, match="zero total demand"):
+            solve_mva(net, (1, 1))
+
+    def test_network_validation(self):
+        with pytest.raises(ValueError):
+            ClosedNetwork((), ("a",))
+        with pytest.raises(ValueError):
+            closed_network([ps("cpu", [1.0])], ["a", "b"])
+        with pytest.raises(ValueError):
+            closed_network([ps("cpu", [1.0])], ["a"], think_times=[-1.0])
+
+    def test_station_lookup(self):
+        net = closed_network([ps("cpu", [1.0]), fcfs("d", [1.0])], ["a"])
+        assert net.station_index("d") == 1
+        assert net.station_named("cpu").kind.value == "ps"
+        with pytest.raises(KeyError):
+            net.station_index("nope")

@@ -1,0 +1,69 @@
+"""Unit tests for population-vector utilities."""
+
+import pytest
+
+from repro.queueing.population import (
+    decrement,
+    lattice,
+    lattice_size,
+    total,
+    validate_population,
+    zero_like,
+)
+
+
+class TestValidation:
+    def test_accepts_valid(self):
+        assert validate_population((2, 3)) == (2, 3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validate_population((1, -1))
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError):
+            validate_population((1.5, 2))
+
+
+class TestHelpers:
+    def test_zero_like(self):
+        assert zero_like((3, 4, 5)) == (0, 0, 0)
+
+    def test_total(self):
+        assert total((2, 3, 4)) == 9
+
+    def test_decrement(self):
+        assert decrement((2, 3), 1) == (2, 2)
+
+    def test_decrement_empty_class_raises(self):
+        with pytest.raises(ValueError):
+            decrement((2, 0), 1)
+
+
+class TestLattice:
+    def test_size(self):
+        assert lattice_size((2, 3)) == 12
+        assert lattice_size((0, 0)) == 1
+
+    def test_enumerates_everything_once(self):
+        vectors = list(lattice((2, 2)))
+        assert len(vectors) == 9
+        assert len(set(vectors)) == 9
+        assert all(0 <= a <= 2 and 0 <= b <= 2 for a, b in vectors)
+
+    def test_increasing_total_order(self):
+        vectors = list(lattice((3, 2)))
+        totals = [sum(v) for v in vectors]
+        assert totals == sorted(totals)
+
+    def test_recursion_prerequisite(self):
+        # Every v - e_k appears before v, which the MVA recursion relies on.
+        vectors = list(lattice((2, 2, 1)))
+        position = {v: i for i, v in enumerate(vectors)}
+        for v in vectors:
+            for k in range(3):
+                if v[k] > 0:
+                    assert position[decrement(v, k)] < position[v]
+
+    def test_single_class(self):
+        assert list(lattice((3,))) == [(0,), (1,), (2,), (3,)]

@@ -1,0 +1,96 @@
+"""Property-based tests for the MVA solvers over random small networks."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.amva import solve_amva
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import closed_network
+from repro.queueing.stations import Station, StationKind
+from repro.queueing.validate import (
+    littles_law_residual,
+    population_residual,
+    utilization_bounds_violation,
+)
+
+demand = st.floats(min_value=0.05, max_value=5.0, allow_nan=False)
+
+
+@st.composite
+def small_networks(draw):
+    """A random 2-class network: one shared FCFS + one PS + think times."""
+    shared = draw(demand)
+    cpu_demands = (draw(demand), draw(demand))
+    think = (
+        draw(st.floats(min_value=0.0, max_value=10.0)),
+        draw(st.floats(min_value=0.0, max_value=10.0)),
+    )
+    servers = draw(st.integers(min_value=1, max_value=3))
+    disk_kind = StationKind.MULTISERVER if servers > 1 else StationKind.FCFS
+    stations = (
+        Station("disk", disk_kind, (shared, shared), servers=servers),
+        Station("cpu", StationKind.PS, cpu_demands),
+    )
+    population = (
+        draw(st.integers(min_value=0, max_value=4)),
+        draw(st.integers(min_value=0, max_value=4)),
+    )
+    return closed_network(stations, ("a", "b"), think), population
+
+
+@settings(deadline=None, max_examples=60)
+@given(small_networks())
+def test_exact_mva_satisfies_conservation_laws(net_pop):
+    network, population = net_pop
+    solution = solve_mva(network, population)
+    assert population_residual(solution) < 1e-8
+    assert littles_law_residual(solution) < 1e-8
+    assert utilization_bounds_violation(solution) < 1e-8
+
+
+@settings(deadline=None, max_examples=60)
+@given(small_networks())
+def test_waiting_times_nonnegative(net_pop):
+    network, population = net_pop
+    solution = solve_mva(network, population)
+    for k in range(2):
+        assert solution.waiting_time(k) >= -1e-9
+
+
+@settings(deadline=None, max_examples=40)
+@given(small_networks())
+def test_throughput_monotone_in_own_population(net_pop):
+    network, population = net_pop
+    grown = (population[0] + 1, population[1])
+    x_small = solve_mva(network, population).throughputs[0]
+    x_large = solve_mva(network, grown).throughputs[0]
+    assert x_large >= x_small - 1e-9
+
+
+@settings(deadline=None, max_examples=40)
+@given(small_networks())
+def test_amva_tracks_exact_loosely(net_pop):
+    network, population = net_pop
+    if sum(population) == 0:
+        return
+    exact = solve_mva(network, population)
+    approx = solve_amva(network, population)
+    for k in range(2):
+        if population[k] == 0:
+            assert approx.throughputs[k] == 0.0
+            continue
+        assert approx.throughputs[k] == pytest.approx(
+            exact.throughputs[k], rel=0.35, abs=1e-9
+        )
+
+
+@settings(deadline=None, max_examples=40)
+@given(small_networks())
+def test_amva_conservation(net_pop):
+    network, population = net_pop
+    solution = solve_amva(network, population)
+    # AMVA is approximate but must still satisfy Little's law internally
+    # and keep utilizations legal.
+    assert littles_law_residual(solution) < 1e-6
+    assert utilization_bounds_violation(solution) < 1e-6

@@ -1,0 +1,112 @@
+"""Tests for the generic closed-network simulation adapter."""
+
+import pytest
+
+from repro.queueing.mva import solve_mva
+from repro.queueing.network import closed_network
+from repro.queueing.simulate import simulate_network
+from repro.queueing.stations import delay, fcfs, multiserver, ps
+
+
+class TestAgreementWithExactMVA:
+    def test_single_class_two_stations(self):
+        net = closed_network(
+            [fcfs("disk", [1.0]), ps("cpu", [0.5])], ["jobs"], [3.0]
+        )
+        exact = solve_mva(net, (5,))
+        measured = simulate_network(net, (5,), horizon=30000.0, seed=1)
+        assert measured.throughputs[0] == pytest.approx(
+            exact.throughputs[0], rel=0.05
+        )
+        assert measured.cycle_times[0] == pytest.approx(
+            exact.cycle_time(0), rel=0.08
+        )
+
+    def test_multiclass_with_multiserver(self):
+        net = closed_network(
+            [multiserver("disk", [1.0, 1.0], 2), ps("cpu", [0.05, 1.0])],
+            ["io", "cpu"],
+        )
+        exact = solve_mva(net, (3, 2))
+        measured = simulate_network(net, (3, 2), horizon=40000.0, seed=2)
+        for k in range(2):
+            assert measured.throughputs[k] == pytest.approx(
+                exact.throughputs[k], rel=0.06
+            )
+            assert measured.waiting_times[k] == pytest.approx(
+                exact.waiting_time(k), rel=0.15, abs=0.03
+            )
+
+    def test_delay_station(self):
+        net = closed_network(
+            [delay("think", [5.0]), fcfs("disk", [1.0])], ["jobs"]
+        )
+        exact = solve_mva(net, (4,))
+        measured = simulate_network(net, (4,), horizon=30000.0, seed=3)
+        assert measured.throughputs[0] == pytest.approx(
+            exact.throughputs[0], rel=0.05
+        )
+
+    def test_utilization_law(self):
+        net = closed_network([fcfs("disk", [1.0]), ps("cpu", [0.5])], ["jobs"], [3.0])
+        measured = simulate_network(net, (5,), horizon=30000.0, seed=4)
+        # U = X * D at every station.
+        assert measured.utilizations[0] == pytest.approx(
+            measured.throughputs[0] * 1.0, rel=0.03
+        )
+        assert measured.utilizations[1] == pytest.approx(
+            measured.throughputs[0] * 0.5, rel=0.03
+        )
+
+
+class TestServiceVariability:
+    def test_deterministic_service_waits_less_than_exponential(self):
+        # M/D/1-flavored: lower service variability, lower queueing.
+        net = closed_network([fcfs("disk", [1.0])], ["jobs"], [2.0])
+        exponential = simulate_network(
+            net, (6,), horizon=30000.0, seed=5, service_cv=1.0
+        )
+        deterministic = simulate_network(
+            net, (6,), horizon=30000.0, seed=5, service_cv=0.0
+        )
+        assert deterministic.waiting_times[0] < exponential.waiting_times[0]
+
+    def test_hyperexponential_service_waits_more(self):
+        net = closed_network([fcfs("disk", [1.0])], ["jobs"], [2.0])
+        exponential = simulate_network(
+            net, (6,), horizon=30000.0, seed=6, service_cv=1.0
+        )
+        bursty = simulate_network(
+            net, (6,), horizon=30000.0, seed=6, service_cv=3.0
+        )
+        assert bursty.waiting_times[0] > exponential.waiting_times[0]
+
+    def test_service_cv_mean_preserved(self):
+        # Throughput (a mean-driven quantity) should barely move with cv at
+        # low load.
+        net = closed_network([fcfs("disk", [1.0])], ["jobs"], [20.0])
+        runs = [
+            simulate_network(net, (2,), horizon=40000.0, seed=7, service_cv=cv)
+            for cv in (0.0, 1.0, 2.0)
+        ]
+        xs = [r.throughputs[0] for r in runs]
+        assert max(xs) / min(xs) < 1.1
+
+
+class TestValidation:
+    def test_population_mismatch(self):
+        net = closed_network([fcfs("d", [1.0])], ["a"])
+        with pytest.raises(ValueError):
+            simulate_network(net, (1, 2))
+
+    def test_bad_warmup(self):
+        net = closed_network([fcfs("d", [1.0])], ["a"])
+        with pytest.raises(ValueError):
+            simulate_network(net, (1,), horizon=100.0, warmup=100.0)
+
+    def test_reproducible(self):
+        net = closed_network([fcfs("d", [1.0]), ps("c", [0.5])], ["a"], [2.0])
+        a = simulate_network(net, (3,), horizon=5000.0, seed=9)
+        b = simulate_network(net, (3,), horizon=5000.0, seed=9)
+        assert a.throughputs == b.throughputs
+        assert a.cycle_times == b.cycle_times

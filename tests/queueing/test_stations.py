@@ -1,0 +1,69 @@
+"""Unit tests for station descriptions."""
+
+import pytest
+
+from repro.queueing.stations import Station, StationKind, delay, fcfs, multiserver, ps
+
+
+class TestConstruction:
+    def test_ps_allows_class_dependent_demands(self):
+        station = ps("cpu", [0.05, 1.0])
+        assert station.kind is StationKind.PS
+        assert station.demands == (0.05, 1.0)
+
+    def test_fcfs_rejects_class_dependent_demands(self):
+        with pytest.raises(ValueError, match="class-independent"):
+            fcfs("disk", [1.0, 2.0])
+
+    def test_fcfs_allows_zero_demand_classes(self):
+        # A class that skips the station entirely is fine.
+        station = fcfs("disk", [1.0, 0.0, 1.0])
+        assert station.demands == (1.0, 0.0, 1.0)
+
+    def test_multiserver_requires_class_independent(self):
+        with pytest.raises(ValueError):
+            multiserver("disk", [1.0, 2.0], servers=2)
+
+    def test_multiserver_requires_positive_servers(self):
+        with pytest.raises(ValueError):
+            Station("d", StationKind.MULTISERVER, (1.0,), servers=0)
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(ValueError):
+            ps("cpu", [-0.1])
+
+    def test_empty_demands_rejected(self):
+        with pytest.raises(ValueError):
+            ps("cpu", [])
+
+
+class TestProperties:
+    def test_class_count(self):
+        assert ps("cpu", [1.0, 2.0, 3.0]).class_count == 3
+
+    def test_is_queueing(self):
+        assert ps("cpu", [1.0]).is_queueing
+        assert fcfs("d", [1.0]).is_queueing
+        assert not delay("think", [1.0]).is_queueing
+
+    def test_is_load_dependent(self):
+        assert multiserver("d", [1.0], servers=2).is_load_dependent
+        assert not multiserver("d", [1.0], servers=1).is_load_dependent
+        assert not fcfs("d", [1.0]).is_load_dependent
+
+    def test_rate_multiplier_multiserver(self):
+        station = multiserver("d", [1.0], servers=3)
+        assert station.rate_multiplier(0) == 0.0
+        assert station.rate_multiplier(1) == 1.0
+        assert station.rate_multiplier(2) == 2.0
+        assert station.rate_multiplier(3) == 3.0
+        assert station.rate_multiplier(9) == 3.0
+
+    def test_rate_multiplier_delay_scales_linearly(self):
+        station = delay("think", [1.0])
+        assert station.rate_multiplier(5) == 5.0
+
+    def test_rate_multiplier_single_server(self):
+        station = fcfs("d", [1.0])
+        assert station.rate_multiplier(1) == 1.0
+        assert station.rate_multiplier(7) == 1.0

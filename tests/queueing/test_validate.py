@@ -1,0 +1,72 @@
+"""Unit tests for the closed-form references used in validation."""
+
+import math
+
+import pytest
+
+from repro.queueing.validate import (
+    machine_repairman_throughput,
+    mm1_queue_length,
+    mmc_erlang_c,
+    mmc_mean_wait,
+)
+
+
+class TestMachineRepairman:
+    def test_one_machine(self):
+        # Cycle = think + service; X = 1 / (think + service).
+        assert machine_repairman_throughput(1, 9.0, 1.0) == pytest.approx(0.1)
+
+    def test_saturation_limit(self):
+        # Many machines: the repairman saturates at 1/service.
+        x = machine_repairman_throughput(200, 1.0, 1.0)
+        assert x == pytest.approx(1.0, rel=1e-6)
+
+    def test_monotone_in_machines(self):
+        values = [machine_repairman_throughput(n, 10.0, 1.0) for n in (1, 2, 4, 8)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_zero_think_time(self):
+        assert machine_repairman_throughput(3, 0.0, 2.0) == pytest.approx(0.5)
+
+    def test_invalid_machines(self):
+        with pytest.raises(ValueError):
+            machine_repairman_throughput(0, 1.0, 1.0)
+
+
+class TestMM1:
+    def test_known_value(self):
+        assert mm1_queue_length(0.5) == pytest.approx(1.0)
+        assert mm1_queue_length(0.9) == pytest.approx(9.0)
+
+    def test_zero_load(self):
+        assert mm1_queue_length(0.0) == 0.0
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            mm1_queue_length(1.0)
+
+
+class TestErlangC:
+    def test_single_server_equals_utilization(self):
+        # For c=1 the queueing probability is rho.
+        assert mmc_erlang_c(1, 0.6) == pytest.approx(0.6)
+
+    def test_known_two_server_value(self):
+        # Standard textbook value: c=2, a=1 -> C = 1/3.
+        assert mmc_erlang_c(2, 1.0) == pytest.approx(1.0 / 3.0)
+
+    def test_decreases_with_servers_at_fixed_load(self):
+        values = [mmc_erlang_c(c, 0.9) for c in (1, 2, 4)]
+        assert all(b < a for a, b in zip(values, values[1:]))
+
+    def test_rejects_overload(self):
+        with pytest.raises(ValueError):
+            mmc_erlang_c(2, 2.0)
+
+    def test_mean_wait_single_server(self):
+        # M/M/1: Wq = rho * s / (1 - rho).
+        s, lam = 1.0, 0.5
+        rho = lam * s
+        expected = rho * s / (1 - rho)
+        assert mmc_mean_wait(1, lam, s) == pytest.approx(expected)

@@ -1,0 +1,132 @@
+"""Unit tests for the statistics monitors."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.errors import MonitorError
+from repro.sim.monitor import Tally, TimeWeighted
+
+
+class TestTally:
+    def test_mean_and_variance_match_statistics_module(self):
+        data = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        tally = Tally()
+        for x in data:
+            tally.record(x)
+        assert tally.mean == pytest.approx(statistics.mean(data))
+        assert tally.variance == pytest.approx(statistics.variance(data))
+        assert tally.stdev == pytest.approx(statistics.stdev(data))
+
+    def test_min_max_total_count(self):
+        tally = Tally()
+        for x in (2.0, -1.0, 7.0):
+            tally.record(x)
+        assert tally.minimum == -1.0
+        assert tally.maximum == 7.0
+        assert tally.total == 8.0
+        assert tally.count == 3
+
+    def test_empty_tally_defaults(self):
+        tally = Tally()
+        assert tally.mean == 0.0
+        assert tally.variance == 0.0
+        with pytest.raises(MonitorError):
+            _ = tally.minimum
+
+    def test_single_observation_variance_zero(self):
+        tally = Tally()
+        tally.record(5.0)
+        assert tally.variance == 0.0
+
+    def test_keep_retains_observations(self):
+        tally = Tally(keep=True)
+        for x in (1.0, 2.0, 3.0):
+            tally.record(x)
+        assert tally.observations == [1.0, 2.0, 3.0]
+
+    def test_keep_false_retains_nothing(self):
+        tally = Tally(keep=False)
+        tally.record(1.0)
+        assert tally.observations == []
+
+    def test_reset(self):
+        tally = Tally(keep=True)
+        tally.record(1.0)
+        tally.reset()
+        assert tally.count == 0
+        assert tally.observations == []
+        assert tally.mean == 0.0
+
+    def test_nan_rejected(self):
+        tally = Tally()
+        with pytest.raises(MonitorError):
+            tally.record(math.nan)
+
+    def test_numerical_stability_large_offset(self):
+        # Welford should survive a large common offset.
+        tally = Tally()
+        base = 1e12
+        for x in (base + 1, base + 2, base + 3):
+            tally.record(x)
+        assert tally.variance == pytest.approx(1.0, rel=1e-6)
+
+
+class TestTimeWeighted:
+    def test_piecewise_constant_integral(self):
+        sim = Simulator()
+        monitor = TimeWeighted(sim, initial=0.0)
+        sim.schedule(2.0, lambda: monitor.set(3.0))
+        sim.schedule(6.0, lambda: monitor.set(1.0))
+        sim.run(until=10.0)
+        # integral = 0*2 + 3*4 + 1*4 = 16 over 10 units.
+        assert monitor.time_average == pytest.approx(1.6)
+
+    def test_add_deltas(self):
+        sim = Simulator()
+        monitor = TimeWeighted(sim)
+        sim.schedule(1.0, lambda: monitor.add(2.0))
+        sim.schedule(3.0, lambda: monitor.add(-1.0))
+        sim.run(until=4.0)
+        # 0 for [0,1), 2 for [1,3), 1 for [3,4): integral 5 over 4.
+        assert monitor.time_average == pytest.approx(1.25)
+        assert monitor.value == 1.0
+
+    def test_initial_value_counts(self):
+        sim = Simulator()
+        monitor = TimeWeighted(sim, initial=5.0)
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=2.0)
+        assert monitor.time_average == pytest.approx(5.0)
+
+    def test_maximum_tracked(self):
+        sim = Simulator()
+        monitor = TimeWeighted(sim)
+        sim.schedule(1.0, lambda: monitor.set(7.0))
+        sim.schedule(2.0, lambda: monitor.set(2.0))
+        sim.run()
+        assert monitor.maximum == 7.0
+
+    def test_reset_preserves_value_drops_area(self):
+        sim = Simulator()
+        monitor = TimeWeighted(sim, initial=4.0)
+        sim.schedule(5.0, lambda: monitor.reset())
+        sim.run(until=10.0)
+        assert monitor.time_average == pytest.approx(4.0)
+        assert monitor.elapsed == pytest.approx(5.0)
+
+    def test_zero_elapsed_returns_current_value(self):
+        sim = Simulator()
+        monitor = TimeWeighted(sim, initial=3.0)
+        assert monitor.time_average == 3.0
+
+    def test_average_with_warmup_truncation(self):
+        # The canonical use: accumulate during warmup, reset, then measure.
+        sim = Simulator()
+        monitor = TimeWeighted(sim, initial=100.0)
+        sim.schedule(10.0, lambda: monitor.set(1.0))
+        sim.schedule(10.0, lambda: monitor.reset())
+        sim.run(until=20.0)
+        assert monitor.time_average == pytest.approx(1.0)

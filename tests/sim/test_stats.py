@@ -1,0 +1,95 @@
+"""Unit tests for output analysis (batch means and intervals)."""
+
+import math
+
+import pytest
+
+from repro.sim.errors import MonitorError
+from repro.sim.stats import IntervalEstimate, batch_means, mean_and_ci, relative_change
+
+
+class TestBatchMeans:
+    def test_constant_data_zero_half_width(self):
+        estimate = batch_means([5.0] * 100, batches=10)
+        assert estimate.mean == pytest.approx(5.0)
+        assert estimate.half_width == pytest.approx(0.0)
+
+    def test_mean_over_full_batches_only(self):
+        # 7 observations, 3 batches of 2: the 7th is discarded.
+        data = [1.0, 1.0, 2.0, 2.0, 3.0, 3.0, 999.0]
+        estimate = batch_means(data, batches=3)
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.batches == 3
+
+    def test_interval_contains_true_mean_for_iid_data(self):
+        import random
+
+        rng = random.Random(99)
+        data = [rng.gauss(10.0, 2.0) for _ in range(2000)]
+        estimate = batch_means(data, batches=20, confidence=0.99)
+        assert estimate.low <= 10.0 <= estimate.high
+
+    def test_more_data_narrows_interval(self):
+        import random
+
+        rng = random.Random(5)
+        small = [rng.expovariate(1.0) for _ in range(200)]
+        rng = random.Random(5)
+        large = [rng.expovariate(1.0) for _ in range(20000)]
+        assert (
+            batch_means(large, batches=20).half_width
+            < batch_means(small, batches=20).half_width
+        )
+
+    def test_too_few_observations_raises(self):
+        with pytest.raises(MonitorError):
+            batch_means([1.0, 2.0], batches=5)
+
+    def test_bad_arguments_raise(self):
+        with pytest.raises(MonitorError):
+            batch_means([1.0] * 10, batches=1)
+        with pytest.raises(MonitorError):
+            batch_means([1.0] * 10, batches=2, confidence=1.5)
+
+
+class TestMeanAndCI:
+    def test_single_sample_infinite_interval(self):
+        estimate = mean_and_ci([4.0])
+        assert estimate.mean == 4.0
+        assert math.isinf(estimate.half_width)
+
+    def test_two_samples(self):
+        estimate = mean_and_ci([1.0, 3.0], confidence=0.95)
+        assert estimate.mean == pytest.approx(2.0)
+        assert estimate.half_width > 0
+
+    def test_empty_raises(self):
+        with pytest.raises(MonitorError):
+            mean_and_ci([])
+
+
+class TestIntervalEstimate:
+    def test_bounds(self):
+        estimate = IntervalEstimate(mean=10.0, half_width=2.0, confidence=0.95, batches=20)
+        assert estimate.low == 8.0
+        assert estimate.high == 12.0
+        assert estimate.relative_half_width == pytest.approx(0.2)
+
+    def test_relative_half_width_zero_mean(self):
+        estimate = IntervalEstimate(mean=0.0, half_width=1.0, confidence=0.95, batches=5)
+        assert math.isinf(estimate.relative_half_width)
+
+    def test_str_mentions_confidence(self):
+        estimate = IntervalEstimate(mean=1.0, half_width=0.1, confidence=0.95, batches=20)
+        assert "95%" in str(estimate)
+
+
+class TestRelativeChange:
+    def test_improvement_positive(self):
+        assert relative_change(new=8.0, base=10.0) == pytest.approx(0.2)
+
+    def test_regression_negative(self):
+        assert relative_change(new=12.0, base=10.0) == pytest.approx(-0.2)
+
+    def test_zero_base(self):
+        assert relative_change(new=5.0, base=0.0) == 0.0
