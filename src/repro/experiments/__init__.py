@@ -22,11 +22,23 @@ from repro.experiments import (
     table11,
     table12,
 )
+from repro.experiments.cache import (
+    ResultCache,
+    cache_key,
+    default_cache_dir,
+)
 from repro.experiments.common import (
     AveragedResults,
     TextTable,
+    average_results,
     improvement_pct,
     simulate,
+)
+from repro.experiments.parallel import (
+    ReplicationTask,
+    resolve_jobs,
+    run_tasks,
+    simulate_many,
 )
 from repro.experiments.report import generate_report, write_report
 from repro.experiments.sweep import (
@@ -58,8 +70,16 @@ __all__ = [
     "msg_sensitivity",
     "AveragedResults",
     "TextTable",
+    "average_results",
     "improvement_pct",
     "simulate",
+    "ResultCache",
+    "cache_key",
+    "default_cache_dir",
+    "ReplicationTask",
+    "resolve_jobs",
+    "run_tasks",
+    "simulate_many",
     "RunSettings",
     "QUICK",
     "STANDARD",

@@ -15,19 +15,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from repro.experiments.common import TextTable, improvement_pct
+from repro.experiments.parallel import ReplicationTask, run_tasks
 from repro.experiments.runconfig import STANDARD, RunSettings
-from repro.extensions.heterogeneous import (
-    HeterogeneousDatabase,
-    HeterogeneousLERTPolicy,
-)
-from repro.extensions.stale_info import StaleInfoDatabase
-from repro.extensions.updates import UpdateWorkloadDatabase
 from repro.model.config import DISK_PER_DISK, DISK_SHARED, paper_defaults
-from repro.model.system import DistributedDatabase
-from repro.policies.registry import make_policy
 
 # ----------------------------------------------------------------------
 # A2: load-information staleness
@@ -52,22 +45,36 @@ def stale_info_sweep(
     settings: RunSettings = STANDARD,
     intervals: Tuple[float, ...] = (0.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0),
     policy: str = "LERT",
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> StaleInfoResult:
     """LERT's waiting time as load snapshots go stale."""
     config = paper_defaults()
-    local = DistributedDatabase(config, make_policy("LOCAL"), seed=settings.seed_for(0))
-    w_local = local.run(settings.warmup, settings.duration).mean_waiting_time
-    waits: Dict[float, float] = {}
-    for interval in intervals:
-        system = StaleInfoDatabase(
-            config,
-            make_policy(policy),
-            seed=settings.seed_for(0),
-            refresh_interval=interval,
+    seed = settings.seed_for(0)
+    tasks: List[ReplicationTask] = [
+        ReplicationTask(
+            config, "LOCAL", seed, settings.warmup, settings.duration
         )
-        waits[interval] = system.run(
-            settings.warmup, settings.duration
-        ).mean_waiting_time
+    ]
+    tasks.extend(
+        ReplicationTask(
+            config,
+            policy,
+            seed,
+            settings.warmup,
+            settings.duration,
+            system_kind="stale",
+            system_kwargs=(("refresh_interval", interval),),
+        )
+        for interval in intervals
+    )
+    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    w_local = runs[0].mean_waiting_time
+    waits: Dict[float, float] = {
+        interval: run.mean_waiting_time
+        for interval, run in zip(intervals, runs[1:])
+    }
     return StaleInfoResult(intervals=tuple(intervals), waits=waits, w_local=w_local)
 
 
@@ -105,20 +112,29 @@ class DiskOrganizationResult:
 def disk_organization_study(
     settings: RunSettings = STANDARD,
     policies: Tuple[str, ...] = ("LOCAL", "BNQ", "LERT"),
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> DiskOrganizationResult:
     """Per-disk queues (paper's Figure 2) vs one shared multi-server queue."""
-    waits: Dict[Tuple[str, str], float] = {}
+    seed = settings.seed_for(0)
+    labels: List[Tuple[str, str]] = []
+    tasks: List[ReplicationTask] = []
     for organization in (DISK_PER_DISK, DISK_SHARED):
         config = dataclasses.replace(
             paper_defaults(), disk_organization=organization
         )
         for policy in policies:
-            system = DistributedDatabase(
-                config, make_policy(policy), seed=settings.seed_for(0)
+            labels.append((organization, policy))
+            tasks.append(
+                ReplicationTask(
+                    config, policy, seed, settings.warmup, settings.duration
+                )
             )
-            waits[(organization, policy)] = system.run(
-                settings.warmup, settings.duration
-            ).mean_waiting_time
+    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    waits: Dict[Tuple[str, str], float] = {
+        label: run.mean_waiting_time for label, run in zip(labels, runs)
+    }
     return DiskOrganizationResult(waits=waits)
 
 
@@ -157,21 +173,34 @@ class UpdateFractionResult:
 def update_fraction_sweep(
     settings: RunSettings = STANDARD,
     fractions: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4),
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> UpdateFractionResult:
     """How update propagation load dilutes the allocation benefit."""
+    config = paper_defaults()
+    seed = settings.seed_for(0)
+    policies = ("LOCAL", "LERT")
+    tasks = [
+        ReplicationTask(
+            config,
+            policy,
+            seed,
+            settings.warmup,
+            settings.duration,
+            system_kind="updates",
+            system_kwargs=(("update_prob", fraction),),
+        )
+        for fraction in fractions
+        for policy in policies
+    ]
+    runs = iter(run_tasks(tasks, jobs=jobs, cache=cache))
     rows: Dict[float, Dict[str, float]] = {}
     subnet: Dict[float, float] = {}
-    config = paper_defaults()
     for fraction in fractions:
         row: Dict[str, float] = {}
-        for policy in ("LOCAL", "LERT"):
-            system = UpdateWorkloadDatabase(
-                config,
-                make_policy(policy),
-                seed=settings.seed_for(0),
-                update_prob=fraction,
-            )
-            results = system.run(settings.warmup, settings.duration)
+        for policy in policies:
+            results = next(runs)
             row[policy] = results.mean_waiting_time
             if policy == "LERT":
                 subnet[fraction] = results.subnet_utilization
@@ -218,6 +247,9 @@ class HeterogeneityResult:
 def heterogeneity_study(
     settings: RunSettings = STANDARD,
     speed_factors: Tuple[float, ...] = (0.5, 0.5, 1.0, 1.0, 2.0, 2.0),
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> HeterogeneityResult:
     """Policies on a fleet with unequal CPU speeds.
 
@@ -225,28 +257,28 @@ def heterogeneity_study(
     realized service times, so waiting alone under-credits fast sites.
     """
     config = paper_defaults(num_sites=len(speed_factors))
-    response_times: Dict[str, float] = {}
-    for policy_name in ("LOCAL", "BNQ", "LERT"):
-        system = HeterogeneousDatabase(
+    seed = settings.seed_for(0)
+    factors = tuple(float(f) for f in speed_factors)
+    policies = ("LOCAL", "BNQ", "LERT", "LERT-HET")
+    tasks = [
+        ReplicationTask(
             config,
-            make_policy(policy_name),
-            cpu_speed_factors=speed_factors,
-            seed=settings.seed_for(0),
+            policy_name,
+            seed,
+            settings.warmup,
+            settings.duration,
+            system_kind="heterogeneous",
+            system_kwargs=(("cpu_speed_factors", factors),),
         )
-        response_times[policy_name] = system.run(
-            settings.warmup, settings.duration
-        ).mean_response_time
-    system = HeterogeneousDatabase(
-        config,
-        HeterogeneousLERTPolicy(),
-        cpu_speed_factors=speed_factors,
-        seed=settings.seed_for(0),
-    )
-    response_times["LERT-HET"] = system.run(
-        settings.warmup, settings.duration
-    ).mean_response_time
+        for policy_name in policies
+    ]
+    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    response_times: Dict[str, float] = {
+        policy_name: run.mean_response_time
+        for policy_name, run in zip(policies, runs)
+    }
     return HeterogeneityResult(
-        speed_factors=tuple(speed_factors), response_times=response_times
+        speed_factors=factors, response_times=response_times
     )
 
 
@@ -282,6 +314,9 @@ class SubnetScalingResult:
 def subnet_scaling_study(
     settings: RunSettings = STANDARD,
     site_counts: Tuple[int, ...] = (2, 4, 6, 8, 10),
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> SubnetScalingResult:
     """Table 11's sweep on the ring versus a point-to-point mesh.
 
@@ -290,24 +325,31 @@ def subnet_scaling_study(
     S·(S−1), the congestion term vanishes — the improvement curve should
     keep rising (or flatten) instead of turning down.
     """
-    improvements: Dict[Tuple[str, int], float] = {}
-    utilization: Dict[Tuple[str, int], float] = {}
+    seed = settings.seed_for(0)
+    labels: List[Tuple[str, int]] = []
+    tasks: List[ReplicationTask] = []
     for subnet in ("ring", "mesh"):
         for num_sites in site_counts:
             config = paper_defaults(num_sites=num_sites).with_network(
                 subnet_kind=subnet
             )
-            local = DistributedDatabase(
-                config, make_policy("LOCAL"), seed=settings.seed_for(0)
-            ).run(settings.warmup, settings.duration)
-            lert_system = DistributedDatabase(
-                config, make_policy("LERT"), seed=settings.seed_for(0)
-            )
-            lert = lert_system.run(settings.warmup, settings.duration)
-            improvements[(subnet, num_sites)] = improvement_pct(
-                lert.mean_waiting_time, local.mean_waiting_time
-            )
-            utilization[(subnet, num_sites)] = lert.subnet_utilization
+            labels.append((subnet, num_sites))
+            for policy in ("LOCAL", "LERT"):
+                tasks.append(
+                    ReplicationTask(
+                        config, policy, seed, settings.warmup, settings.duration
+                    )
+                )
+    runs = iter(run_tasks(tasks, jobs=jobs, cache=cache))
+    improvements: Dict[Tuple[str, int], float] = {}
+    utilization: Dict[Tuple[str, int], float] = {}
+    for label in labels:
+        local = next(runs)
+        lert = next(runs)
+        improvements[label] = improvement_pct(
+            lert.mean_waiting_time, local.mean_waiting_time
+        )
+        utilization[label] = lert.subnet_utilization
     return SubnetScalingResult(
         site_counts=tuple(site_counts),
         improvements=improvements,
@@ -336,32 +378,44 @@ def format_subnet_scaling(result: SubnetScalingResult) -> str:
 # ----------------------------------------------------------------------
 
 
-def main_stale(settings: RunSettings = STANDARD) -> str:
-    output = format_stale_info(stale_info_sweep(settings))
+def main_stale(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_stale_info(stale_info_sweep(settings, jobs=jobs, cache=cache))
     print(output)
     return output
 
 
-def main_disk(settings: RunSettings = STANDARD) -> str:
-    output = format_disk_organization(disk_organization_study(settings))
+def main_disk(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_disk_organization(
+        disk_organization_study(settings, jobs=jobs, cache=cache)
+    )
     print(output)
     return output
 
 
-def main_updates(settings: RunSettings = STANDARD) -> str:
-    output = format_update_fraction(update_fraction_sweep(settings))
+def main_updates(
+    settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None
+) -> str:
+    output = format_update_fraction(
+        update_fraction_sweep(settings, jobs=jobs, cache=cache)
+    )
     print(output)
     return output
 
 
-def main_heterogeneous(settings: RunSettings = STANDARD) -> str:
-    output = format_heterogeneity(heterogeneity_study(settings))
+def main_heterogeneous(
+    settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None
+) -> str:
+    output = format_heterogeneity(
+        heterogeneity_study(settings, jobs=jobs, cache=cache)
+    )
     print(output)
     return output
 
 
-def main_subnet(settings: RunSettings = STANDARD) -> str:
-    output = format_subnet_scaling(subnet_scaling_study(settings))
+def main_subnet(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_subnet_scaling(
+        subnet_scaling_study(settings, jobs=jobs, cache=cache)
+    )
     print(output)
     return output
 

@@ -5,13 +5,25 @@ Installed as ``repro-experiments``::
     repro-experiments table5
     repro-experiments table8 --scale quick
     repro-experiments all --scale standard
+    repro-experiments table9 --jobs 4          # fan cells over 4 processes
+    repro-experiments table9 --no-cache        # force re-simulation
+    repro-experiments all --cache-dir /tmp/rc  # shared result cache
+
+Simulation experiments accept ``--jobs`` (process-pool fan-out; results are
+bit-identical to serial runs) and use the content-addressed result cache by
+default (``$REPRO_CACHE_DIR`` or ``~/.cache/repro/results``; see
+``docs/parallel_and_caching.md``).  Table text goes to stdout; per-experiment
+wall-clock timings and cache statistics go to stderr so piped output stays
+clean.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, Optional
 
 from repro.experiments import (
     ablations,
@@ -75,7 +87,48 @@ def build_parser() -> argparse.ArgumentParser:
         choices=["quick", "standard", "paper"],
         help="run length preset for simulation experiments (default: standard)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for simulation cells (default: 1 = serial; "
+            "0 or negative = all cores); results are identical to serial runs"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "result-cache directory (default: $REPRO_CACHE_DIR or "
+            "~/.cache/repro/results)"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the on-disk result cache (always re-simulate)",
+    )
     return parser
+
+
+def _build_cache(args):
+    """The ResultCache implied by --cache-dir/--no-cache (None = disabled)."""
+    if args.no_cache:
+        return None
+    from repro.experiments.cache import ResultCache, default_cache_dir
+
+    root = pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
+    return ResultCache(root)
+
+
+def _timing_line(name: str, elapsed: float, cache) -> str:
+    line = f"[{name}] wall-clock {elapsed:.2f}s"
+    if cache is not None:
+        line += f" (cache: {cache.stats})"
+    return line
 
 
 def main(argv=None) -> int:
@@ -84,18 +137,37 @@ def main(argv=None) -> int:
     if args.experiment == "report":
         from repro.experiments.report import write_report
 
-        write_report(args.out, settings)
+        cache = _build_cache(args)
+        started = time.perf_counter()
+        write_report(args.out, settings, jobs=args.jobs, cache=cache)
+        print(
+            _timing_line("report", time.perf_counter() - started, cache),
+            file=sys.stderr,
+        )
         print(f"report written to {args.out}")
         return 0
     if args.experiment == "all":
         names = sorted(_ANALYTIC) + sorted(_SIMULATED)
     else:
         names = [args.experiment]
+    # Build the cache lazily: analytic tables never touch it, and creating
+    # it would create the cache directory for nothing.
+    cache: Optional[object] = None
+    cache_built = False
     for name in names:
+        started = time.perf_counter()
         if name in _ANALYTIC:
             _ANALYTIC[name]()
         else:
-            _SIMULATED[name](settings)
+            if not cache_built:
+                cache = _build_cache(args)
+                cache_built = True
+            _SIMULATED[name](settings, jobs=args.jobs, cache=cache)
+        elapsed = time.perf_counter() - started
+        print(
+            _timing_line(name, elapsed, cache if name in _SIMULATED else None),
+            file=sys.stderr,
+        )
         print()
     return 0
 

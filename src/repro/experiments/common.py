@@ -3,7 +3,10 @@
 Provides:
 
 * :func:`simulate` — run one (config, policy) pair at given settings,
-  averaging over replications with common random numbers;
+  averaging over replications with common random numbers; ``jobs=`` fans
+  replications over a process pool and ``cache=`` reuses cached results
+  (see :mod:`repro.experiments.parallel` / :mod:`repro.experiments.cache`);
+* :func:`average_results` — order-independent replication averaging;
 * :func:`improvement_pct` — the paper's ΔW_X,Y / W_Y percentage;
 * :class:`TextTable` — minimal fixed-width table formatting for terminal
   output (the experiments print rows shaped like the paper's tables).
@@ -11,14 +14,13 @@ Provides:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.experiments.runconfig import RunSettings
 from repro.model.config import SystemConfig
 from repro.model.metrics import SystemResults
-from repro.model.system import DistributedDatabase
-from repro.policies.registry import make_policy
 
 
 @dataclass(frozen=True)
@@ -38,31 +40,33 @@ class AveragedResults:
 
     @property
     def rho_ratio(self) -> float:
-        """ρ_d / ρ_c — measured disk-to-CPU utilization ratio (Table 12)."""
+        """ρ_d / ρ_c — measured disk-to-CPU utilization ratio (Table 12).
+
+        ``nan`` when both utilizations are zero (an idle system has no
+        meaningful ratio); ``inf`` when only the CPU was idle.
+        """
         if self.cpu_utilization == 0:
+            if self.disk_utilization == 0:
+                return float("nan")
             return float("inf")
         return self.disk_utilization / self.cpu_utilization
 
 
-def simulate(
-    config: SystemConfig,
-    policy_name: str,
-    settings: RunSettings,
+def average_results(
+    policy_name: str, runs: Sequence[SystemResults]
 ) -> AveragedResults:
-    """Run the system under one policy, averaged over replications.
+    """Average per-replication results into one :class:`AveragedResults`.
 
-    Replication ``r`` of every policy uses the same master seed, so all
-    policies face an identical stream of queries (common random numbers).
+    Uses :func:`math.fsum` (exactly rounded), so the averages are invariant
+    under permutation of *runs* — parallel execution can reassemble
+    replications in any order and still reproduce the serial numbers bit
+    for bit.  ``per_replication`` preserves the order given.
     """
-    runs: List[SystemResults] = []
-    for replication in range(settings.replications):
-        system = DistributedDatabase(
-            config, make_policy(policy_name), seed=settings.seed_for(replication)
-        )
-        runs.append(system.run(warmup=settings.warmup, duration=settings.duration))
+    if not runs:
+        raise ValueError("need at least one replication to average")
 
     def avg(values: Sequence[float]) -> float:
-        return sum(values) / len(values)
+        return math.fsum(values) / len(values)
 
     fairness_values = [r.fairness for r in runs if r.fairness is not None]
     return AveragedResults(
@@ -77,6 +81,36 @@ def simulate(
         completions=sum(r.completions for r in runs),
         per_replication=tuple(runs),
     )
+
+
+def simulate(
+    config: SystemConfig,
+    policy_name: str,
+    settings: RunSettings,
+    *,
+    jobs: Optional[int] = 1,
+    cache=None,
+) -> AveragedResults:
+    """Run the system under one policy, averaged over replications.
+
+    Replication ``r`` of every policy uses the same master seed, so all
+    policies face an identical stream of queries (common random numbers).
+
+    Args:
+        config: System description.
+        policy_name: Registered allocation policy to run.
+        settings: Run lengths, replication count, and base seed.
+        jobs: Worker processes for the replications (default 1 = serial,
+            in-process; 0 or negative = all cores).  Results are identical
+            regardless of the value.
+        cache: Optional :class:`~repro.experiments.cache.ResultCache`;
+            cached replications are reused instead of re-simulated.
+    """
+    # Imported lazily: the execution backend imports this module for
+    # AveragedResults/average_results.
+    from repro.experiments.parallel import simulate_many
+
+    return simulate_many([(config, policy_name)], settings, jobs=jobs, cache=cache)[0]
 
 
 def improvement_pct(new: float, base: float) -> float:
@@ -128,4 +162,10 @@ class TextTable:
         return self.render()
 
 
-__all__ = ["AveragedResults", "simulate", "improvement_pct", "TextTable"]
+__all__ = [
+    "AveragedResults",
+    "average_results",
+    "simulate",
+    "improvement_pct",
+    "TextTable",
+]

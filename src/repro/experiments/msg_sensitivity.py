@@ -16,8 +16,8 @@ from repro.experiments.common import (
     AveragedResults,
     TextTable,
     improvement_pct,
-    simulate,
 )
+from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import (
     MSG_LENGTH2_BNQRD_VS_BNQ,
     MSG_LENGTH2_LERT_VS_BNQ,
@@ -60,11 +60,19 @@ class MsgSensitivityResult:
 def run_experiment(
     settings: RunSettings = STANDARD,
     msg_lengths: Tuple[float, ...] = MSG_LENGTHS,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> MsgSensitivityResult:
+    pairs = [
+        (paper_defaults(msg_length=msg_length), name)
+        for msg_length in msg_lengths
+        for name in POLICIES
+    ]
+    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
     rows: List[MsgSensitivityRow] = []
     for msg_length in msg_lengths:
-        config = paper_defaults(msg_length=msg_length)
-        results = {name: simulate(config, name, settings) for name in POLICIES}
+        results = {name: next(averaged) for name in POLICIES}
         rows.append(MsgSensitivityRow(msg_length=msg_length, results=results))
     return MsgSensitivityResult(rows=tuple(rows), settings=settings)
 
@@ -85,8 +93,8 @@ def format_table(result: MsgSensitivityResult) -> str:
     return table.render()
 
 
-def main(settings: RunSettings = STANDARD) -> str:
-    output = format_table(run_experiment(settings))
+def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
     print(output)
     return output
 

@@ -1,0 +1,264 @@
+"""Process-pool execution backend for the experiment harness.
+
+Every simulation cell the harness runs — one ``(config, policy, seed)``
+replication — is a pure, picklable function of its inputs, so the
+per-replication and per-cell work of :func:`~repro.experiments.common.simulate`,
+:func:`~repro.experiments.sweep.run_sweep`, and the table modules can fan
+out across cores with :class:`concurrent.futures.ProcessPoolExecutor` and be
+reassembled deterministically: results are returned *in task order*, never
+completion order, and replication averaging uses :func:`math.fsum` (whose
+correctly-rounded sum is permutation invariant), so output is bit-identical
+to a serial run regardless of scheduling.
+
+The backend composes with the content-addressed result cache
+(:mod:`repro.experiments.cache`): cached tasks are answered without touching
+the pool, duplicate tasks inside one batch are simulated once, and fresh
+results are written back atomically.
+
+Public surface:
+
+* :class:`ReplicationTask` — picklable spec of one simulation run;
+* :func:`run_task` — execute one task (also the worker entry point);
+* :func:`run_tasks` — execute a batch, optionally parallel and cached;
+* :func:`simulate_many` — the batch analogue of ``common.simulate``;
+* :func:`resolve_jobs` — normalize a ``--jobs`` value to a worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.runconfig import RunSettings
+from repro.model.config import SystemConfig
+from repro.model.metrics import SystemResults
+
+#: Registered simulation-system kinds (see :func:`system_class`).
+SYSTEM_KINDS = ("standard", "stale", "updates", "heterogeneous")
+
+
+@dataclass(frozen=True)
+class ReplicationTask:
+    """Picklable description of one simulation run.
+
+    ``system_kind`` selects the system class ("standard" is
+    :class:`~repro.model.system.DistributedDatabase`; the extension kinds
+    map to the classes in :mod:`repro.extensions`), and ``system_kwargs``
+    carries its extra constructor arguments as a sorted tuple of
+    ``(name, value)`` pairs so the task stays hashable and its cache key
+    stays canonical.
+    """
+
+    config: SystemConfig
+    policy: str
+    seed: int
+    warmup: float
+    duration: float
+    system_kind: str = "standard"
+    system_kwargs: Tuple[Tuple[str, Any], ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.system_kind not in SYSTEM_KINDS:
+            raise ValueError(
+                f"unknown system kind {self.system_kind!r}; "
+                f"expected one of {SYSTEM_KINDS}"
+            )
+        ordered = tuple(sorted(self.system_kwargs))
+        object.__setattr__(self, "system_kwargs", ordered)
+
+    def key(self) -> str:
+        """Content address of this task (see :func:`cache_key`)."""
+        return cache_key(
+            self.config,
+            self.policy,
+            seed=self.seed,
+            warmup=self.warmup,
+            duration=self.duration,
+            system_kind=self.system_kind,
+            system_kwargs=self.system_kwargs,
+        )
+
+
+def replication_tasks(
+    config: SystemConfig,
+    policy: str,
+    settings: RunSettings,
+    *,
+    system_kind: str = "standard",
+    system_kwargs: Tuple[Tuple[str, Any], ...] = (),
+) -> List[ReplicationTask]:
+    """One task per replication of a (config, policy, settings) cell."""
+    return [
+        ReplicationTask(
+            config=config,
+            policy=policy,
+            seed=settings.seed_for(replication),
+            warmup=settings.warmup,
+            duration=settings.duration,
+            system_kind=system_kind,
+            system_kwargs=system_kwargs,
+        )
+        for replication in range(settings.replications)
+    ]
+
+
+def system_class(kind: str):
+    """The system class for a task kind (imported lazily per worker)."""
+    if kind == "standard":
+        from repro.model.system import DistributedDatabase
+
+        return DistributedDatabase
+    if kind == "stale":
+        from repro.extensions.stale_info import StaleInfoDatabase
+
+        return StaleInfoDatabase
+    if kind == "updates":
+        from repro.extensions.updates import UpdateWorkloadDatabase
+
+        return UpdateWorkloadDatabase
+    if kind == "heterogeneous":
+        from repro.extensions.heterogeneous import HeterogeneousDatabase
+
+        return HeterogeneousDatabase
+    raise KeyError(f"unknown system kind {kind!r}")
+
+
+def _make_policy(name: str):
+    """Policy lookup, extended with the heterogeneity-aware LERT variant."""
+    if name == "LERT-HET":
+        from repro.extensions.heterogeneous import HeterogeneousLERTPolicy
+
+        return HeterogeneousLERTPolicy()
+    from repro.policies.registry import make_policy
+
+    return make_policy(name)
+
+
+def run_task(task: ReplicationTask) -> SystemResults:
+    """Execute one task to completion (the process-pool worker function)."""
+    cls = system_class(task.system_kind)
+    system = cls(
+        task.config,
+        _make_policy(task.policy),
+        seed=task.seed,
+        **dict(task.system_kwargs),
+    )
+    return system.run(warmup=task.warmup, duration=task.duration)
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` style value to a positive worker count.
+
+    ``None`` or ``1`` mean serial; ``0`` and negative values mean "all
+    cores" (:func:`os.cpu_count`).
+    """
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _pool_context():
+    """Prefer fork on platforms that have it (cheap workers, no re-import)."""
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+def run_tasks(
+    tasks: Sequence[ReplicationTask],
+    *,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[SystemResults]:
+    """Execute *tasks* and return their results **in task order**.
+
+    * With ``jobs > 1`` outstanding work fans out over a process pool;
+      completion order never affects the returned list.
+    * With a *cache*, each task is answered from disk when possible and
+      fresh results are written back; duplicate tasks within the batch are
+      simulated only once.
+    """
+    results: List[Optional[SystemResults]] = [None] * len(tasks)
+
+    # Resolve cache hits up front; collect one representative index per
+    # distinct outstanding task (duplicates share the computed result).
+    representatives: Dict[ReplicationTask, List[int]] = {}
+    for index, task in enumerate(tasks):
+        if cache is not None:
+            hit = cache.get(task.key())
+            if hit is not None:
+                results[index] = hit
+                continue
+        representatives.setdefault(task, []).append(index)
+
+    pending = [(task, indices) for task, indices in representatives.items()]
+    workers = min(resolve_jobs(jobs), len(pending)) if pending else 0
+    if workers > 1:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=_pool_context()
+        ) as pool:
+            futures = {
+                pool.submit(run_task, task): indices for task, indices in pending
+            }
+            for future in as_completed(futures):
+                outcome = future.result()
+                for index in futures[future]:
+                    results[index] = outcome
+    else:
+        for task, indices in pending:
+            outcome = run_task(task)
+            for index in indices:
+                results[index] = outcome
+
+    if cache is not None:
+        for task, indices in pending:
+            cache.put(task.key(), results[indices[0]])
+    return results  # type: ignore[return-value]
+
+
+def simulate_many(
+    pairs: Sequence[Tuple[SystemConfig, str]],
+    settings: RunSettings,
+    *,
+    jobs: Optional[int] = 1,
+    cache: Optional[ResultCache] = None,
+):
+    """Run many (config, policy) cells, averaged over replications each.
+
+    The batch analogue of :func:`repro.experiments.common.simulate`: all
+    replications of all cells fan out together (maximizing pool
+    utilization), then each cell's runs are reassembled in replication
+    order and averaged.  Returns one
+    :class:`~repro.experiments.common.AveragedResults` per pair, in pair
+    order, bit-identical to calling ``simulate`` serially per pair.
+    """
+    from repro.experiments.common import average_results
+
+    tasks: List[ReplicationTask] = []
+    spans: List[Tuple[int, int, str]] = []
+    for config, policy in pairs:
+        start = len(tasks)
+        tasks.extend(replication_tasks(config, policy, settings))
+        spans.append((start, len(tasks), policy))
+    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    return [
+        average_results(policy, runs[start:stop]) for start, stop, policy in spans
+    ]
+
+
+__all__ = [
+    "SYSTEM_KINDS",
+    "ReplicationTask",
+    "replication_tasks",
+    "resolve_jobs",
+    "run_task",
+    "run_tasks",
+    "simulate_many",
+    "system_class",
+]

@@ -50,6 +50,9 @@ SECTIONS: Tuple[Tuple[str, Callable, bool], ...] = (
 def generate_report(
     settings: RunSettings = STANDARD,
     sections: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> str:
     """Run the selected experiments and return the Markdown report.
 
@@ -57,6 +60,9 @@ def generate_report(
         settings: Run lengths for the simulation experiments.
         sections: Optional list of section-title substrings to include
             (case-insensitive); ``None`` runs everything.
+        jobs: Worker processes for the simulation cells (default serial).
+        cache: Optional :class:`~repro.experiments.cache.ResultCache` to
+            reuse previously simulated cells.
     """
     chosen: List[Tuple[str, Callable, bool]] = []
     for title, runner, needs_settings in SECTIONS:
@@ -81,7 +87,11 @@ def generate_report(
     ]
     for title, runner, needs_settings in chosen:
         started = time.perf_counter()
-        output = runner(settings) if needs_settings else runner()
+        output = (
+            runner(settings, jobs=jobs, cache=cache)
+            if needs_settings
+            else runner()
+        )
         elapsed = time.perf_counter() - started
         lines.append(f"## {title}")
         lines.append("")
@@ -98,10 +108,14 @@ def write_report(
     path: Union[str, pathlib.Path],
     settings: RunSettings = STANDARD,
     sections: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> None:
     """Generate a report and write it to *path*."""
     pathlib.Path(path).write_text(
-        generate_report(settings, sections), encoding="utf-8"
+        generate_report(settings, sections, jobs=jobs, cache=cache),
+        encoding="utf-8",
     )
 
 

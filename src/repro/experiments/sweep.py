@@ -30,7 +30,8 @@ import pathlib
 from dataclasses import dataclass
 from typing import Any, Dict, List, Sequence, Tuple, Union
 
-from repro.experiments.common import AveragedResults, simulate
+from repro.experiments.common import AveragedResults
+from repro.experiments.parallel import simulate_many
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import SystemConfig
 
@@ -102,13 +103,28 @@ class SweepResult:
         ]
 
 
-def run_sweep(spec: SweepSpec, settings: RunSettings = STANDARD) -> SweepResult:
-    """Execute the sweep (common random numbers across policies per cell)."""
-    cells: Dict[Tuple[Any, str], AveragedResults] = {}
+def run_sweep(
+    spec: SweepSpec,
+    settings: RunSettings = STANDARD,
+    *,
+    jobs: int = 1,
+    cache=None,
+) -> SweepResult:
+    """Execute the sweep (common random numbers across policies per cell).
+
+    ``jobs`` fans the cells (and their replications) over a process pool;
+    ``cache`` reuses previously simulated cells.  Results are identical to
+    a serial, uncached run in all cases.
+    """
+    keys: List[Tuple[Any, str]] = []
+    pairs: List[Tuple[SystemConfig, str]] = []
     for value in spec.values:
         config = set_config_parameter(spec.base, spec.parameter, value)
         for policy in spec.policies:
-            cells[(value, policy)] = simulate(config, policy, settings)
+            keys.append((value, policy))
+            pairs.append((config, policy))
+    averaged = simulate_many(pairs, settings, jobs=jobs, cache=cache)
+    cells: Dict[Tuple[Any, str], AveragedResults] = dict(zip(keys, averaged))
     return SweepResult(spec=spec, settings=settings, cells=cells)
 
 

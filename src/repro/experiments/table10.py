@@ -17,7 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-from repro.experiments.common import simulate, TextTable
+from repro.experiments.common import TextTable
+from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE10_CAPACITY
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
@@ -56,13 +57,18 @@ class Table10Result:
 def run_experiment(
     settings: RunSettings = STANDARD,
     mpl_grid: Tuple[int, ...] = DEFAULT_MPL_GRID,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table10Result:
+    pairs = [
+        (paper_defaults(mpl=mpl), name) for mpl in mpl_grid for name in POLICIES
+    ]
+    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
     curves: Dict[str, List[float]] = {name: [] for name in POLICIES}
-    for mpl in mpl_grid:
-        config = paper_defaults(mpl=mpl)
+    for _mpl in mpl_grid:
         for name in POLICIES:
-            result = simulate(config, name, settings)
-            curves[name].append(result.mean_response_time)
+            curves[name].append(next(averaged).mean_response_time)
     return Table10Result(
         mpl_grid=tuple(mpl_grid),
         response_curves={k: tuple(v) for k, v in curves.items()},
@@ -87,8 +93,8 @@ def format_table(result: Table10Result) -> str:
     return table.render()
 
 
-def main(settings: RunSettings = STANDARD) -> str:
-    output = format_table(run_experiment(settings))
+def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
     print(output)
     return output
 

@@ -15,8 +15,8 @@ from repro.experiments.common import (
     AveragedResults,
     TextTable,
     improvement_pct,
-    simulate,
 )
+from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE11_SITES
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
@@ -55,11 +55,19 @@ class Table11Result:
 def run_experiment(
     settings: RunSettings = STANDARD,
     site_counts: Tuple[int, ...] = SITE_COUNTS,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table11Result:
+    pairs = [
+        (paper_defaults(num_sites=num_sites), name)
+        for num_sites in site_counts
+        for name in POLICIES
+    ]
+    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
     rows: List[Table11Row] = []
     for num_sites in site_counts:
-        config = paper_defaults(num_sites=num_sites)
-        results = {name: simulate(config, name, settings) for name in POLICIES}
+        results = {name: next(averaged) for name in POLICIES}
         rows.append(Table11Row(num_sites=num_sites, results=results))
     return Table11Result(rows=tuple(rows), settings=settings)
 
@@ -93,8 +101,8 @@ def format_table(result: Table11Result) -> str:
     return table.render()
 
 
-def main(settings: RunSettings = STANDARD) -> str:
-    output = format_table(run_experiment(settings))
+def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
     print(output)
     return output
 

@@ -20,8 +20,8 @@ from repro.experiments.common import (
     AveragedResults,
     TextTable,
     improvement_pct,
-    simulate,
 )
+from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE12_FAIRNESS
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
@@ -71,12 +71,21 @@ class Table12Result:
 
 
 def run_experiment(
-    settings: RunSettings = STANDARD, io_probs: Tuple[float, ...] = IO_PROBS
+    settings: RunSettings = STANDARD,
+    io_probs: Tuple[float, ...] = IO_PROBS,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table12Result:
+    pairs = [
+        (paper_defaults(class_io_prob=prob), name)
+        for prob in io_probs
+        for name in POLICIES
+    ]
+    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
     rows: List[Table12Row] = []
     for prob in io_probs:
-        config = paper_defaults(class_io_prob=prob)
-        results = {name: simulate(config, name, settings) for name in POLICIES}
+        results = {name: next(averaged) for name in POLICIES}
         rows.append(Table12Row(class_io_prob=prob, results=results))
     return Table12Result(rows=tuple(rows), settings=settings)
 
@@ -124,8 +133,8 @@ def format_table(result: Table12Result) -> str:
     return table.render()
 
 
-def main(settings: RunSettings = STANDARD) -> str:
-    output = format_table(run_experiment(settings))
+def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
     print(output)
     return output
 

@@ -13,8 +13,8 @@ from repro.experiments.common import (
     AveragedResults,
     TextTable,
     improvement_pct,
-    simulate,
 )
+from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE9_MPL
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
@@ -53,12 +53,19 @@ class Table9Result:
 
 
 def run_experiment(
-    settings: RunSettings = STANDARD, mpl_values: Tuple[int, ...] = MPL_VALUES
+    settings: RunSettings = STANDARD,
+    mpl_values: Tuple[int, ...] = MPL_VALUES,
+    *,
+    jobs: int = 1,
+    cache=None,
 ) -> Table9Result:
+    pairs = [
+        (paper_defaults(mpl=mpl), name) for mpl in mpl_values for name in POLICIES
+    ]
+    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
     rows: List[Table9Row] = []
     for mpl in mpl_values:
-        config = paper_defaults(mpl=mpl)
-        results = {name: simulate(config, name, settings) for name in POLICIES}
+        results = {name: next(averaged) for name in POLICIES}
         rows.append(Table9Row(mpl=mpl, results=results))
     return Table9Result(rows=tuple(rows), settings=settings)
 
@@ -96,8 +103,8 @@ def format_table(result: Table9Result) -> str:
     return table.render()
 
 
-def main(settings: RunSettings = STANDARD) -> str:
-    output = format_table(run_experiment(settings))
+def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
     print(output)
     return output
 

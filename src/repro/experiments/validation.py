@@ -163,7 +163,11 @@ def format_table(result: ValidationResult) -> str:
     return table.render()
 
 
-def main(settings: RunSettings = STANDARD) -> str:
+def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    # jobs/cache are accepted for CLI uniformity but unused: this experiment
+    # cross-validates the queueing substrates (network-level simulation and
+    # MVA solvers), which are cheap and not keyed like DB-system runs.
+    del jobs, cache
     output = format_table(run_experiment(settings))
     print(output)
     return output

@@ -125,13 +125,23 @@ def make_query(
     home_site: int,
     estimated_reads: float,
     created_at: float,
+    qid: Optional[int] = None,
 ) -> Query:
-    """Build a query, applying the integer-cycles policy and classification."""
+    """Build a query, applying the integer-cycles policy and classification.
+
+    Args:
+        qid: Explicit query id.  Callers that need run-deterministic ids
+            (anything whose random streams are keyed by ``qid``) must pass
+            one; the process-global default counter exists only as a
+            convenience for ad-hoc construction and depends on process
+            history.
+    """
     spec = config.classes[class_index]
     if config.integer_reads:
         actual = max(1, int(round(estimated_reads)))
     else:
         actual = max(1, int(estimated_reads))
+    kwargs = {} if qid is None else {"qid": qid}
     return Query(
         class_index=class_index,
         spec=spec,
@@ -140,6 +150,7 @@ def make_query(
         actual_reads=actual,
         io_bound=config.is_io_bound(spec.page_cpu_time),
         created_at=created_at,
+        **kwargs,
     )
 
 

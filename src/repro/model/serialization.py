@@ -1,4 +1,4 @@
-"""Config serialization: JSON-friendly round-tripping of SystemConfig.
+"""JSON round-tripping of configs and results.
 
 Experiments are parameterized by :class:`~repro.model.config.SystemConfig`
 objects; serializing them lets users store experiment definitions alongside
@@ -10,13 +10,22 @@ results, diff configurations, and drive custom sweeps from files::
 
 The format is a plain nested dict mirroring the dataclass structure, plus a
 ``format_version`` field so future changes stay loadable.
+
+Result objects round-trip too — :func:`results_to_dict` /
+:func:`results_from_dict` for one run's
+:class:`~repro.model.metrics.SystemResults` and
+:func:`averaged_results_to_dict` / :func:`averaged_results_from_dict` for a
+replication-averaged
+:class:`~repro.experiments.common.AveragedResults`.  These power the
+content-addressed result cache (:mod:`repro.experiments.cache`) and let
+sweep outputs be archived losslessly.
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.model.config import (
     ConfigError,
@@ -25,8 +34,13 @@ from repro.model.config import (
     SiteSpec,
     SystemConfig,
 )
+from repro.model.metrics import SystemResults
+from repro.sim.stats import IntervalEstimate
 
 FORMAT_VERSION = 1
+
+#: Version tag of the serialized result formats (bump on layout changes).
+RESULTS_FORMAT_VERSION = 1
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
@@ -110,10 +124,163 @@ def load_config(path: Union[str, pathlib.Path]) -> SystemConfig:
     return config_from_dict(data)
 
 
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+
+
+def interval_to_dict(estimate: IntervalEstimate) -> Dict[str, Any]:
+    """Flatten an :class:`IntervalEstimate` into JSON primitives."""
+    return {
+        "mean": estimate.mean,
+        "half_width": estimate.half_width,
+        "confidence": estimate.confidence,
+        "batches": estimate.batches,
+    }
+
+
+def interval_from_dict(data: Dict[str, Any]) -> IntervalEstimate:
+    """Rebuild an :class:`IntervalEstimate` from :func:`interval_to_dict`."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    try:
+        return IntervalEstimate(
+            mean=data["mean"],
+            half_width=data["half_width"],
+            confidence=data["confidence"],
+            batches=data["batches"],
+        )
+    except KeyError as missing:
+        raise ConfigError(f"interval dict is missing key {missing}") from None
+
+
+def results_to_dict(results: SystemResults) -> Dict[str, Any]:
+    """Flatten one run's :class:`SystemResults` into JSON primitives."""
+    return {
+        "format_version": RESULTS_FORMAT_VERSION,
+        "policy": results.policy,
+        "mean_waiting_time": results.mean_waiting_time,
+        "mean_response_time": results.mean_response_time,
+        "fairness": results.fairness,
+        "waiting_by_class": list(results.waiting_by_class),
+        "normalized_by_class": list(results.normalized_by_class),
+        "subnet_utilization": results.subnet_utilization,
+        "cpu_utilization": results.cpu_utilization,
+        "disk_utilization": results.disk_utilization,
+        "completions": results.completions,
+        "remote_fraction": results.remote_fraction,
+        "measured_time": results.measured_time,
+        "waiting_ci": (
+            None
+            if results.waiting_ci is None
+            else interval_to_dict(results.waiting_ci)
+        ),
+    }
+
+
+def results_from_dict(data: Dict[str, Any]) -> SystemResults:
+    """Rebuild a :class:`SystemResults` from :func:`results_to_dict` output.
+
+    Raises:
+        ConfigError: On missing keys, unknown versions, or malformed values.
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    version = data.get("format_version", RESULTS_FORMAT_VERSION)
+    if version != RESULTS_FORMAT_VERSION:
+        raise ConfigError(f"unsupported results format version {version}")
+    ci_data = data.get("waiting_ci")
+    waiting_ci: Optional[IntervalEstimate] = (
+        None if ci_data is None else interval_from_dict(ci_data)
+    )
+    try:
+        return SystemResults(
+            policy=data["policy"],
+            mean_waiting_time=data["mean_waiting_time"],
+            mean_response_time=data["mean_response_time"],
+            fairness=data["fairness"],
+            waiting_by_class=tuple(data["waiting_by_class"]),
+            normalized_by_class=tuple(data["normalized_by_class"]),
+            subnet_utilization=data["subnet_utilization"],
+            cpu_utilization=data["cpu_utilization"],
+            disk_utilization=data["disk_utilization"],
+            completions=data["completions"],
+            remote_fraction=data["remote_fraction"],
+            measured_time=data["measured_time"],
+            waiting_ci=waiting_ci,
+        )
+    except KeyError as missing:
+        raise ConfigError(f"results dict is missing key {missing}") from None
+    except TypeError as bad:
+        raise ConfigError(f"malformed results dict: {bad}") from None
+
+
+def averaged_results_to_dict(averaged) -> Dict[str, Any]:
+    """Flatten an :class:`~repro.experiments.common.AveragedResults`."""
+    return {
+        "format_version": RESULTS_FORMAT_VERSION,
+        "policy": averaged.policy,
+        "mean_waiting_time": averaged.mean_waiting_time,
+        "mean_response_time": averaged.mean_response_time,
+        "fairness": averaged.fairness,
+        "subnet_utilization": averaged.subnet_utilization,
+        "cpu_utilization": averaged.cpu_utilization,
+        "disk_utilization": averaged.disk_utilization,
+        "remote_fraction": averaged.remote_fraction,
+        "completions": averaged.completions,
+        "per_replication": [
+            results_to_dict(run) for run in averaged.per_replication
+        ],
+    }
+
+
+def averaged_results_from_dict(data: Dict[str, Any]):
+    """Rebuild an :class:`~repro.experiments.common.AveragedResults`.
+
+    Raises:
+        ConfigError: On missing keys, unknown versions, or malformed values.
+    """
+    # Imported lazily: repro.experiments.common depends on repro.model, so a
+    # top-level import here would be circular.
+    from repro.experiments.common import AveragedResults
+
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    version = data.get("format_version", RESULTS_FORMAT_VERSION)
+    if version != RESULTS_FORMAT_VERSION:
+        raise ConfigError(f"unsupported results format version {version}")
+    try:
+        return AveragedResults(
+            policy=data["policy"],
+            mean_waiting_time=data["mean_waiting_time"],
+            mean_response_time=data["mean_response_time"],
+            fairness=data["fairness"],
+            subnet_utilization=data["subnet_utilization"],
+            cpu_utilization=data["cpu_utilization"],
+            disk_utilization=data["disk_utilization"],
+            remote_fraction=data["remote_fraction"],
+            completions=data["completions"],
+            per_replication=tuple(
+                results_from_dict(run) for run in data["per_replication"]
+            ),
+        )
+    except KeyError as missing:
+        raise ConfigError(f"results dict is missing key {missing}") from None
+    except TypeError as bad:
+        raise ConfigError(f"malformed results dict: {bad}") from None
+
+
 __all__ = [
     "FORMAT_VERSION",
+    "RESULTS_FORMAT_VERSION",
     "config_to_dict",
     "config_from_dict",
     "save_config",
     "load_config",
+    "interval_to_dict",
+    "interval_from_dict",
+    "results_to_dict",
+    "results_from_dict",
+    "averaged_results_to_dict",
+    "averaged_results_from_dict",
 ]

@@ -35,6 +35,13 @@ class WorkloadGenerator:
     def __init__(self, sim: Simulator, config: SystemConfig) -> None:
         self.sim = sim
         self.config = config
+        # Per-run query id counter.  Query ids seed derived random streams
+        # in some extensions (e.g. update application), so they must be a
+        # pure function of the run, not of process history — the
+        # process-global default counter in ``repro.model.query`` would
+        # make results depend on how many simulations ran earlier in the
+        # same process and break serial/parallel bit-equality.
+        self._queries_created = 0
         # Cumulative class probabilities for inverse-CDF class sampling.
         cumulative = []
         acc = 0.0
@@ -63,12 +70,14 @@ class WorkloadGenerator:
         class_index = self._sample_class(query_rng)
         spec = self.config.classes[class_index]
         estimated_reads = query_rng.expovariate(1.0 / spec.num_reads)
+        self._queries_created += 1
         query = make_query(
             self.config,
             class_index=class_index,
             home_site=home_site,
             estimated_reads=estimated_reads,
             created_at=self.sim.now,
+            qid=self._queries_created,
         )
         return query, query_rng
 

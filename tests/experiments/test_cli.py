@@ -2,6 +2,8 @@
 
 import pytest
 
+import repro.experiments.cli as cli
+from repro.experiments.cache import ResultCache
 from repro.experiments.cli import build_parser, main
 
 
@@ -44,6 +46,59 @@ class TestParser:
             "validation",
         ):
             assert parser.parse_args([name]).experiment == name
+
+
+class TestJobsAndCacheFlags:
+    def test_defaults(self):
+        args = build_parser().parse_args(["table8"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert args.no_cache is False
+
+    def test_parsing(self):
+        args = build_parser().parse_args(
+            ["table9", "--jobs", "4", "--cache-dir", "/tmp/rc", "--no-cache"]
+        )
+        assert args.jobs == 4
+        assert args.cache_dir == "/tmp/rc"
+        assert args.no_cache is True
+
+    def test_main_threads_jobs_and_cache(self, monkeypatch, tmp_path, capsys):
+        seen = {}
+
+        def fake_runner(settings, *, jobs=1, cache=None):
+            seen["jobs"] = jobs
+            seen["cache"] = cache
+            return ""
+
+        monkeypatch.setitem(cli._SIMULATED, "table8", fake_runner)
+        cache_dir = tmp_path / "rc"
+        code = main(["table8", "--jobs", "3", "--cache-dir", str(cache_dir)])
+        assert code == 0
+        assert seen["jobs"] == 3
+        assert isinstance(seen["cache"], ResultCache)
+        assert seen["cache"].root == cache_dir
+        # Timing + cache stats go to stderr so table text stays clean.
+        captured = capsys.readouterr()
+        assert "wall-clock" in captured.err
+        assert "cache:" in captured.err
+        assert "wall-clock" not in captured.out
+
+    def test_no_cache_passes_none(self, monkeypatch):
+        seen = {}
+
+        def fake_runner(settings, *, jobs=1, cache=None):
+            seen["cache"] = cache
+            return ""
+
+        monkeypatch.setitem(cli._SIMULATED, "table8", fake_runner)
+        assert main(["table8", "--no-cache"]) == 0
+        assert seen["cache"] is None
+
+    def test_analytic_experiment_never_builds_cache(self, tmp_path):
+        cache_dir = tmp_path / "never-created"
+        assert main(["table5", "--cache-dir", str(cache_dir)]) == 0
+        assert not cache_dir.exists()
 
 
 class TestMain:

@@ -1,8 +1,15 @@
 """Unit tests for the shared experiment machinery."""
 
+import math
+
 import pytest
 
-from repro.experiments.common import TextTable, improvement_pct, simulate
+from repro.experiments.common import (
+    AveragedResults,
+    TextTable,
+    improvement_pct,
+    simulate,
+)
 from repro.experiments.runconfig import RunSettings
 
 
@@ -63,3 +70,31 @@ class TestSimulate:
         assert result.rho_ratio == pytest.approx(
             result.disk_utilization / result.cpu_utilization
         )
+
+
+def _averaged_with_utilizations(cpu: float, disk: float) -> AveragedResults:
+    return AveragedResults(
+        policy="LOCAL",
+        mean_waiting_time=0.0,
+        mean_response_time=0.0,
+        fairness=None,
+        subnet_utilization=0.0,
+        cpu_utilization=cpu,
+        disk_utilization=disk,
+        remote_fraction=0.0,
+        completions=0,
+        per_replication=(),
+    )
+
+
+class TestRhoRatioEdgeCases:
+    """Regression: an idle system used to report inf/inf-style garbage."""
+
+    def test_idle_system_is_nan(self):
+        assert math.isnan(_averaged_with_utilizations(0.0, 0.0).rho_ratio)
+
+    def test_idle_cpu_busy_disk_is_inf(self):
+        assert _averaged_with_utilizations(0.0, 0.5).rho_ratio == math.inf
+
+    def test_normal_ratio_unchanged(self):
+        assert _averaged_with_utilizations(0.5, 0.25).rho_ratio == 0.5

@@ -43,6 +43,13 @@ class TestSetConfigParameter:
         with pytest.raises(KeyError):
             set_config_parameter(paper_defaults(), "a.b.c", 1)
 
+    def test_non_dataclass_section(self):
+        """Dotting into a scalar field is a KeyError, not an AttributeError."""
+        with pytest.raises(KeyError, match="not a nested config section"):
+            set_config_parameter(paper_defaults(), "disk_organization.kind", "x")
+        with pytest.raises(KeyError, match="not a nested config section"):
+            set_config_parameter(paper_defaults(), "num_sites.value", 3)
+
     def test_validation_still_applies(self):
         with pytest.raises(Exception):
             set_config_parameter(paper_defaults(), "site.mpl", 0)

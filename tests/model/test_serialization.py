@@ -1,4 +1,4 @@
-"""Unit tests for config serialization."""
+"""Unit tests for config and result serialization."""
 
 import dataclasses
 import json
@@ -6,13 +6,46 @@ import json
 import pytest
 
 from repro.model.config import ConfigError, NetworkSpec, paper_defaults
+from repro.model.metrics import SystemResults
 from repro.model.serialization import (
     FORMAT_VERSION,
+    RESULTS_FORMAT_VERSION,
+    averaged_results_from_dict,
+    averaged_results_to_dict,
     config_from_dict,
     config_to_dict,
+    interval_from_dict,
+    interval_to_dict,
     load_config,
+    results_from_dict,
+    results_to_dict,
     save_config,
 )
+from repro.sim.stats import IntervalEstimate
+
+
+def make_results(policy="LERT", fairness=0.15, with_ci=True):
+    """A fully populated SystemResults for round-trip tests."""
+    ci = (
+        IntervalEstimate(mean=2.5, half_width=0.4, confidence=0.9, batches=16)
+        if with_ci
+        else None
+    )
+    return SystemResults(
+        policy=policy,
+        mean_waiting_time=2.5,
+        mean_response_time=20.0,
+        fairness=fairness,
+        waiting_by_class=(1.5, 3.5),
+        normalized_by_class=(0.4, 0.9),
+        subnet_utilization=0.35,
+        cpu_utilization=0.55,
+        disk_utilization=0.45,
+        completions=4321,
+        remote_fraction=0.3,
+        measured_time=2000.0,
+        waiting_ci=ci,
+    )
 
 
 class TestRoundTrip:
@@ -86,3 +119,111 @@ class TestValidation:
         rebuilt = config_from_dict(data)
         assert rebuilt.disk_organization == "per_disk"
         assert rebuilt.integer_reads is True
+
+
+class TestIntervalRoundTrip:
+    def test_round_trip(self):
+        estimate = IntervalEstimate(
+            mean=1.25, half_width=0.5, confidence=0.95, batches=12
+        )
+        assert interval_from_dict(interval_to_dict(estimate)) == estimate
+
+    def test_wrong_type(self):
+        with pytest.raises(ConfigError):
+            interval_from_dict("not a dict")
+
+    def test_missing_key(self):
+        data = interval_to_dict(
+            IntervalEstimate(mean=1.0, half_width=0.1, confidence=0.9, batches=5)
+        )
+        del data["half_width"]
+        with pytest.raises(ConfigError):
+            interval_from_dict(data)
+
+
+class TestResultsRoundTrip:
+    def test_round_trip_with_ci(self):
+        results = make_results()
+        rebuilt = results_from_dict(results_to_dict(results))
+        assert rebuilt == results
+        assert rebuilt.waiting_ci == results.waiting_ci
+
+    def test_round_trip_without_ci(self):
+        results = make_results(with_ci=False)
+        rebuilt = results_from_dict(results_to_dict(results))
+        assert rebuilt == results
+        assert rebuilt.waiting_ci is None
+
+    def test_round_trip_null_fairness(self):
+        results = make_results(fairness=None)
+        rebuilt = results_from_dict(results_to_dict(results))
+        assert rebuilt == results
+        assert rebuilt.fairness is None
+
+    def test_survives_json_round_trip(self):
+        """Exact float equality through actual JSON text (cache contract)."""
+        results = make_results()
+        data = json.loads(json.dumps(results_to_dict(results)))
+        assert results_from_dict(data) == results
+
+    def test_real_simulation_results_round_trip(self, tiny_config):
+        from repro.experiments.common import simulate
+        from repro.experiments.runconfig import RunSettings
+
+        settings = RunSettings(
+            warmup=150.0, duration=600.0, replications=1, base_seed=42
+        )
+        run = simulate(tiny_config, "LOCAL", settings).per_replication[0]
+        data = json.loads(json.dumps(results_to_dict(run)))
+        assert results_from_dict(data) == run
+
+    def test_wrong_type(self):
+        with pytest.raises(ConfigError):
+            results_from_dict(["not", "a", "dict"])
+
+    def test_unknown_version(self):
+        data = results_to_dict(make_results())
+        data["format_version"] = RESULTS_FORMAT_VERSION + 1
+        with pytest.raises(ConfigError):
+            results_from_dict(data)
+
+    def test_missing_key(self):
+        data = results_to_dict(make_results())
+        del data["mean_waiting_time"]
+        with pytest.raises(ConfigError):
+            results_from_dict(data)
+
+
+class TestAveragedResultsRoundTrip:
+    def _averaged(self):
+        from repro.experiments.common import average_results
+
+        runs = [make_results(), make_results(fairness=0.25, with_ci=False)]
+        return average_results("LERT", runs)
+
+    def test_round_trip(self):
+        averaged = self._averaged()
+        rebuilt = averaged_results_from_dict(averaged_results_to_dict(averaged))
+        assert rebuilt == averaged
+        assert rebuilt.per_replication == averaged.per_replication
+
+    def test_survives_json_round_trip(self):
+        averaged = self._averaged()
+        data = json.loads(json.dumps(averaged_results_to_dict(averaged)))
+        assert averaged_results_from_dict(data) == averaged
+
+    def test_wrong_type(self):
+        with pytest.raises(ConfigError):
+            averaged_results_from_dict(17)
+
+    def test_unknown_version(self):
+        data = averaged_results_to_dict(self._averaged())
+        data["format_version"] = RESULTS_FORMAT_VERSION + 1
+        with pytest.raises(ConfigError):
+            averaged_results_from_dict(data)
+
+    def test_missing_key(self):
+        data = averaged_results_to_dict(self._averaged())
+        del data["per_replication"]
+        with pytest.raises(ConfigError):
+            averaged_results_from_dict(data)
