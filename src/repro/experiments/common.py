@@ -78,7 +78,8 @@ def average_results(
         cpu_utilization=avg([r.cpu_utilization for r in runs]),
         disk_utilization=avg([r.disk_utilization for r in runs]),
         remote_fraction=avg([r.remote_fraction for r in runs]),
-        completions=sum(r.completions for r in runs),
+        # Integer count: int sum() is exact, hence permutation invariant.
+        completions=sum(r.completions for r in runs),  # reprolint: disable=RL004
         per_replication=tuple(runs),
     )
 

@@ -28,7 +28,7 @@ import csv
 import dataclasses
 import pathlib
 from dataclasses import dataclass
-from typing import Any, Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.experiments.common import AveragedResults
 from repro.experiments.parallel import simulate_many

@@ -1,0 +1,115 @@
+"""The ``repro-lint`` command line interface.
+
+Usage::
+
+    repro-lint [paths ...]              # default: src/repro (or ./repro)
+    repro-lint --format json src/repro
+    repro-lint --select RL001,RL004 src/repro
+    repro-lint --ignore RL009 src/repro
+    repro-lint --list-rules
+
+Also runnable as ``python -m repro.lint``.  Exit codes: 0 = clean,
+1 = violations found, 2 = usage error or unparseable input files.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_rule_list, render_text
+
+
+def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
+    """``"RL001, RL004"`` -> ``["RL001", "RL004"]`` (None passes through)."""
+    if raw is None:
+        return None
+    return [code.strip() for code in raw.split(",") if code.strip()]
+
+
+def default_paths() -> List[pathlib.Path]:
+    """``src/repro`` (repo layout) or ``repro`` (installed/cwd layout)."""
+    for candidate in (pathlib.Path("src") / "repro", pathlib.Path("repro")):
+        if candidate.is_dir():
+            return [candidate]
+    return []
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "AST-based determinism & simulation-invariant linter for the "
+            "repro codebase (see docs/linting.md)"
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=pathlib.Path,
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        "-f",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every registered rule and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(render_rule_list())
+        return 0
+
+    paths: List[pathlib.Path] = list(args.paths) or default_paths()
+    if not paths:
+        print(
+            "repro-lint: no paths given and no src/repro or repro directory "
+            "found",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        result = lint_paths(
+            paths,
+            select=_split_codes(args.select),
+            ignore=_split_codes(args.ignore),
+        )
+    except (FileNotFoundError, ValueError) as error:
+        print(f"repro-lint: {error}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+__all__ = ["build_parser", "default_paths", "main"]

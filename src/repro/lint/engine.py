@@ -1,0 +1,254 @@
+"""Lint engine: file discovery, parsing, suppressions, rule execution.
+
+The engine is the only part of reprolint that touches the filesystem.  A
+run proceeds in phases:
+
+1. discover ``.py`` files under the requested paths (sorted, so output is
+   stable across machines — rule RL010 applies to us too);
+2. parse each file into a :class:`~repro.lint.base.ModuleContext` and
+   extract its suppression pragmas from comment tokens;
+3. run every selected rule's module hook on in-scope modules, then every
+   project hook once with the full :class:`~repro.lint.base.ProjectContext`;
+4. drop violations silenced by pragmas and report unknown pragma codes as
+   ``RL000`` findings (a typo in a pragma must not silently disable
+   nothing).
+
+Suppression syntax (checked case-sensitively, comma lists allowed)::
+
+    do_thing()  # reprolint: disable=RL004
+    do_thing()  # reprolint: disable=RL004,RL010
+    # reprolint: disable-file=RL009      (anywhere in the file)
+    do_thing()  # reprolint: disable=all
+"""
+
+from __future__ import annotations
+
+import io
+import pathlib
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.lint.base import (
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    Violation,
+    iter_rules,
+    rule_codes,
+)
+
+#: Matches one pragma comment; group 1 is "disable" or "disable-file",
+#: group 2 the comma-separated code list (or "all").
+_PRAGMA = re.compile(
+    r"#\s*reprolint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+_ALL = "all"
+
+
+@dataclass
+class Suppressions:
+    """Pragmas of one file: per-line and file-level disabled codes."""
+
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    file_level: Set[str] = field(default_factory=set)
+    #: (line, column, bad_code) for pragma codes naming no known rule.
+    unknown: List[Tuple[int, int, str]] = field(default_factory=list)
+
+    def silences(self, code: str, line: int) -> bool:
+        for codes in (self.file_level, self.by_line.get(line, set())):
+            if _ALL in codes or code in codes:
+                return True
+        return False
+
+
+def parse_suppressions(source: str, known_codes: Iterable[str]) -> Suppressions:
+    """Extract ``# reprolint: disable=...`` pragmas from comment tokens.
+
+    Uses the tokenizer (not a regex over raw lines) so pragma-shaped text
+    inside string literals is never misread as a pragma.  Unreadable
+    files (tokenizer errors) simply yield no suppressions — the parser
+    will report the real problem.
+    """
+    known = set(known_codes)
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return result
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PRAGMA.search(token.string)
+        if match is None:
+            continue
+        kind = match.group(1)
+        codes = {code.strip() for code in match.group(2).split(",")}
+        line = token.start[0]
+        for code in sorted(codes):
+            if code != _ALL and code not in known:
+                result.unknown.append((line, token.start[1], code))
+        codes &= known | {_ALL}
+        if kind == "disable-file":
+            result.file_level.update(codes)
+        else:
+            result.by_line.setdefault(line, set()).update(codes)
+    return result
+
+
+def discover_files(paths: Sequence[pathlib.Path]) -> List[pathlib.Path]:
+    """All ``.py`` files under *paths* (files kept as-is), sorted, deduped.
+
+    Raises:
+        FileNotFoundError: When a requested path does not exist.
+    """
+    found: Set[pathlib.Path] = set()
+    for path in paths:
+        if path.is_dir():
+            found.update(path.rglob("*.py"))
+        elif path.is_file():
+            found.add(path)
+        else:
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(found)
+
+
+def module_name_for(path: pathlib.Path) -> str:
+    """Dotted module name of *path*, anchored at the ``repro`` package.
+
+    ``src/repro/sim/engine.py`` -> ``repro.sim.engine`` (works equally for
+    temporary fixture trees, which anchor at their own ``repro/`` dir).
+    Files outside any ``repro`` package fall back to their stem.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return parts[-1] if parts else str(path)
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    violations: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    #: Fatal per-file problems (unreadable / syntax errors), as messages.
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """0 = clean, 1 = violations, 2 = files could not be analyzed."""
+        if self.errors:
+            return 2
+        return 1 if self.violations else 0
+
+
+def _selected_rules(
+    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+) -> List[Rule]:
+    """Registry rules filtered by ``--select`` / ``--ignore`` code lists.
+
+    Raises:
+        ValueError: When a requested code names no registered rule.
+    """
+    known = set(rule_codes())
+    wanted = set(select) if select is not None else set(known)
+    dropped = set(ignore) if ignore is not None else set()
+    unknown = sorted((wanted | dropped) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(sorted(known))})"
+        )
+    return [
+        rule
+        for rule in iter_rules()
+        if rule.code in wanted and rule.code not in dropped
+    ]
+
+
+def lint_paths(
+    paths: Sequence[pathlib.Path],
+    *,
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> LintResult:
+    """Run the selected rules over every Python file under *paths*.
+
+    Returns a :class:`LintResult`; violations are sorted by
+    ``(path, line, column, code)`` and already filtered through the
+    suppression pragmas.  Unknown pragma codes surface as ``RL000``
+    violations so typos cannot silently disable nothing.
+    """
+    rules = _selected_rules(select, ignore)
+    known = rule_codes()
+    result = LintResult()
+
+    contexts: List[ModuleContext] = []
+    suppressions: Dict[str, Suppressions] = {}
+    for path in discover_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except OSError as error:
+            result.errors.append(f"{path}: unreadable ({error})")
+            continue
+        module = module_name_for(path)
+        try:
+            ctx = ModuleContext.parse(path, module, source)
+        except SyntaxError as error:
+            result.errors.append(
+                f"{path}:{error.lineno or 0}: syntax error: {error.msg}"
+            )
+            continue
+        contexts.append(ctx)
+        suppressions[str(path)] = parse_suppressions(source, known)
+    result.files_checked = len(contexts)
+
+    project = ProjectContext({ctx.module: ctx for ctx in contexts})
+    raw: List[Violation] = []
+    for ctx in contexts:
+        for rule in rules:
+            if rule.applies_to(ctx.module):
+                raw.extend(rule.check_module(ctx))
+    for rule in rules:
+        raw.extend(rule.check_project(project))
+
+    no_pragmas = Suppressions()
+    kept = [
+        violation
+        for violation in raw
+        if not suppressions.get(violation.path, no_pragmas).silences(
+            violation.code, violation.line
+        )
+    ]
+    for path_str, pragmas in sorted(suppressions.items()):
+        for line, column, bad_code in pragmas.unknown:
+            kept.append(
+                Violation(
+                    code="RL000",
+                    message=(
+                        f"suppression pragma names unknown rule code "
+                        f"{bad_code!r}; known codes: {', '.join(known)}"
+                    ),
+                    path=path_str,
+                    line=line,
+                    column=column,
+                )
+            )
+    result.violations = sorted(kept, key=lambda v: v.sort_key)
+    return result
+
+
+__all__ = [
+    "Suppressions",
+    "parse_suppressions",
+    "discover_files",
+    "module_name_for",
+    "LintResult",
+    "lint_paths",
+]

@@ -1,0 +1,66 @@
+"""Rendering of lint results: human-readable text and machine JSON.
+
+The JSON document is schema-versioned (``"version": 1``) and its key
+order is stable (``sort_keys``), so CI jobs and tools can parse and diff
+it::
+
+    {
+      "version": 1,
+      "files_checked": 74,
+      "violation_count": 2,
+      "errors": [],
+      "violations": [
+        {"code": "RL004", "column": 15, "line": 81,
+         "message": "...", "path": "src/repro/experiments/common.py"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.base import iter_rules
+from repro.lint.engine import LintResult
+
+#: Schema version of the JSON report.
+JSON_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """One ``path:line:col: CODE message`` line per violation + summary."""
+    lines = [error for error in result.errors]
+    lines.extend(violation.render() for violation in result.violations)
+    count = len(result.violations)
+    noun = "violation" if count == 1 else "violations"
+    summary = f"{count} {noun} in {result.files_checked} files checked"
+    if result.errors:
+        summary += f" ({len(result.errors)} files could not be analyzed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The schema-versioned JSON report (see module docstring)."""
+    document = {
+        "version": JSON_VERSION,
+        "files_checked": result.files_checked,
+        "violation_count": len(result.violations),
+        "errors": list(result.errors),
+        "violations": [violation.to_dict() for violation in result.violations],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` table: code, name, scope, and summary."""
+    lines = []
+    for rule in iter_rules():
+        scope = ", ".join(rule.scope)
+        lines.append(f"{rule.code}  {rule.name}")
+        lines.append(f"       scope: {scope}")
+        lines.append(f"       {rule.summary}")
+    return "\n".join(lines)
+
+
+__all__ = ["JSON_VERSION", "render_text", "render_json", "render_rule_list"]

@@ -1,0 +1,576 @@
+"""The determinism & simulation-invariant rules (RL001–RL010).
+
+Each rule encodes one invariant the reproduction depends on.  RL001 and
+RL004 directly guard the bit-identical parallel/cached-run guarantee from
+PR 1; the others close the remaining nondeterminism channels (wall-clock
+time, unordered iteration, hidden environment inputs, swallowed engine
+errors) and keep the content-addressed cache key complete (RL006).
+
+Rules are pure AST analyses — nothing here imports or executes the code
+under inspection.  See ``docs/linting.md`` for the full rationale of every
+rule and the suppression syntax.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.astutils import (
+    is_classvar_annotation,
+    is_dataclass_decorator,
+    iteration_sites,
+)
+from repro.lint.base import (
+    ModuleContext,
+    ProjectContext,
+    Rule,
+    Violation,
+    register,
+)
+
+#: Modules that run *inside* simulated time: they may consume only the
+#: simulation clock and named RNG streams, never ambient host state.
+CORE_SIM_SCOPE: Tuple[str, ...] = (
+    "repro.sim",
+    "repro.model",
+    "repro.policies",
+    "repro.queueing",
+)
+
+#: Modules whose job is aggregating floating-point results across
+#: replications/batches — where ``sum()`` order-dependence breaks the
+#: permutation-invariance the parallel runner relies on.
+AGGREGATION_SCOPE: Tuple[str, ...] = (
+    "repro.sim.stats",
+    "repro.sim.monitor",
+    "repro.model.metrics",
+    "repro.experiments.common",
+    "repro.experiments.parallel",
+)
+
+#: Modules holding the dataclasses that parameterize or summarize runs;
+#: every field must be covered by ``repro.model.serialization`` so the
+#: content-addressed cache key (and archived results) stay complete.
+SERIALIZED_DATACLASS_SCOPE: Tuple[str, ...] = (
+    "repro.model.config",
+    "repro.model.metrics",
+    "repro.sim.stats",
+    "repro.experiments.common",
+)
+
+SERIALIZATION_MODULE = "repro.model.serialization"
+
+
+@register
+class GlobalRandomState(Rule):
+    """RL001 — samplers must draw from named streams, not global RNG state.
+
+    ``random.random()``/``random.seed()``/``numpy.random.*`` module
+    functions share hidden global state: any new call site perturbs every
+    subsequent draw, silently changing results and breaking common random
+    numbers across policies.  All sampling must go through a
+    ``random.Random`` stream obtained from ``sim.rng.stream(name)``.
+    """
+
+    code = "RL001"
+    name = "no-global-rng"
+    summary = (
+        "no global RNG state (random.* / numpy.random.* module functions); "
+        "sample via sim.rng.stream(name)"
+    )
+    scope = ("repro",)
+
+    _ALLOWED: FrozenSet[str] = frozenset(
+        {
+            "random.Random",  # constructing an owned stream is the fix
+            "numpy.random.Generator",
+            "numpy.random.default_rng",
+            "numpy.random.SeedSequence",
+        }
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_imported(node.func)
+            if target is None or target in self._ALLOWED:
+                continue
+            if target.startswith("numpy.random."):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to {target} uses numpy's global/module RNG; "
+                    "pass an explicit generator derived from a named "
+                    "sim.rng stream",
+                )
+            elif target.startswith("random.") and target.count(".") == 1:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"call to {target} uses the process-global RNG; draw "
+                    "from a named stream (sim.rng.stream(name)) instead",
+                )
+
+
+@register
+class WallClock(Rule):
+    """RL002 — simulated components must not read the wall clock.
+
+    Wall-clock reads make runs time-of-day dependent and are never
+    reproducible.  Core simulation code measures *simulated* time
+    (``sim.now``); host timing is allowed only in the experiments layer's
+    stderr diagnostics.
+    """
+
+    code = "RL002"
+    name = "no-wall-clock"
+    summary = (
+        "no wall-clock reads (time.time/perf_counter/datetime.now) in "
+        "sim/model/policies/queueing; use sim.now"
+    )
+    scope = CORE_SIM_SCOPE
+
+    _CLOCKS: FrozenSet[str] = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "time.clock_gettime",
+            "datetime.datetime.now",
+            "datetime.datetime.today",
+            "datetime.datetime.utcnow",
+            "datetime.date.today",
+        }
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_imported(node.func)
+            if target in self._CLOCKS:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"wall-clock read {target}() in core simulation code; "
+                    "use the simulated clock (sim.now) — host timing "
+                    "belongs in repro.experiments only",
+                )
+
+
+def _is_unordered_set_expr(node: ast.expr, ctx: ModuleContext) -> bool:
+    """Whether *node* evaluates to an unordered set-like collection."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = ctx.resolve(node.func)
+        if target in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "union",
+            "intersection",
+            "difference",
+            "symmetric_difference",
+        ):
+            return True
+    return False
+
+
+def _unwrap_order_preserving(node: ast.expr, ctx: ModuleContext) -> ast.expr:
+    """Strip list/tuple/enumerate/reversed wrappers (they preserve order)."""
+    while isinstance(node, ast.Call) and node.args:
+        target = ctx.resolve(node.func)
+        if target in ("list", "tuple", "enumerate", "reversed", "iter"):
+            node = node.args[0]
+        else:
+            break
+    return node
+
+
+@register
+class UnorderedIteration(Rule):
+    """RL003 — never iterate a set in event-ordering/aggregation code.
+
+    Set iteration order depends on insertion history and hash seeds of
+    the *values*; iterating one while scheduling events or accumulating
+    floats makes run output depend on incidental program history.  Wrap
+    the iterable in ``sorted(...)`` to fix (or suppress where order is
+    provably immaterial).
+    """
+
+    code = "RL003"
+    name = "no-unordered-iteration"
+    summary = (
+        "no iteration over set/frozenset (or set-producing methods) in "
+        "core sim code without an explicit sorted(...)"
+    )
+    scope = CORE_SIM_SCOPE
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for iterable, owner in iteration_sites(ctx.tree):
+            unwrapped = _unwrap_order_preserving(iterable, ctx)
+            if _is_unordered_set_expr(unwrapped, ctx):
+                yield self.violation(
+                    ctx,
+                    owner,
+                    "iteration over an unordered set in core simulation "
+                    "code; wrap the iterable in sorted(...) to fix the "
+                    "order",
+                )
+
+
+@register
+class FloatSum(Rule):
+    """RL004 — replication/result aggregation must use ``math.fsum``.
+
+    Built-in ``sum()`` accumulates rounding error in argument order, so
+    reassembling parallel results in a different order changes the last
+    bits of every average — exactly the bug PR 1 fixed.  ``math.fsum`` is
+    correctly rounded and therefore permutation invariant.  Integer-only
+    sums may carry a documented suppression pragma.
+    """
+
+    code = "RL004"
+    name = "fsum-aggregation"
+    summary = (
+        "aggregation modules must use math.fsum, not sum(), on floats "
+        "(permutation-invariant averaging)"
+    )
+    scope = AGGREGATION_SCOPE
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if ctx.resolve(node.func) == "sum":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "sum() in an aggregation module is order-dependent on "
+                    "floats; use math.fsum (or suppress with a pragma if "
+                    "the operands are provably integers)",
+                )
+
+
+@register
+class MutableDefault(Rule):
+    """RL005 — no mutable default arguments.
+
+    A mutable default is shared across *all* calls, so state leaks from
+    one simulation run into the next — a classic source of
+    "first run differs from second run" irreproducibility.
+    """
+
+    code = "RL005"
+    name = "no-mutable-default"
+    summary = "no mutable default arguments (shared state leaks across runs)"
+    scope = ("repro",)
+
+    _MUTABLE_CALLS: FrozenSet[str] = frozenset(
+        {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "collections.defaultdict",
+            "collections.deque",
+            "collections.OrderedDict",
+            "collections.Counter",
+        }
+    )
+
+    def _is_mutable(self, node: ast.expr, ctx: ModuleContext) -> bool:
+        if isinstance(
+            node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            return ctx.resolve(node.func) in self._MUTABLE_CALLS
+        return False
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults: List[Optional[ast.expr]] = list(node.args.defaults)
+            defaults.extend(node.args.kw_defaults)
+            for default in defaults:
+                if default is not None and self._is_mutable(default, ctx):
+                    yield self.violation(
+                        ctx,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "default to None (or use dataclasses.field) and "
+                        "construct inside the function",
+                    )
+
+
+@register
+class SerializationCoverage(Rule):
+    """RL006 — every config/results dataclass field must be serialized.
+
+    The content-addressed result cache hashes the serialized config; a
+    dataclass field that ``repro.model.serialization`` does not mention is
+    invisible to the cache key, so two *different* runs could collide on
+    one cache entry.  This cross-module check requires every field of the
+    dataclasses in the config/results modules to appear as a string key
+    in the serialization module.
+    """
+
+    code = "RL006"
+    name = "serialization-coverage"
+    summary = (
+        "every dataclass field in config/results modules must appear in "
+        "repro.model.serialization (cache-key completeness)"
+    )
+    scope = SERIALIZED_DATACLASS_SCOPE
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        serialization = project.get(SERIALIZATION_MODULE)
+        if serialization is None:
+            # Partial run (single file / fixture tree without the
+            # serialization module): the cross-module check cannot apply.
+            return
+        keys: Set[str] = {
+            node.value
+            for node in ast.walk(serialization.tree)
+            if isinstance(node, ast.Constant) and isinstance(node.value, str)
+        }
+        for module_name in SERIALIZED_DATACLASS_SCOPE:
+            ctx = project.get(module_name)
+            if ctx is None:
+                continue
+            yield from self._check_dataclasses(ctx, keys)
+
+    def _check_dataclasses(
+        self, ctx: ModuleContext, keys: Set[str]
+    ) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if not any(
+                is_dataclass_decorator(dec, ctx.imports)
+                for dec in node.decorator_list
+            ):
+                continue
+            for stmt in node.body:
+                if not isinstance(stmt, ast.AnnAssign):
+                    continue
+                if not isinstance(stmt.target, ast.Name):
+                    continue
+                field_name = stmt.target.id
+                if field_name.startswith("_"):
+                    continue
+                if is_classvar_annotation(stmt.annotation, ctx.imports):
+                    continue
+                if field_name not in keys:
+                    yield self.violation(
+                        ctx,
+                        stmt,
+                        f"dataclass field {node.name}.{field_name} is not "
+                        f"mentioned in {SERIALIZATION_MODULE}; serialize "
+                        "it (and bump the format version) or the cache "
+                        "key is incomplete",
+                    )
+
+
+@register
+class EnvironmentRead(Rule):
+    """RL007 — core simulation paths must not read ambient host state.
+
+    ``os.environ``/``getpass``/``platform`` reads make simulation output
+    depend on *which machine* (or shell) ran it.  All host configuration
+    enters through the experiments layer and is passed down explicitly.
+    """
+
+    code = "RL007"
+    name = "no-environment-reads"
+    summary = (
+        "no os.environ/getpass/platform reads in sim/model/policies/"
+        "queueing; pass configuration explicitly"
+    )
+    scope = CORE_SIM_SCOPE
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        seen: Set[Tuple[int, int]] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                target = ctx.resolve_imported(node.func)
+                if target is not None and (
+                    target in ("os.getenv", "os.getlogin", "os.uname")
+                    or target.startswith("getpass.")
+                    or target.startswith("platform.")
+                ):
+                    location = (node.lineno, node.col_offset)
+                    if location not in seen:
+                        seen.add(location)
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"host-environment read {target}() in core "
+                            "simulation code; results must not depend on "
+                            "the machine or shell",
+                        )
+            elif isinstance(node, (ast.Attribute, ast.Name)):
+                if ctx.resolve_imported(node) == "os.environ":
+                    location = (node.lineno, node.col_offset)
+                    if location not in seen:
+                        seen.add(location)
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "os.environ access in core simulation code; "
+                            "pass configuration in explicitly",
+                        )
+
+
+@register
+class SwallowedException(Rule):
+    """RL008 — no bare ``except:`` and no silently swallowed engine errors.
+
+    A bare ``except:`` catches ``KeyboardInterrupt``/``SystemExit`` and
+    hides real failures; an ``except ...: pass`` inside the simulation
+    kernel turns scheduling bugs into silently-wrong results — the worst
+    possible failure mode for a reproduction.
+    """
+
+    code = "RL008"
+    name = "no-swallowed-exceptions"
+    summary = (
+        "no bare except: anywhere; no except-pass handlers inside the "
+        "simulation kernel (repro.sim)"
+    )
+    scope = ("repro",)
+
+    @staticmethod
+    def _swallows(handler: ast.ExceptHandler) -> bool:
+        for stmt in handler.body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue  # docstring or `...`
+            return False
+        return True
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        in_kernel = ctx.module == "repro.sim" or ctx.module.startswith("repro.sim.")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare except: catches KeyboardInterrupt/SystemExit and "
+                    "hides failures; catch a specific exception type",
+                )
+            elif in_kernel and self._swallows(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "exception swallowed (except ...: pass) inside the "
+                    "simulation kernel; handle it or let it propagate — "
+                    "silent errors produce silently-wrong results",
+                )
+
+
+@register
+class PrintInCore(Rule):
+    """RL009 — no ``print()`` in core simulation code.
+
+    Model code communicates through results objects and monitors; stray
+    prints interleave nondeterministically under the process-pool runner
+    and corrupt the byte-identical CLI output the cache smoke test
+    diffs.  User-facing output belongs in ``repro.experiments``.
+    """
+
+    code = "RL009"
+    name = "no-print-in-core"
+    summary = (
+        "no print() in sim/model/policies/queueing; return results or use "
+        "the trace hook"
+    )
+    scope = CORE_SIM_SCOPE
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call) and ctx.resolve(node.func) == "print":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "print() in core simulation code; return data or use "
+                    "the sim trace hook (output belongs in "
+                    "repro.experiments)",
+                )
+
+
+@register
+class FilesystemOrder(Rule):
+    """RL010 — directory listings must be sorted before iteration.
+
+    ``os.listdir``/``Path.glob``/``iterdir`` order is filesystem- and
+    OS-dependent; iterating it unsorted makes batch composition (and
+    therefore output ordering) machine-dependent.  Wrap in
+    ``sorted(...)``.
+    """
+
+    code = "RL010"
+    name = "sorted-directory-listing"
+    summary = (
+        "no iteration over os.listdir/scandir/glob/iterdir results "
+        "without sorted(...) (filesystem order is machine-dependent)"
+    )
+    scope = ("repro",)
+
+    _LISTING_CALLS: FrozenSet[str] = frozenset(
+        {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+    )
+    _LISTING_METHODS: FrozenSet[str] = frozenset({"iterdir", "glob", "rglob"})
+
+    def _is_listing(self, node: ast.expr, ctx: ModuleContext) -> bool:
+        if not isinstance(node, ast.Call):
+            return False
+        target = ctx.resolve_imported(node.func)
+        if target in self._LISTING_CALLS:
+            return True
+        return (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in self._LISTING_METHODS
+        )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for iterable, owner in iteration_sites(ctx.tree):
+            unwrapped = _unwrap_order_preserving(iterable, ctx)
+            if self._is_listing(unwrapped, ctx):
+                yield self.violation(
+                    ctx,
+                    owner,
+                    "iteration over a directory listing in filesystem "
+                    "order; wrap it in sorted(...) so behaviour is "
+                    "machine-independent",
+                )
+
+
+__all__ = [
+    "CORE_SIM_SCOPE",
+    "AGGREGATION_SCOPE",
+    "SERIALIZED_DATACLASS_SCOPE",
+    "SERIALIZATION_MODULE",
+    "GlobalRandomState",
+    "WallClock",
+    "UnorderedIteration",
+    "FloatSum",
+    "MutableDefault",
+    "SerializationCoverage",
+    "EnvironmentRead",
+    "SwallowedException",
+    "PrintInCore",
+    "FilesystemOrder",
+]

@@ -55,6 +55,11 @@ def batch_means(
 ) -> IntervalEstimate:
     """Batch-means interval estimate for a steady-state mean.
 
+    All accumulation uses :func:`math.fsum` (correctly rounded), so the
+    estimate is bit-identical no matter how the caller assembled the
+    observation sequence's storage — the same discipline rule RL004
+    enforces for replication averaging.
+
     Args:
         observations: Post-warmup observations, in collection order.
         batches: Number of contiguous batches (k >= 2).  Observations that do
@@ -77,11 +82,11 @@ def batch_means(
     means: List[float] = []
     for b in range(batches):
         chunk = observations[b * batch_size : (b + 1) * batch_size]
-        means.append(sum(chunk) / batch_size)
-    grand = sum(means) / batches
+        means.append(math.fsum(chunk) / batch_size)
+    grand = math.fsum(means) / batches
     if batches == 1:
         return IntervalEstimate(grand, math.inf, confidence, batches)
-    var = sum((m - grand) ** 2 for m in means) / (batches - 1)
+    var = math.fsum((m - grand) ** 2 for m in means) / (batches - 1)
     t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=batches - 1)
     half = t * math.sqrt(var / batches)
     return IntervalEstimate(grand, half, confidence, batches)
@@ -94,10 +99,10 @@ def mean_and_ci(
     n = len(samples)
     if n == 0:
         raise MonitorError("mean_and_ci of an empty sample")
-    mean = sum(samples) / n
+    mean = math.fsum(samples) / n
     if n == 1:
         return IntervalEstimate(mean, math.inf, confidence, 1)
-    var = sum((s - mean) ** 2 for s in samples) / (n - 1)
+    var = math.fsum((s - mean) ** 2 for s in samples) / (n - 1)
     t = _scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1)
     half = t * math.sqrt(var / n)
     return IntervalEstimate(mean, half, confidence, n)

@@ -1,0 +1,146 @@
+"""RL006 — the cross-module serialization-coverage check.
+
+These fixtures build a miniature ``repro`` tree with a config module and a
+serialization module, then vary whether the serializer mentions every
+dataclass field.
+"""
+
+from __future__ import annotations
+
+from tests.lint.util import codes, lint_tree
+
+SERIALIZER_OK = """\
+    def config_to_dict(config):
+        return {
+            "num_sites": config.num_sites,
+            "think_time": config.think_time,
+        }
+"""
+
+SERIALIZER_MISSING_FIELD = """\
+    def config_to_dict(config):
+        return {"num_sites": config.num_sites}
+"""
+
+CONFIG = """\
+    from dataclasses import dataclass
+
+    @dataclass(frozen=True)
+    class SystemConfig:
+        num_sites: int = 6
+        think_time: float = 350.0
+"""
+
+
+def test_rl006_clean_when_all_fields_serialized(tmp_path):
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/model/config.py": CONFIG,
+            "repro/model/serialization.py": SERIALIZER_OK,
+        },
+        select=["RL006"],
+    )
+    assert codes(result) == []
+
+
+def test_rl006_fires_on_unserialized_field(tmp_path):
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/model/config.py": CONFIG,
+            "repro/model/serialization.py": SERIALIZER_MISSING_FIELD,
+        },
+        select=["RL006"],
+    )
+    assert codes(result) == ["RL006"]
+    (violation,) = result.violations
+    assert "SystemConfig.think_time" in violation.message
+    assert violation.path.endswith("repro/model/config.py")
+    assert violation.line == 6  # the field's own line
+
+
+def test_rl006_ignores_non_dataclass_and_private_and_classvar(tmp_path):
+    config = """\
+        from dataclasses import dataclass
+        from typing import ClassVar
+
+        class NotADataclass:
+            num_disks: int = 2
+
+        @dataclass
+        class SystemConfig:
+            num_sites: int = 6
+            _derived: float = 0.0
+            kind: ClassVar[str] = "static"
+    """
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/model/config.py": config,
+            "repro/model/serialization.py": SERIALIZER_MISSING_FIELD,
+        },
+        select=["RL006"],
+    )
+    assert codes(result) == []
+
+
+def test_rl006_skipped_without_serialization_module(tmp_path):
+    # Partial runs (single files) cannot apply the cross-module check.
+    result = lint_tree(
+        tmp_path,
+        {"repro/model/config.py": CONFIG},
+        select=["RL006"],
+    )
+    assert codes(result) == []
+
+
+def test_rl006_out_of_scope_dataclasses_are_ignored(tmp_path):
+    helper = """\
+        from dataclasses import dataclass
+
+        @dataclass
+        class ScratchState:
+            anything_goes: int = 0
+    """
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/experiments/scratch.py": helper,
+            "repro/model/serialization.py": SERIALIZER_MISSING_FIELD,
+        },
+        select=["RL006"],
+    )
+    assert codes(result) == []
+
+
+def test_rl006_real_tree_field_addition_is_caught(tmp_path):
+    """Adding a field to the *real* SystemConfig without serializing it fires.
+
+    This is the acceptance-criterion scenario: copy the real config and
+    serialization sources, graft an extra field onto SystemConfig, and
+    check the linter notices the cache-key gap.
+    """
+    import pathlib
+
+    repo_src = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+    config_source = (repo_src / "model" / "config.py").read_text(encoding="utf-8")
+    serialization_source = (repo_src / "model" / "serialization.py").read_text(
+        encoding="utf-8"
+    )
+    grafted = config_source.replace(
+        "    integer_reads: bool = True\n",
+        "    integer_reads: bool = True\n    shiny_new_knob: float = 1.0\n",
+        1,
+    )
+    assert "shiny_new_knob" in grafted
+    result = lint_tree(
+        tmp_path,
+        {
+            "repro/model/config.py": grafted,
+            "repro/model/serialization.py": serialization_source,
+        },
+        select=["RL006"],
+    )
+    assert codes(result) == ["RL006"]
+    assert "shiny_new_knob" in result.violations[0].message

@@ -1,0 +1,121 @@
+"""Report formats, JSON schema, CLI behaviour, and exit codes."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.engine import lint_paths, module_name_for
+from repro.lint.report import JSON_VERSION, render_json, render_text
+
+from tests.lint.util import write_tree
+
+DIRTY = {
+    "repro/sim/stats.py": (
+        "def avg(xs):\n"
+        "    return sum(xs) / len(xs)\n"
+    )
+}
+
+CLEAN = {"repro/sim/ok.py": "X = 1\n"}
+
+
+def test_json_schema(tmp_path):
+    write_tree(tmp_path, DIRTY)
+    result = lint_paths([tmp_path])
+    document = json.loads(render_json(result))
+    assert set(document) == {
+        "version",
+        "files_checked",
+        "violation_count",
+        "errors",
+        "violations",
+    }
+    assert document["version"] == JSON_VERSION
+    assert document["files_checked"] == 1
+    assert document["violation_count"] == 1
+    assert document["errors"] == []
+    (violation,) = document["violations"]
+    assert set(violation) == {"code", "message", "path", "line", "column"}
+    assert violation["code"] == "RL004"
+    assert violation["line"] == 2
+    assert violation["path"].endswith("repro/sim/stats.py")
+
+
+def test_text_output_format(tmp_path):
+    write_tree(tmp_path, DIRTY)
+    result = lint_paths([tmp_path])
+    text = render_text(result)
+    lines = text.splitlines()
+    assert lines[0].startswith(str(tmp_path))
+    assert ":2:" in lines[0]
+    assert "RL004" in lines[0]
+    assert lines[-1] == "1 violation in 1 files checked"
+
+
+def test_cli_exit_zero_on_clean_tree(tmp_path, capsys):
+    write_tree(tmp_path, CLEAN)
+    assert main([str(tmp_path)]) == 0
+    assert "0 violations" in capsys.readouterr().out
+
+
+def test_cli_exit_one_with_rule_code_and_location(tmp_path, capsys):
+    write_tree(tmp_path, DIRTY)
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert "RL004" in out
+    assert "stats.py:2:" in out
+
+
+def test_cli_json_flag(tmp_path, capsys):
+    write_tree(tmp_path, DIRTY)
+    assert main(["--format", "json", str(tmp_path)]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["violation_count"] == 1
+
+
+def test_cli_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_cli_unknown_select_code_is_usage_error(tmp_path, capsys):
+    write_tree(tmp_path, CLEAN)
+    assert main(["--select", "RL999", str(tmp_path)]) == 2
+    assert "unknown rule code" in capsys.readouterr().err
+
+
+def test_cli_syntax_error_exit_two(tmp_path, capsys):
+    write_tree(tmp_path, {"repro/sim/broken.py": "def f(:\n"})
+    assert main([str(tmp_path)]) == 2
+    assert "syntax error" in capsys.readouterr().out
+
+
+def test_cli_list_rules(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in ("RL001", "RL004", "RL006", "RL010"):
+        assert code in out
+
+
+def test_cli_ignore_flag(tmp_path, capsys):
+    write_tree(tmp_path, DIRTY)
+    assert main(["--ignore", "RL004", str(tmp_path)]) == 0
+    capsys.readouterr()
+
+
+@pytest.mark.parametrize(
+    "path, expected",
+    [
+        ("src/repro/sim/engine.py", "repro.sim.engine"),
+        ("src/repro/__init__.py", "repro"),
+        ("src/repro/model/__init__.py", "repro.model"),
+        ("elsewhere/repro/policies/lert.py", "repro.policies.lert"),
+        ("scripts/standalone.py", "standalone"),
+    ],
+)
+def test_module_name_for(path, expected):
+    assert module_name_for(pathlib.Path(path)) == expected

@@ -1,0 +1,355 @@
+"""Firing and non-firing fixture snippets for every reprolint rule.
+
+Each rule gets at least one positive (violating) and one negative (clean)
+fixture, exercised through the full engine so scoping, name resolution,
+and location reporting are all covered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.lint.util import codes, lint_snippet
+
+# ----------------------------------------------------------------------
+# RL001 — no global RNG state
+# ----------------------------------------------------------------------
+
+RL001_FIRING = [
+    ("repro/model/workload.py", "import random\nx = random.random()\n"),
+    ("repro/model/workload.py", "import random\nrandom.seed(3)\n"),
+    ("repro/sim/thing.py", "from random import seed as s\ns(1)\n"),
+    ("repro/policies/p.py", "import numpy as np\nv = np.random.uniform()\n"),
+    ("repro/policies/p.py", "import numpy.random\nnumpy.random.seed(0)\n"),
+    (
+        "repro/queueing/q.py",
+        "from numpy import random as npr\nnpr.shuffle([1, 2])\n",
+    ),
+]
+
+RL001_CLEAN = [
+    # Constructing an owned stream is exactly the fix RL001 demands.
+    ("repro/sim/rng2.py", "import random\nstream = random.Random(7)\n"),
+    # Method calls on a stream object are fine.
+    (
+        "repro/model/workload.py",
+        "def draw(rng):\n    return rng.random() + rng.expovariate(1.0)\n",
+    ),
+    ("repro/policies/p.py", "import numpy as np\ng = np.random.default_rng(3)\n"),
+    # A local variable that happens to be called `random` is not the module.
+    ("repro/sim/x.py", "def f(random):\n    return random.slice(1)\n"),
+]
+
+
+@pytest.mark.parametrize("relative, source", RL001_FIRING)
+def test_rl001_fires(tmp_path, relative, source):
+    result = lint_snippet(tmp_path, relative, source, select=["RL001"])
+    assert codes(result) == ["RL001"], result.violations
+
+
+@pytest.mark.parametrize("relative, source", RL001_CLEAN)
+def test_rl001_clean(tmp_path, relative, source):
+    result = lint_snippet(tmp_path, relative, source, select=["RL001"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL002 — no wall clock in core simulation code
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.perf_counter()\n",
+        "from time import monotonic\nt = monotonic()\n",
+        "from datetime import datetime\nnow = datetime.now()\n",
+        "import datetime\nd = datetime.date.today()\n",
+    ],
+)
+def test_rl002_fires_in_core(tmp_path, source):
+    result = lint_snippet(tmp_path, "repro/sim/clocky.py", source, select=["RL002"])
+    assert codes(result) == ["RL002"]
+
+
+def test_rl002_reports_location(tmp_path):
+    source = "import time\n\n\nt = time.time()\n"
+    result = lint_snippet(tmp_path, "repro/model/m.py", source, select=["RL002"])
+    (violation,) = result.violations
+    assert violation.line == 4
+    assert violation.path.endswith("repro/model/m.py")
+
+
+def test_rl002_allows_experiments_layer(tmp_path):
+    source = "import time\nstarted = time.perf_counter()\n"
+    result = lint_snippet(
+        tmp_path, "repro/experiments/timing.py", source, select=["RL002"]
+    )
+    assert codes(result) == []
+
+
+def test_rl002_allows_simulated_time(tmp_path):
+    source = "def f(sim):\n    return sim.now\n"
+    result = lint_snippet(tmp_path, "repro/sim/ok.py", source, select=["RL002"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL003 — no unordered iteration in core simulation code
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "for site in {3, 1, 2}:\n    print(site)\n",
+        "for site in set(range(4)):\n    pass\n",
+        "for site in frozenset([1, 2]):\n    pass\n",
+        "def f(a, b):\n    for s in a.union(b):\n        pass\n",
+        "def f(a, b):\n    return [s for s in a.intersection(b)]\n",
+        "for s in list(set([1, 2])):\n    pass\n",
+        "def f(xs):\n    return {x for x in set(xs)}\n",
+    ],
+)
+def test_rl003_fires(tmp_path, source):
+    result = lint_snippet(tmp_path, "repro/sim/agg.py", source, select=["RL003"])
+    assert "RL003" in codes(result)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "for site in sorted({3, 1, 2}):\n    pass\n",
+        "for site in sorted(set(range(4))):\n    pass\n",
+        "def f(a, b):\n    for s in sorted(a.union(b)):\n        pass\n",
+        "for site in [3, 1, 2]:\n    pass\n",
+        "def f(d):\n    for k in d.items():\n        pass\n",
+    ],
+)
+def test_rl003_clean(tmp_path, source):
+    result = lint_snippet(tmp_path, "repro/sim/agg.py", source, select=["RL003"])
+    assert codes(result) == []
+
+
+def test_rl003_out_of_scope_in_experiments(tmp_path):
+    source = "for x in {1, 2}:\n    pass\n"
+    result = lint_snippet(
+        tmp_path, "repro/experiments/e.py", source, select=["RL003"]
+    )
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL004 — aggregation must use math.fsum
+# ----------------------------------------------------------------------
+
+
+def test_rl004_fires_in_aggregation_module(tmp_path):
+    source = "def avg(xs):\n    return sum(xs) / len(xs)\n"
+    result = lint_snippet(tmp_path, "repro/sim/stats.py", source, select=["RL004"])
+    assert codes(result) == ["RL004"]
+
+
+def test_rl004_clean_with_fsum(tmp_path):
+    source = "import math\n\ndef avg(xs):\n    return math.fsum(xs) / len(xs)\n"
+    result = lint_snippet(tmp_path, "repro/sim/stats.py", source, select=["RL004"])
+    assert codes(result) == []
+
+
+def test_rl004_out_of_scope_module(tmp_path):
+    # sum() is fine outside the aggregation modules (e.g. config checks).
+    source = "def total(xs):\n    return sum(xs)\n"
+    result = lint_snippet(tmp_path, "repro/model/config.py", source, select=["RL004"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL005 — no mutable default arguments
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(xs=[]):\n    return xs\n",
+        "def f(m={}):\n    return m\n",
+        "def f(s=set()):\n    return s\n",
+        "def f(*, xs=list()):\n    return xs\n",
+        "import collections\ndef f(d=collections.defaultdict(list)):\n    return d\n",
+        "g = lambda xs=[]: xs\n",
+    ],
+)
+def test_rl005_fires(tmp_path, source):
+    result = lint_snippet(tmp_path, "repro/analysis/a.py", source, select=["RL005"])
+    assert codes(result) == ["RL005"]
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "def f(xs=None):\n    return xs or []\n",
+        "def f(xs=()):\n    return xs\n",
+        "def f(name='x', n=3):\n    return name * n\n",
+    ],
+)
+def test_rl005_clean(tmp_path, source):
+    result = lint_snippet(tmp_path, "repro/analysis/a.py", source, select=["RL005"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL007 — no environment reads in core simulation code
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import os\nv = os.environ.get('HOME')\n",
+        "import os\nv = os.getenv('HOME')\n",
+        "import platform\np = platform.system()\n",
+        "import getpass\nu = getpass.getuser()\n",
+        "from os import environ\nv = environ['HOME']\n",
+    ],
+)
+def test_rl007_fires_in_core(tmp_path, source):
+    result = lint_snippet(tmp_path, "repro/queueing/env.py", source, select=["RL007"])
+    assert codes(result) == ["RL007"]
+
+
+def test_rl007_allows_experiments_layer(tmp_path):
+    source = "import os\nv = os.environ.get('REPRO_CACHE_DIR')\n"
+    result = lint_snippet(
+        tmp_path, "repro/experiments/cache2.py", source, select=["RL007"]
+    )
+    assert codes(result) == []
+
+
+def test_rl007_allows_os_path_in_core(tmp_path):
+    source = "import os\np = os.path.join('a', 'b')\n"
+    result = lint_snippet(tmp_path, "repro/sim/io.py", source, select=["RL007"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL008 — no bare except / swallowed kernel exceptions
+# ----------------------------------------------------------------------
+
+
+def test_rl008_bare_except_fires_anywhere(tmp_path):
+    source = "try:\n    x = 1\nexcept:\n    x = 2\n"
+    result = lint_snippet(
+        tmp_path, "repro/experiments/h.py", source, select=["RL008"]
+    )
+    assert codes(result) == ["RL008"]
+
+
+def test_rl008_swallowed_exception_fires_in_kernel(tmp_path):
+    source = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+    result = lint_snippet(tmp_path, "repro/sim/engine2.py", source, select=["RL008"])
+    assert codes(result) == ["RL008"]
+
+
+def test_rl008_swallow_allowed_outside_kernel(tmp_path):
+    # Outside repro.sim, except-with-pass is tolerated (e.g. cache misses).
+    source = "try:\n    x = 1\nexcept ValueError:\n    pass\n"
+    result = lint_snippet(
+        tmp_path, "repro/experiments/c.py", source, select=["RL008"]
+    )
+    assert codes(result) == []
+
+
+def test_rl008_handled_exception_clean_in_kernel(tmp_path):
+    source = (
+        "try:\n"
+        "    x = 1\n"
+        "except ValueError as err:\n"
+        "    raise RuntimeError('bad') from err\n"
+    )
+    result = lint_snippet(tmp_path, "repro/sim/engine2.py", source, select=["RL008"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL009 — no print() in core simulation code
+# ----------------------------------------------------------------------
+
+
+def test_rl009_fires_in_core(tmp_path):
+    source = "def f():\n    print('debug')\n"
+    result = lint_snippet(tmp_path, "repro/model/site2.py", source, select=["RL009"])
+    assert codes(result) == ["RL009"]
+
+
+def test_rl009_allows_experiments_output(tmp_path):
+    source = "def report(t):\n    print(t.render())\n"
+    result = lint_snippet(
+        tmp_path, "repro/experiments/r.py", source, select=["RL009"]
+    )
+    assert codes(result) == []
+
+
+def test_rl009_docstring_mention_is_clean(tmp_path):
+    source = '"""Example::\n\n    print(monitor.summary())\n"""\nX = 1\n'
+    result = lint_snippet(tmp_path, "repro/model/b.py", source, select=["RL009"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# RL010 — directory listings must be sorted
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import os\nfor name in os.listdir('.'):\n    pass\n",
+        "import glob\nfor name in glob.glob('*.json'):\n    pass\n",
+        "def f(root):\n    for p in root.iterdir():\n        pass\n",
+        "def f(root):\n    return [p for p in root.glob('*.json')]\n",
+        "def f(root):\n    for p in list(root.rglob('*.py')):\n        pass\n",
+    ],
+)
+def test_rl010_fires(tmp_path, source):
+    result = lint_snippet(
+        tmp_path, "repro/experiments/files.py", source, select=["RL010"]
+    )
+    assert "RL010" in codes(result)
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import os\nfor name in sorted(os.listdir('.')):\n    pass\n",
+        "def f(root):\n    for p in sorted(root.glob('*.json')):\n        pass\n",
+        "def f(names):\n    for n in names:\n        pass\n",
+    ],
+)
+def test_rl010_clean(tmp_path, source):
+    result = lint_snippet(
+        tmp_path, "repro/experiments/files.py", source, select=["RL010"]
+    )
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour around rule selection
+# ----------------------------------------------------------------------
+
+
+def test_select_runs_only_requested_rules(tmp_path):
+    source = "import time\nt = time.time()\nfor x in {1, 2}:\n    pass\n"
+    result = lint_snippet(tmp_path, "repro/sim/multi.py", source, select=["RL002"])
+    assert codes(result) == ["RL002"]
+
+
+def test_unknown_rule_code_raises(tmp_path):
+    with pytest.raises(ValueError, match="unknown rule code"):
+        lint_snippet(tmp_path, "repro/sim/x.py", "X = 1\n", select=["RL999"])
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    result = lint_snippet(tmp_path, "repro/sim/broken.py", "def f(:\n")
+    assert result.exit_code == 2
+    assert any("syntax error" in message for message in result.errors)

@@ -1,0 +1,100 @@
+"""Suppression-pragma behaviour: line pragmas, file pragmas, and typos."""
+
+from __future__ import annotations
+
+from repro.lint.engine import parse_suppressions
+
+from tests.lint.util import codes, lint_snippet
+
+KNOWN = ["RL001", "RL004", "RL009"]
+
+
+def test_line_pragma_silences_only_that_line(tmp_path):
+    source = (
+        "def f(xs):\n"
+        "    a = sum(xs)  # reprolint: disable=RL004\n"
+        "    b = sum(xs)\n"
+        "    return a + b\n"
+    )
+    result = lint_snippet(tmp_path, "repro/sim/stats.py", source, select=["RL004"])
+    assert codes(result) == ["RL004"]
+    assert result.violations[0].line == 3
+
+
+def test_line_pragma_with_multiple_codes(tmp_path):
+    source = (
+        "import random\n"
+        "def f(xs):\n"
+        "    return sum(xs) + random.random()  # reprolint: disable=RL001,RL004\n"
+    )
+    result = lint_snippet(
+        tmp_path, "repro/sim/stats.py", source, select=["RL001", "RL004"]
+    )
+    assert codes(result) == []
+
+
+def test_line_pragma_does_not_silence_other_codes(tmp_path):
+    source = (
+        "import random\n"
+        "def f(xs):\n"
+        "    return sum(xs) + random.random()  # reprolint: disable=RL004\n"
+    )
+    result = lint_snippet(
+        tmp_path, "repro/sim/stats.py", source, select=["RL001", "RL004"]
+    )
+    assert codes(result) == ["RL001"]
+
+
+def test_disable_all_pragma(tmp_path):
+    source = (
+        "import random\n"
+        "def f(xs):\n"
+        "    return sum(xs) + random.random()  # reprolint: disable=all\n"
+    )
+    result = lint_snippet(
+        tmp_path, "repro/sim/stats.py", source, select=["RL001", "RL004"]
+    )
+    assert codes(result) == []
+
+
+def test_file_level_pragma(tmp_path):
+    source = (
+        "# reprolint: disable-file=RL009\n"
+        "def f():\n"
+        "    print('a')\n"
+        "    print('b')\n"
+    )
+    result = lint_snippet(tmp_path, "repro/model/out.py", source, select=["RL009"])
+    assert codes(result) == []
+
+
+def test_unknown_pragma_code_reports_rl000(tmp_path):
+    source = "def f(xs):\n    return sum(xs)  # reprolint: disable=RL9999\n"
+    result = lint_snippet(tmp_path, "repro/sim/stats.py", source, select=["RL004"])
+    # The typo'd pragma silences nothing AND is itself reported.
+    assert sorted(codes(result)) == ["RL000", "RL004"]
+    (rl000,) = [v for v in result.violations if v.code == "RL000"]
+    assert "RL9999" in rl000.message
+    assert result.exit_code == 1
+
+
+def test_pragma_inside_string_literal_is_ignored():
+    source = 'TEXT = "# reprolint: disable=RL004"\n'
+    pragmas = parse_suppressions(source, KNOWN)
+    assert pragmas.by_line == {}
+    assert pragmas.file_level == set()
+    assert pragmas.unknown == []
+
+
+def test_parse_suppressions_table():
+    source = (
+        "# reprolint: disable-file=RL009\n"
+        "x = 1  # reprolint: disable=RL001, RL004\n"
+        "y = 2  # ordinary comment\n"
+    )
+    pragmas = parse_suppressions(source, KNOWN)
+    assert pragmas.file_level == {"RL009"}
+    assert pragmas.by_line == {2: {"RL001", "RL004"}}
+    assert pragmas.silences("RL009", 3)
+    assert pragmas.silences("RL001", 2)
+    assert not pragmas.silences("RL001", 3)

@@ -1,0 +1,55 @@
+"""Helpers for the reprolint test suite.
+
+Fixture snippets are written into a temporary ``repro/`` package tree so
+that :func:`repro.lint.engine.module_name_for` derives the same dotted
+module names the rules scope on (``repro.sim.x``, ``repro.model.y``, ...)
+without ever touching the real source tree.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import textwrap
+from typing import Dict, List, Optional, Sequence
+
+from repro.lint.engine import LintResult, lint_paths
+
+
+def write_tree(root: pathlib.Path, files: Dict[str, str]) -> pathlib.Path:
+    """Write ``{relative_path: source}`` under ``root/`` and return root.
+
+    Sources are dedented, so fixture snippets can be indented naturally in
+    the test code.
+    """
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    return root
+
+
+def lint_tree(
+    root: pathlib.Path,
+    files: Dict[str, str],
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Write *files* under *root* and lint the resulting tree."""
+    write_tree(root, files)
+    return lint_paths([root], select=select)
+
+
+def lint_snippet(
+    root: pathlib.Path,
+    relative: str,
+    source: str,
+    *,
+    select: Optional[Sequence[str]] = None,
+) -> LintResult:
+    """Lint a single fixture file at *relative* (e.g. ``repro/sim/x.py``)."""
+    return lint_tree(root, {relative: source}, select=select)
+
+
+def codes(result: LintResult) -> List[str]:
+    """The violation codes of a result, in report order."""
+    return [violation.code for violation in result.violations]

@@ -84,6 +84,46 @@ class TestIntervalEstimate:
         assert "95%" in str(estimate)
 
 
+class TestExactAccumulation:
+    """Regression tests for the RL004 fix: fsum-based accumulation.
+
+    ``sum()`` loses low-order bits in accumulation order; ``math.fsum`` is
+    correctly rounded, so the estimators are exact on adversarial inputs
+    and bit-identical under permutation of independent samples — the same
+    guarantee the parallel runner's replication averaging relies on.
+    """
+
+    def test_mean_survives_catastrophic_cancellation(self):
+        # Naive left-to-right sum() of these is 0.0 (the 1.0 is absorbed
+        # into 1e16 and then cancelled); fsum recovers it exactly.
+        samples = [1e16, 1.0, -1e16]
+        estimate = mean_and_ci(samples)
+        assert estimate.mean == 1.0 / 3.0
+
+    def test_batch_means_survives_catastrophic_cancellation(self):
+        data = [1e16, 1.0, -1e16, 3.0, 3.0, 3.0]
+        estimate = batch_means(data, batches=2)
+        # Batch 1 sums to exactly 1.0 -> mean 1/3; batch 2 mean 3.0.
+        assert estimate.mean == (1.0 / 3.0 + 3.0) / 2.0
+
+    def test_mean_and_ci_is_permutation_invariant(self):
+        import random
+
+        rng = random.Random(1234)
+        samples = [
+            rng.uniform(-1.0, 1.0) * (10.0 ** rng.randrange(-8, 9))
+            for _ in range(257)
+        ]
+        baseline = mean_and_ci(samples)
+        for shuffle_seed in range(5):
+            shuffled = list(samples)
+            random.Random(shuffle_seed).shuffle(shuffled)
+            estimate = mean_and_ci(shuffled)
+            # Bit-identical, not approximately equal.
+            assert estimate.mean == baseline.mean
+            assert estimate.half_width == baseline.half_width
+
+
 class TestRelativeChange:
     def test_improvement_positive(self):
         assert relative_change(new=8.0, base=10.0) == pytest.approx(0.2)
