@@ -1,0 +1,104 @@
+"""Telemetry timeline: watch per-site queue lengths evolve over a run.
+
+Runs one Table-8-style cell (the paper's default system at think time
+200) under LOCAL and LERT with the telemetry subsystem enabled, exports
+each run's sampled timeline to CSV, and plots an ASCII queue-length
+timeline per site — making the paper's core claim *visible*: under
+LOCAL, per-site backlogs drift apart (the lucky sites idle while the
+unlucky ones queue); under LERT the dynamic allocation keeps them
+tracking each other.
+
+No plotting dependencies: the chart is plain text. Run:
+
+    python examples/telemetry_timeline.py
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro import RunSpec, TelemetryConfig, paper_defaults, run
+from repro.telemetry.sampler import TimelineSample
+
+WARMUP = 1000.0
+DURATION = 5000.0
+SAMPLE_INTERVAL = 100.0
+SEED = 7
+THINK_TIME = 200.0
+
+#: Glyphs from idle to deeply queued.
+SHADES = " .:-=+*#%@"
+
+
+def queue_series(
+    timeline: Sequence[TimelineSample],
+) -> Dict[int, List[Tuple[float, int]]]:
+    """Per-site (time, total queue length) series from a sampled timeline."""
+    series: Dict[int, List[Tuple[float, int]]] = {}
+    for sample in timeline:
+        total = sample.cpu_queue + sample.disk_queue
+        series.setdefault(sample.site, []).append((sample.time, total))
+    return series
+
+
+def ascii_timeline(series: Dict[int, List[Tuple[float, int]]]) -> str:
+    """One shaded row per site; darker glyph = longer queue."""
+    peak = max((q for rows in series.values() for _, q in rows), default=0)
+    scale = max(peak, 1)
+    lines = []
+    for site in sorted(series):
+        cells = []
+        for _, queue in series[site]:
+            shade = SHADES[min(len(SHADES) - 1, queue * (len(SHADES) - 1) // scale)]
+            cells.append(shade)
+        lines.append(f"  site {site}  |{''.join(cells)}|")
+    times = [t for t, _ in next(iter(series.values()))]
+    lines.append(
+        f"           t={times[0]:.0f} .. {times[-1]:.0f} "
+        f"(one column per {SAMPLE_INTERVAL:.0f} time units; peak queue {peak})"
+    )
+    return "\n".join(lines)
+
+
+def imbalance(series: Dict[int, List[Tuple[float, int]]]) -> float:
+    """Mean over time of (max - min) queue length across sites."""
+    columns = zip(*(rows for rows in series.values()))
+    gaps = [max(q for _, q in col) - min(q for _, q in col) for col in columns]
+    return sum(gaps) / len(gaps) if gaps else 0.0
+
+
+def main() -> None:
+    config = dataclasses.replace(
+        paper_defaults(),
+        site=dataclasses.replace(paper_defaults().site, think_time=THINK_TIME),
+    )
+    spec = RunSpec(
+        warmup=WARMUP,
+        duration=DURATION,
+        seed=SEED,
+        telemetry=TelemetryConfig(events=False, sample_interval=SAMPLE_INTERVAL),
+    )
+    print(
+        f"Default system, think time {THINK_TIME:.0f}, "
+        f"sampled every {SAMPLE_INTERVAL:.0f} time units\n"
+    )
+    for policy in ("LOCAL", "LERT"):
+        report = run(config, policy, spec)
+        series = queue_series(report.timeline)
+        csv_path = report.write_timeline(f"timeline_{policy.lower()}.csv")
+        print(f"{policy}: W = {report.results.mean_waiting_time:.2f}")
+        print(ascii_timeline(series))
+        print(
+            f"  mean cross-site queue gap: {imbalance(series):.2f}  "
+            f"(timeline written to {csv_path})\n"
+        )
+    print(
+        "LERT's shading stays even across the site rows while LOCAL's "
+        "streaks — dynamic allocation converts cross-site imbalance into "
+        "lower waiting time."
+    )
+
+
+if __name__ == "__main__":
+    main()

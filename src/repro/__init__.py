@@ -9,6 +9,18 @@ every table of the paper's evaluation.
 
 Quick start::
 
+    from repro import RunSpec, TelemetryConfig, run, paper_defaults
+
+    report = run(
+        paper_defaults(),
+        "LERT",
+        RunSpec(seed=7, telemetry=TelemetryConfig(sample_interval=100.0)),
+    )
+    print(report.results)
+    report.write_timeline("timeline.csv")
+
+or, driving the system object directly::
+
     from repro import DistributedDatabase, paper_defaults, make_policy
 
     system = DistributedDatabase(paper_defaults(), make_policy("LERT"), seed=7)
@@ -25,6 +37,10 @@ Subpackages:
 * :mod:`repro.experiments` — table-regeneration harness.
 * :mod:`repro.extensions` — future-work features (stale load info,
   query migration, partial replication).
+* :mod:`repro.telemetry` — typed event bus, metrics registry, timeline
+  sampler, and exporters (see ``docs/telemetry.md``).
+* :mod:`repro.runner` — the :func:`run`/:func:`execute` facade shared by
+  the library API and the experiment harness.
 """
 
 from repro.model.config import (
@@ -38,6 +54,8 @@ from repro.model.config import (
 from repro.model.metrics import SystemResults
 from repro.model.system import DistributedDatabase
 from repro.policies.registry import available_policies, make_policy
+from repro.runner import RunReport, RunSpec, execute, run
+from repro.telemetry import EventBus, EventLog, TelemetryConfig, TelemetrySession
 
 __version__ = "1.0.0"
 
@@ -52,5 +70,13 @@ __all__ = [
     "paper_defaults",
     "make_policy",
     "available_policies",
+    "RunSpec",
+    "RunReport",
+    "run",
+    "execute",
+    "EventBus",
+    "EventLog",
+    "TelemetryConfig",
+    "TelemetrySession",
     "__version__",
 ]

@@ -8,6 +8,7 @@ Installed as ``repro-experiments``::
     repro-experiments table9 --jobs 4          # fan cells over 4 processes
     repro-experiments table9 --no-cache        # force re-simulation
     repro-experiments all --cache-dir /tmp/rc  # shared result cache
+    repro-experiments table8 --progress        # live progress on stderr
 
 Simulation experiments accept ``--jobs`` (process-pool fan-out; results are
 bit-identical to serial runs) and use the content-addressed result cache by
@@ -20,10 +21,11 @@ clean.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import pathlib
 import sys
 import time
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, Iterator, Optional
 
 from repro.experiments import (
     ablations,
@@ -111,6 +113,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable the on-disk result cache (always re-simulate)",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "show live per-replication progress on stderr while simulation "
+            "batches run (display only; results are unaffected)"
+        ),
+    )
     return parser
 
 
@@ -122,6 +132,35 @@ def _build_cache(args):
 
     root = pathlib.Path(args.cache_dir) if args.cache_dir else default_cache_dir()
     return ResultCache(root)
+
+
+@contextlib.contextmanager
+def _progress_scope(enabled: bool) -> Iterator[None]:
+    """Install a stderr progress printer for the enclosed experiment.
+
+    Uses :func:`repro.experiments.parallel.progress_reporting`, so every
+    ``run_tasks`` batch the experiment triggers reports here without any of
+    the table modules knowing about the CLI.  The line is redrawn in place
+    (``\\r``); a final newline keeps subsequent stderr output clean.
+    """
+    if not enabled:
+        yield
+        return
+    from repro.experiments.parallel import RunProgress, progress_reporting
+
+    def report(tick: RunProgress) -> None:
+        line = (
+            f"[{tick.completed}/{tick.total}] "
+            f"{tick.policy} seed={tick.seed} ({tick.cached} cached)"
+        )
+        # Pad so a shorter redraw fully overwrites the previous line.
+        print(f"\r{line:<60}", end="", file=sys.stderr, flush=True)
+
+    with progress_reporting(report):
+        try:
+            yield
+        finally:
+            print(file=sys.stderr)
 
 
 def _timing_line(name: str, elapsed: float, cache) -> str:
@@ -139,7 +178,8 @@ def main(argv=None) -> int:
 
         cache = _build_cache(args)
         started = time.perf_counter()
-        write_report(args.out, settings, jobs=args.jobs, cache=cache)
+        with _progress_scope(args.progress):
+            write_report(args.out, settings, jobs=args.jobs, cache=cache)
         print(
             _timing_line("report", time.perf_counter() - started, cache),
             file=sys.stderr,
@@ -162,7 +202,8 @@ def main(argv=None) -> int:
             if not cache_built:
                 cache = _build_cache(args)
                 cache_built = True
-            _SIMULATED[name](settings, jobs=args.jobs, cache=cache)
+            with _progress_scope(args.progress):
+                _SIMULATED[name](settings, jobs=args.jobs, cache=cache)
         elapsed = time.perf_counter() - started
         print(
             _timing_line(name, elapsed, cache if name in _SIMULATED else None),

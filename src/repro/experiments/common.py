@@ -91,6 +91,7 @@ def simulate(
     *,
     jobs: Optional[int] = 1,
     cache=None,
+    progress=None,
 ) -> AveragedResults:
     """Run the system under one policy, averaged over replications.
 
@@ -106,12 +107,19 @@ def simulate(
             regardless of the value.
         cache: Optional :class:`~repro.experiments.cache.ResultCache`;
             cached replications are reused instead of re-simulated.
+        progress: Optional per-replication progress callback (see
+            :class:`~repro.experiments.parallel.RunProgress`).  Defaults to
+            the callback installed by
+            :func:`~repro.experiments.parallel.progress_reporting`, if any.
+            Display only; results are unaffected.
     """
     # Imported lazily: the execution backend imports this module for
     # AveragedResults/average_results.
     from repro.experiments.parallel import simulate_many
 
-    return simulate_many([(config, policy_name)], settings, jobs=jobs, cache=cache)[0]
+    return simulate_many(
+        [(config, policy_name)], settings, jobs=jobs, cache=cache, progress=progress
+    )[0]
 
 
 def improvement_pct(new: float, base: float) -> float:

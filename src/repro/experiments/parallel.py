@@ -21,7 +21,12 @@ Public surface:
 * :func:`run_task` — execute one task (also the worker entry point);
 * :func:`run_tasks` — execute a batch, optionally parallel and cached;
 * :func:`simulate_many` — the batch analogue of ``common.simulate``;
-* :func:`resolve_jobs` — normalize a ``--jobs`` value to a worker count.
+* :func:`resolve_jobs` — normalize a ``--jobs`` value to a worker count;
+* :class:`RunProgress` / :func:`progress_reporting` — live progress:
+  ``run_tasks`` invokes a callback as each task resolves (from cache or
+  simulation).  Progress is *observational only* — it is reported in
+  resolution order, which under a pool is nondeterministic, but the
+  returned results remain in task order and bit-identical regardless.
 """
 
 from __future__ import annotations
@@ -29,8 +34,9 @@ from __future__ import annotations
 import multiprocessing
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.runconfig import RunSettings
@@ -39,6 +45,50 @@ from repro.model.metrics import SystemResults
 
 #: Registered simulation-system kinds (see :func:`system_class`).
 SYSTEM_KINDS = ("standard", "stale", "updates", "heterogeneous")
+
+
+@dataclass(frozen=True)
+class RunProgress:
+    """One progress tick of a :func:`run_tasks` batch.
+
+    Attributes:
+        completed: Tasks resolved so far (including this one).
+        total: Tasks in the batch.
+        cached: How many of the resolved tasks came from the cache.
+        policy: Policy name of the task that just resolved.
+        seed: Seed of the task that just resolved.
+    """
+
+    completed: int
+    total: int
+    cached: int
+    policy: str
+    seed: int
+
+
+#: A live progress consumer (e.g. a CLI spinner).
+ProgressCallback = Callable[[RunProgress], None]
+
+#: Process-wide default progress callback (see :func:`progress_reporting`).
+_active_progress: Optional[ProgressCallback] = None
+
+
+@contextmanager
+def progress_reporting(callback: ProgressCallback) -> Iterator[None]:
+    """Install *callback* as the default progress consumer for this process.
+
+    Every :func:`run_tasks` batch inside the ``with`` block reports to it
+    unless the call passes an explicit ``progress=``.  This lets the CLI
+    thread live progress through the table modules without changing their
+    signatures.  Nestable; the previous callback is restored on exit.
+    """
+    global _active_progress
+    previous = _active_progress
+    _active_progress = callback
+    try:
+        yield
+    finally:
+        _active_progress = previous
 
 
 @dataclass(frozen=True)
@@ -139,7 +189,17 @@ def _make_policy(name: str):
 
 
 def run_task(task: ReplicationTask) -> SystemResults:
-    """Execute one task to completion (the process-pool worker function)."""
+    """Execute one task to completion (the process-pool worker function).
+
+    Goes through :func:`repro.runner.execute` — the shared run
+    entry point — always with telemetry disabled: cached results are
+    telemetry-free, so telemetry options can never perturb cache keys or
+    cached content.
+    """
+    # Imported lazily so pool workers (and the no-runner import path)
+    # never pay for it, and to keep the module import graph acyclic.
+    from repro.runner import RunSpec, execute
+
     cls = system_class(task.system_kind)
     system = cls(
         task.config,
@@ -147,7 +207,8 @@ def run_task(task: ReplicationTask) -> SystemResults:
         seed=task.seed,
         **dict(task.system_kwargs),
     )
-    return system.run(warmup=task.warmup, duration=task.duration)
+    spec = RunSpec(warmup=task.warmup, duration=task.duration, seed=task.seed)
+    return execute(system, spec).results
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -175,6 +236,7 @@ def run_tasks(
     *,
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SystemResults]:
     """Execute *tasks* and return their results **in task order**.
 
@@ -183,7 +245,32 @@ def run_tasks(
     * With a *cache*, each task is answered from disk when possible and
       fresh results are written back; duplicate tasks within the batch are
       simulated only once.
+    * With *progress* (or an enclosing :func:`progress_reporting`), the
+      callback fires once per task as it resolves — from cache or
+      simulation — in resolution order.  Display only; results are
+      unaffected.
     """
+    report = progress if progress is not None else _active_progress
+    total = len(tasks)
+    resolved = 0
+    from_cache = 0
+
+    def tick(task: ReplicationTask, count: int, cached: bool) -> None:
+        nonlocal resolved, from_cache
+        resolved += count
+        if cached:
+            from_cache += count
+        if report is not None:
+            report(
+                RunProgress(
+                    completed=resolved,
+                    total=total,
+                    cached=from_cache,
+                    policy=task.policy,
+                    seed=task.seed,
+                )
+            )
+
     results: List[Optional[SystemResults]] = [None] * len(tasks)
 
     # Resolve cache hits up front; collect one representative index per
@@ -194,6 +281,7 @@ def run_tasks(
             hit = cache.get(task.key())
             if hit is not None:
                 results[index] = hit
+                tick(task, 1, cached=True)
                 continue
         representatives.setdefault(task, []).append(index)
 
@@ -204,17 +292,21 @@ def run_tasks(
             max_workers=workers, mp_context=_pool_context()
         ) as pool:
             futures = {
-                pool.submit(run_task, task): indices for task, indices in pending
+                pool.submit(run_task, task): (task, indices)
+                for task, indices in pending
             }
             for future in as_completed(futures):
                 outcome = future.result()
-                for index in futures[future]:
+                task, indices = futures[future]
+                for index in indices:
                     results[index] = outcome
+                tick(task, len(indices), cached=False)
     else:
         for task, indices in pending:
             outcome = run_task(task)
             for index in indices:
                 results[index] = outcome
+            tick(task, len(indices), cached=False)
 
     if cache is not None:
         for task, indices in pending:
@@ -228,6 +320,7 @@ def simulate_many(
     *,
     jobs: Optional[int] = 1,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ):
     """Run many (config, policy) cells, averaged over replications each.
 
@@ -246,7 +339,7 @@ def simulate_many(
         start = len(tasks)
         tasks.extend(replication_tasks(config, policy, settings))
         spans.append((start, len(tasks), policy))
-    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    runs = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)
     return [
         average_results(policy, runs[start:stop]) for start, stop, policy in spans
     ]
@@ -254,7 +347,10 @@ def simulate_many(
 
 __all__ = [
     "SYSTEM_KINDS",
+    "ProgressCallback",
     "ReplicationTask",
+    "RunProgress",
+    "progress_reporting",
     "replication_tasks",
     "resolve_jobs",
     "run_task",

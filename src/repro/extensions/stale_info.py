@@ -59,9 +59,11 @@ class StaleInfoDatabase(DistributedDatabase):
         self.refresh_interval = refresh_interval
         self.broadcast_cost = broadcast_cost
         self.refreshes = 0
+        self._last_refresh = 0.0
         super().__init__(config, policy, seed=seed)
         if refresh_interval > 0:
             self._stale_view = self.load_board.snapshot()
+            self._last_refresh = self.sim.now
             self.sim.launch(self._refresher(), name="load-broadcaster")
 
     @property
@@ -70,11 +72,21 @@ class StaleInfoDatabase(DistributedDatabase):
             return self._stale_view
         return self.load_board
 
+    def load_info_age(self) -> float:
+        """Time since the snapshot policies currently see was taken.
+
+        ``0.0`` when refreshing is disabled (the paper's oracle).
+        """
+        if self._stale_view is None:
+            return 0.0
+        return self.sim.now - self._last_refresh
+
     def _refresher(self):
         """Periodic snapshot process (plus optional channel charges)."""
         while True:
             yield Hold(self.refresh_interval)
             self._stale_view = self.load_board.snapshot()
+            self._last_refresh = self.sim.now
             self.refreshes += 1
             if self.broadcast_cost > 0 and self.config.num_sites > 1:
                 for site in range(self.config.num_sites):

@@ -17,9 +17,14 @@ implements :class:`LoadView` with periodically refreshed copies instead.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 from repro.model.query import Query
+from repro.telemetry.events import LoadBoardUpdated
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.engine import Simulator
+    from repro.telemetry.bus import EventBus
 
 
 class LoadView:
@@ -43,24 +48,59 @@ class LoadView:
 
 
 class LoadBoard(LoadView):
-    """Perfect-information load table (the paper's assumption)."""
+    """Perfect-information load table (the paper's assumption).
 
-    def __init__(self, num_sites: int) -> None:
+    Args:
+        num_sites: Number of sites tracked.
+        bus: Optional telemetry bus; registrations publish
+            :class:`~repro.telemetry.events.LoadBoardUpdated` (guarded —
+            no cost when nothing subscribes).
+        clock: The simulator whose clock timestamps the events; required
+            when *bus* is given.
+    """
+
+    def __init__(
+        self,
+        num_sites: int,
+        *,
+        bus: Optional["EventBus"] = None,
+        clock: Optional["Simulator"] = None,
+    ) -> None:
         if num_sites < 1:
             raise ValueError("need at least one site")
+        if bus is not None and clock is None:
+            raise ValueError("a LoadBoard with a bus needs a clock")
         self._io: List[int] = [0] * num_sites
         self._cpu: List[int] = [0] * num_sites
         self.num_sites = num_sites
+        self._bus = bus
+        self._clock = clock
 
     # ------------------------------------------------------------------
     # Writers (called by the system as queries come and go)
     # ------------------------------------------------------------------
+    def _announce(self, site: int, change: int) -> None:
+        bus = self._bus
+        if bus is None or not bus.active or not bus.wants(LoadBoardUpdated):
+            return
+        assert self._clock is not None  # guaranteed by __init__
+        bus.emit(
+            LoadBoardUpdated(
+                time=self._clock.now,
+                site=site,
+                io_queries=self._io[site],
+                cpu_queries=self._cpu[site],
+                change=change,
+            )
+        )
+
     def register(self, query: Query, site: int) -> None:
         """Commit *query* to *site* (at allocation time)."""
         if query.io_bound:
             self._io[site] += 1
         else:
             self._cpu[site] += 1
+        self._announce(site, +1)
 
     def deregister(self, query: Query, site: int) -> None:
         """Remove *query* from *site* (results delivered)."""
@@ -72,6 +112,7 @@ class LoadBoard(LoadView):
             self._cpu[site] -= 1
             if self._cpu[site] < 0:
                 raise ValueError(f"site {site}: negative CPU-bound count")
+        self._announce(site, -1)
 
     # ------------------------------------------------------------------
     # LoadView

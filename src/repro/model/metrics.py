@@ -16,19 +16,34 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.model.config import SystemConfig
 from repro.model.query import Query
 from repro.sim.monitor import Tally
 from repro.sim.stats import IntervalEstimate, batch_means
+from repro.telemetry.events import QueryCompleted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.bus import EventBus
 
 
 class MetricsCollector:
-    """Accumulates per-query statistics during a simulation run."""
+    """Accumulates per-query statistics during a simulation run.
 
-    def __init__(self, config: SystemConfig) -> None:
+    With a *bus*, every recorded completion also publishes a
+    :class:`~repro.telemetry.events.QueryCompleted` event (guarded emit;
+    free when nothing subscribes).  Recording here — rather than in each
+    system class — means every system kind, including the extension
+    subclasses that override the query life cycle, emits the full
+    completion record.
+    """
+
+    def __init__(
+        self, config: SystemConfig, *, bus: Optional["EventBus"] = None
+    ) -> None:
         self.config = config
+        self._bus = bus
         names = [spec.name for spec in config.classes]
         self.waiting = Tally("waiting", keep=True)
         self.response = Tally("response", keep=True)
@@ -54,6 +69,25 @@ class MetricsCollector:
         if query.remote:
             self.remote_count += 1
         self.completions += 1
+        bus = self._bus
+        if bus is not None and bus.active and bus.wants(QueryCompleted):
+            bus.emit(
+                QueryCompleted(
+                    time=query.completed_at,
+                    qid=query.qid,
+                    class_name=query.spec.name,
+                    home_site=query.home_site,
+                    execution_site=query.execution_site,
+                    remote=query.remote,
+                    created_at=query.created_at,
+                    allocated_at=query.allocated_at,
+                    started_at=query.started_at,
+                    finished_at=query.finished_at,
+                    service_time=query.service_acquired,
+                    waiting_time=wait,
+                    migrations=query.migrations,
+                )
+            )
 
     def reset(self) -> None:
         """Truncate everything (end of warmup)."""
@@ -114,6 +148,12 @@ class SystemResults:
         measured_time: Length of the measurement window.
         waiting_ci: Batch-means confidence interval for W̄ (None when too
             few observations were collected).
+        telemetry: Optional metrics-registry snapshot of the run, as a
+            sorted tuple of ``(name, value)`` pairs (see
+            :meth:`repro.telemetry.registry.MetricsRegistry.summary_pairs`).
+            ``None`` when the run collected no telemetry — note the cache
+            stores results of telemetry-free runs, so cached entries
+            always carry ``None`` here.
     """
 
     policy: str
@@ -129,6 +169,7 @@ class SystemResults:
     remote_fraction: float
     measured_time: float
     waiting_ci: Optional[IntervalEstimate] = None
+    telemetry: Optional[Tuple[Tuple[str, float], ...]] = None
 
     def __str__(self) -> str:
         fair = f"{self.fairness:+.4f}" if self.fairness is not None else "n/a"

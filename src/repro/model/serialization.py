@@ -175,6 +175,11 @@ def results_to_dict(results: SystemResults) -> Dict[str, Any]:
             if results.waiting_ci is None
             else interval_to_dict(results.waiting_ci)
         ),
+        "telemetry": (
+            None
+            if results.telemetry is None
+            else [[name, value] for name, value in results.telemetry]
+        ),
     }
 
 
@@ -193,6 +198,13 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
     waiting_ci: Optional[IntervalEstimate] = (
         None if ci_data is None else interval_from_dict(ci_data)
     )
+    # Absent in pre-telemetry entries: .get keeps old archives loadable.
+    telemetry_data = data.get("telemetry")
+    telemetry = (
+        None
+        if telemetry_data is None
+        else tuple((str(name), float(value)) for name, value in telemetry_data)
+    )
     try:
         return SystemResults(
             policy=data["policy"],
@@ -208,6 +220,7 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
             remote_fraction=data["remote_fraction"],
             measured_time=data["measured_time"],
             waiting_ci=waiting_ci,
+            telemetry=telemetry,
         )
     except KeyError as missing:
         raise ConfigError(f"results dict is missing key {missing}") from None

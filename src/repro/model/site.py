@@ -19,11 +19,16 @@ class is purely the service-center bundle plus its statistics.
 from __future__ import annotations
 
 import random
-from typing import List
+from typing import TYPE_CHECKING, Generator, List
 
 from repro.model.config import DISK_SHARED, SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.resources import FCFSServer, PSServer, ServiceRequest
+from repro.telemetry.events import ServiceStarted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.query import Query
+    from repro.model.workload import WorkloadGenerator
 
 
 class DBSite:
@@ -64,6 +69,42 @@ class DBSite:
     def cpu_service(self, duration: float) -> ServiceRequest:
         """Request one CPU burst."""
         return self.cpu.service(duration)
+
+    def execute(
+        self,
+        query: "Query",
+        workload: "WorkloadGenerator",
+        rng: random.Random,
+    ) -> Generator[ServiceRequest, None, None]:
+        """Run *query*'s disk/CPU cycles at this site (a generator).
+
+        The paper's execution model: ``actual_reads`` alternating
+        disk-read / CPU-burst cycles, drawn from the query's private
+        random stream.  Sets ``query.started_at`` / ``query.finished_at``
+        and accumulates ``query.service_acquired``; yielded from the
+        query life cycle via ``yield from``.
+        """
+        sim = self.sim
+        query.started_at = sim.now
+        bus = sim.bus
+        if bus.active and bus.wants(ServiceStarted):
+            bus.emit(
+                ServiceStarted(
+                    time=sim.now,
+                    qid=query.qid,
+                    site=self.index,
+                    reads=query.actual_reads,
+                )
+            )
+        spec = query.spec
+        for _ in range(query.actual_reads):
+            disk_time = workload.disk_time(rng)
+            yield self.disk_service(disk_time, rng)
+            query.service_acquired += disk_time
+            cpu_time = rng.expovariate(1.0 / spec.page_cpu_time)
+            yield self.cpu_service(cpu_time)
+            query.service_acquired += cpu_time
+        query.finished_at = sim.now
 
     # ------------------------------------------------------------------
     # Statistics

@@ -33,6 +33,13 @@ from repro.model.workload import WorkloadGenerator
 from repro.policies.base import AllocationPolicy
 from repro.sim.engine import Simulator
 from repro.sim.process import WaitFor
+from repro.telemetry.events import (
+    QueryAllocated,
+    QueryTransferred,
+    RunEnded,
+    RunStarted,
+    WarmupEnded,
+)
 
 
 class DistributedDatabase:
@@ -59,9 +66,11 @@ class DistributedDatabase:
         self.ring = build_subnet(
             config.network.subnet_kind, self.sim, config.num_sites
         )
-        self.load_board = LoadBoard(config.num_sites)
+        self.load_board = LoadBoard(
+            config.num_sites, bus=self.sim.bus, clock=self.sim
+        )
         self.workload = WorkloadGenerator(self.sim, config)
-        self.metrics = MetricsCollector(config)
+        self.metrics = MetricsCollector(config, bus=self.sim.bus)
         policy.bind(self)
         self._measure_start = 0.0
         start_terminals(self)
@@ -73,6 +82,15 @@ class DistributedDatabase:
     @property
     def load_view(self) -> LoadView:
         return self.load_board
+
+    def load_info_age(self) -> float:
+        """Age of the load information policies currently see.
+
+        Always ``0.0`` here (the paper's free-oracle assumption: the load
+        board is instantaneously current).  The stale-information
+        extension overrides this with the time since its last snapshot.
+        """
+        return 0.0
 
     def candidate_sites(self, query: Query):
         """Sites eligible to execute *query*.
@@ -124,14 +142,37 @@ class DistributedDatabase:
         query.allocated_at = sim.now
         query.execution_site = execution_site
         self.load_board.register(query, execution_site)
+        bus = sim.bus
+        if bus.active and bus.wants(QueryAllocated):
+            bus.emit(
+                QueryAllocated(
+                    time=sim.now,
+                    qid=query.qid,
+                    class_name=query.spec.name,
+                    home_site=query.home_site,
+                    execution_site=execution_site,
+                )
+            )
 
         if execution_site != query.home_site:
+            transfer_time = self._query_transfer_time(query)
+            if bus.active and bus.wants(QueryTransferred):
+                bus.emit(
+                    QueryTransferred(
+                        time=sim.now,
+                        qid=query.qid,
+                        source=query.home_site,
+                        destination=execution_site,
+                        kind="query",
+                        transfer_time=transfer_time,
+                    )
+                )
             yield WaitFor(
                 lambda resume: self.ring.send(
                     Message(
                         source=query.home_site,
                         destination=execution_site,
-                        transfer_time=self._query_transfer_time(query),
+                        transfer_time=transfer_time,
                         deliver=resume,
                         kind="query",
                         size_bytes=query.spec.query_size,
@@ -140,29 +181,31 @@ class DistributedDatabase:
             )
 
         site = self.sites[execution_site]
-        query.started_at = sim.now
+        yield from site.execute(query, self.workload, query_rng)
         spec = query.spec
-        for _ in range(query.actual_reads):
-            disk_time = self.workload.disk_time(query_rng)
-            yield site.disk_service(disk_time, query_rng)
-            query.service_acquired += disk_time
-            cpu_time = query_rng.expovariate(1.0 / spec.page_cpu_time)
-            yield site.cpu_service(cpu_time)
-            query.service_acquired += cpu_time
-        query.finished_at = sim.now
 
         if execution_site != query.home_site:
             result_bytes = int(
                 spec.result_fraction * query.actual_reads * self.config.network.page_size
             )
+            return_time = self._result_transfer_time(query, query.actual_reads)
+            if bus.active and bus.wants(QueryTransferred):
+                bus.emit(
+                    QueryTransferred(
+                        time=sim.now,
+                        qid=query.qid,
+                        source=execution_site,
+                        destination=query.home_site,
+                        kind="result",
+                        transfer_time=return_time,
+                    )
+                )
             yield WaitFor(
                 lambda resume: self.ring.send(
                     Message(
                         source=execution_site,
                         destination=query.home_site,
-                        transfer_time=self._result_transfer_time(
-                            query, query.actual_reads
-                        ),
+                        transfer_time=return_time,
                         deliver=resume,
                         kind="result",
                         size_bytes=result_bytes,
@@ -193,10 +236,28 @@ class DistributedDatabase:
         """
         if warmup < 0 or duration <= 0:
             raise ValueError("need warmup >= 0 and duration > 0")
+        sim = self.sim
+        bus = sim.bus
+        if bus.active and bus.wants(RunStarted):
+            bus.emit(
+                RunStarted(
+                    time=sim.now,
+                    policy=self.policy.name,
+                    seed=sim.seed,
+                    warmup=warmup,
+                    duration=duration,
+                )
+            )
         if warmup > 0:
-            self.sim.run(until=warmup)
+            sim.run(until=warmup)
         self.reset_statistics()
-        self.sim.run(until=warmup + duration)
+        # Emitted *after* truncation so bus-driven consumers (e.g. the
+        # timeline sampler) observe post-reset monitors at the boundary.
+        if bus.active and bus.wants(WarmupEnded):
+            bus.emit(WarmupEnded(time=sim.now))
+        sim.run(until=warmup + duration)
+        if bus.active and bus.wants(RunEnded):
+            bus.emit(RunEnded(time=sim.now, completions=self.metrics.completions))
         return self.results()
 
     def results(self) -> SystemResults:

@@ -27,6 +27,7 @@ from typing import Tuple
 from repro.model.config import SystemConfig
 from repro.model.query import Query, make_query
 from repro.sim.engine import Simulator
+from repro.telemetry.events import QueryCreated
 
 
 class WorkloadGenerator:
@@ -79,6 +80,17 @@ class WorkloadGenerator:
             created_at=self.sim.now,
             qid=self._queries_created,
         )
+        bus = self.sim.bus
+        if bus.active and bus.wants(QueryCreated):
+            bus.emit(
+                QueryCreated(
+                    time=self.sim.now,
+                    qid=query.qid,
+                    class_name=spec.name,
+                    home_site=home_site,
+                    estimated_reads=estimated_reads,
+                )
+            )
         return query, query_rng
 
     def _sample_class(self, rng: random.Random) -> int:

@@ -19,11 +19,14 @@ Typical use::
 
 from __future__ import annotations
 
+import warnings
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.errors import ProcessError, SchedulingError
 from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue, validate_delay
 from repro.sim.rng import RandomStreams
+from repro.telemetry.bus import EventBus
+from repro.telemetry.events import TraceMessage
 
 
 class Simulator:
@@ -31,18 +34,44 @@ class Simulator:
 
     Attributes:
         now: Current simulated time.  Starts at 0 and only moves forward.
+        seed: The master seed the engine was constructed with.
         rng: Named random-number streams (see :class:`~repro.sim.rng.RandomStreams`).
-        trace: Optional callable ``(time, text)`` used for debugging traces.
+        bus: The run's typed telemetry event bus (see
+            :mod:`repro.telemetry.bus`).  Labelled kernel events are
+            published as :class:`~repro.telemetry.events.TraceMessage`
+            — but only when something subscribed to ``TraceMessage``
+            specifically, so an idle bus costs one attribute test per event.
+
+    .. deprecated:: 1.1
+        The ``trace`` constructor argument (a bare ``(time, text)``
+        callable) is deprecated in favor of subscribing to
+        :class:`~repro.telemetry.events.TraceMessage` on :attr:`bus`.
+        Passing it still works — a compat shim renders ``TraceMessage``
+        events back into ``(time, text)`` calls — but emits a
+        :class:`DeprecationWarning`.
     """
 
     def __init__(self, seed: int = 0, trace: Optional[Callable[[float, str], None]] = None) -> None:
         self.now: float = 0.0
+        self.seed = seed
         self.rng = RandomStreams(seed)
-        self.trace = trace
+        self.bus = EventBus()
         self._queue = EventQueue()
         self._running = False
         self._process_count = 0
         self._event_count = 0
+        if trace is not None:
+            warnings.warn(
+                "Simulator(trace=...) is deprecated; subscribe to "
+                "repro.telemetry.events.TraceMessage on Simulator.bus "
+                "instead (see docs/telemetry.md)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            self.bus.subscribe(
+                TraceMessage,
+                lambda event: trace(event.time, event.label),  # type: ignore[attr-defined]
+            )
 
     # ------------------------------------------------------------------
     # Event scheduling
@@ -122,8 +151,11 @@ class Simulator:
             )
         self.now = event.time
         self._event_count += 1
-        if self.trace is not None and event.label:
-            self.trace(self.now, event.label)
+        # Guarded emit: TraceMessage is high-volume, so it is produced only
+        # for *explicit* subscribers (wants_type), never for catch-all ones.
+        bus = self.bus
+        if bus.active and event.label is not None and bus.wants_type(TraceMessage):
+            bus.emit(TraceMessage(time=self.now, label=event.label))
         event.callback()
         return True
 

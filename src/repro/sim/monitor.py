@@ -161,6 +161,18 @@ class TimeWeighted:
         self._last = now
 
     @property
+    def integral(self) -> float:
+        """Accumulated value·time integral since the observation start.
+
+        Reading it advances the internal bookkeeping to ``sim.now`` (a
+        pure consolidation — the time-average and all later readings are
+        unchanged), so samplers can difference successive readings to get
+        exact per-interval averages.
+        """
+        self._advance()
+        return self._area
+
+    @property
     def elapsed(self) -> float:
         return self.sim.now - self._start
 

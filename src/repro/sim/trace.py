@@ -1,24 +1,33 @@
-"""Structured event tracing for simulation debugging and inspection.
+"""Structured event tracing: typed-bus adapters for debugging runs.
 
-The engine's ``trace`` hook is a bare ``(time, text)`` callable; this module
-provides production-quality consumers for it plus a query-level tracer for
-the DB model:
+Both consumers in this module are thin adapters over the telemetry event
+bus (:mod:`repro.telemetry.bus`):
 
-* :class:`TraceRecorder` — bounded in-memory ring buffer of trace lines
-  with filtering and rendering; attach with ``Simulator(trace=recorder)``.
-* :class:`QueryTracer` — per-query life-cycle records (created, allocated,
-  transferred, started, finished, returned) built from the query
-  timestamps; useful when a policy misbehaves and you need to see *which*
-  decisions went wrong.
+* :class:`TraceRecorder` — bounded in-memory buffer of ``(time, text)``
+  trace lines with filtering and rendering.  Attach it to an engine with
+  :meth:`TraceRecorder.attach` (it subscribes to
+  :class:`~repro.telemetry.events.TraceMessage`); the deprecated
+  ``Simulator(trace=recorder)`` spelling still works because the engine's
+  compat shim renders ``TraceMessage`` events back into calls of the
+  recorder.
+* :class:`QueryTracer` — per-query life-cycle records built from
+  :class:`~repro.telemetry.events.QueryCompleted` events, which carry
+  every timestamp the record needs; useful when a policy misbehaves and
+  you need to see *which* decisions went wrong.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Deque, Iterable, List, Optional, Tuple
 
-from repro.model.query import Query
+from repro.telemetry.bus import EventBus, Subscription
+from repro.telemetry.events import QueryCompleted, TelemetryEvent, TraceMessage
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.system import DistributedDatabase
+    from repro.sim.engine import Simulator
 
 
 class TraceRecorder:
@@ -37,9 +46,32 @@ class TraceRecorder:
         self._lines: Deque[Tuple[float, str]] = deque(maxlen=capacity)
         self.dropped = 0
         self.seen = 0
+        self._subscription: Optional[Subscription] = None
+        self._bus: Optional[EventBus] = None
+
+    # ------------------------------------------------------------------
+    # Bus integration
+    # ------------------------------------------------------------------
+    def attach(self, sim: "Simulator") -> None:
+        """Subscribe to the engine's ``TraceMessage`` stream."""
+        if self._subscription is not None:
+            raise ValueError("TraceRecorder is already attached")
+        self._subscription = sim.bus.subscribe(TraceMessage, self._on_trace)
+        self._bus = sim.bus
+
+    def detach(self) -> None:
+        """Stop recording (idempotent); retained lines stay available."""
+        if self._subscription is not None and self._bus is not None:
+            self._bus.unsubscribe(self._subscription)
+            self._subscription = None
+            self._bus = None
+
+    def _on_trace(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, TraceMessage)
+        self(event.time, event.label)
 
     def __call__(self, time: float, text: str) -> None:
-        """The engine-facing hook."""
+        """Record one trace line (also the legacy ``trace=`` hook shape)."""
         self.seen += 1
         if self.filter_substring is not None and self.filter_substring not in text:
             return
@@ -107,7 +139,8 @@ class QueryRecord:
 class QueryTracer:
     """Collects :class:`QueryRecord` for every completed query.
 
-    Attach by wrapping the system's metrics recorder::
+    A subscriber to the system's
+    :class:`~repro.telemetry.events.QueryCompleted` stream::
 
         tracer = QueryTracer()
         tracer.attach(system)
@@ -119,33 +152,44 @@ class QueryTracer:
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
         self._records: Deque[QueryRecord] = deque(maxlen=capacity)
+        self._subscription: Optional[Subscription] = None
+        self._bus: Optional[EventBus] = None
 
-    def attach(self, system) -> None:
-        """Interpose on ``system.metrics.record``."""
-        original = system.metrics.record
+    def attach(self, system: "DistributedDatabase") -> None:
+        """Subscribe to *system*'s completion events."""
+        if self._subscription is not None:
+            raise ValueError("QueryTracer is already attached")
+        bus = system.sim.bus
+        self._subscription = bus.subscribe(QueryCompleted, self._on_completed)
+        self._bus = bus
 
-        def recording(query: Query) -> None:
-            self._records.append(self._record(query))
-            original(query)
+    def detach(self) -> None:
+        """Stop collecting (idempotent); records stay available."""
+        if self._subscription is not None and self._bus is not None:
+            self._bus.unsubscribe(self._subscription)
+            self._subscription = None
+            self._bus = None
 
-        system.metrics.record = recording
+    def _on_completed(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, QueryCompleted)
+        self._records.append(self._record(event))
 
     @staticmethod
-    def _record(query: Query) -> QueryRecord:
+    def _record(event: QueryCompleted) -> QueryRecord:
         return QueryRecord(
-            qid=query.qid,
-            class_name=query.spec.name,
-            home_site=query.home_site,
-            execution_site=query.execution_site,
-            remote=query.remote,
-            created_at=query.created_at,
-            allocated_at=query.allocated_at,
-            started_at=query.started_at,
-            finished_at=query.finished_at,
-            completed_at=query.completed_at,
-            service=query.service_acquired,
-            waiting=query.waiting_time,
-            migrations=query.migrations,
+            qid=event.qid,
+            class_name=event.class_name,
+            home_site=event.home_site,
+            execution_site=event.execution_site,
+            remote=event.remote,
+            created_at=event.created_at,
+            allocated_at=event.allocated_at,
+            started_at=event.started_at,
+            finished_at=event.finished_at,
+            completed_at=event.time,
+            service=event.service_time,
+            waiting=event.waiting_time,
+            migrations=event.migrations,
         )
 
     def __len__(self) -> int:

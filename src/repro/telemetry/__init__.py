@@ -1,0 +1,125 @@
+"""Typed telemetry for the simulation: events, metrics, timelines.
+
+The package gives every run three machine-readable observation surfaces
+(see ``docs/telemetry.md`` for the full narrative):
+
+* a **typed event bus** (:mod:`repro.telemetry.bus`,
+  :mod:`repro.telemetry.events`) — frozen dataclass events emitted by
+  the kernel and the model, with subscribe-by-type dispatch and a
+  guarded-emit idiom that costs nothing when disabled;
+* a **metrics registry** (:mod:`repro.telemetry.registry`) — named
+  counters/gauges/histograms over the existing monitors;
+* a **timeline sampler** (:mod:`repro.telemetry.sampler`) — per-site
+  CPU/disk queue lengths, utilizations, and load-information staleness
+  on a fixed simulated-time cadence;
+
+plus **exporters** (:mod:`repro.telemetry.exporters`) for JSONL event
+logs and CSV/JSON timelines, and a **session** façade
+(:mod:`repro.telemetry.session`) that wires everything to one system.
+"""
+
+from repro.telemetry.bus import EventBus, EventLog, Handler, Subscription
+from repro.telemetry.events import (
+    EVENT_REGISTRY,
+    EVENT_TYPES,
+    LoadBoardUpdated,
+    QueryAllocated,
+    QueryCompleted,
+    QueryCreated,
+    QueryTransferred,
+    RunEnded,
+    RunStarted,
+    ServiceStarted,
+    TelemetryEvent,
+    TraceMessage,
+    WarmupEnded,
+    event_from_dict,
+    event_to_dict,
+)
+from repro.telemetry.exporters import (
+    events_from_jsonl,
+    events_to_jsonl,
+    read_events_jsonl,
+    read_timeline_csv,
+    read_timeline_json,
+    timeline_from_csv,
+    timeline_from_json,
+    timeline_to_csv,
+    timeline_to_json,
+    write_events_jsonl,
+    write_timeline_csv,
+    write_timeline_json,
+)
+from repro.telemetry.registry import (
+    CounterMetric,
+    GaugeMetric,
+    HistogramMetric,
+    Metric,
+    MetricNamespace,
+    MetricsRegistry,
+    merge_snapshots,
+)
+from repro.telemetry.sampler import (
+    SAMPLE_PRIORITY,
+    TIMELINE_FIELDS,
+    TimelineSample,
+    TimelineSampler,
+    sample_from_dict,
+    sample_to_dict,
+)
+from repro.telemetry.session import TelemetryConfig, TelemetrySession
+
+__all__ = [
+    # bus
+    "EventBus",
+    "EventLog",
+    "Handler",
+    "Subscription",
+    # events
+    "TelemetryEvent",
+    "RunStarted",
+    "WarmupEnded",
+    "RunEnded",
+    "QueryCreated",
+    "QueryAllocated",
+    "QueryTransferred",
+    "ServiceStarted",
+    "QueryCompleted",
+    "LoadBoardUpdated",
+    "TraceMessage",
+    "EVENT_TYPES",
+    "EVENT_REGISTRY",
+    "event_to_dict",
+    "event_from_dict",
+    # registry
+    "Metric",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "MetricNamespace",
+    "merge_snapshots",
+    # sampler
+    "SAMPLE_PRIORITY",
+    "TIMELINE_FIELDS",
+    "TimelineSample",
+    "TimelineSampler",
+    "sample_to_dict",
+    "sample_from_dict",
+    # exporters
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "timeline_to_csv",
+    "timeline_from_csv",
+    "write_timeline_csv",
+    "read_timeline_csv",
+    "timeline_to_json",
+    "timeline_from_json",
+    "write_timeline_json",
+    "read_timeline_json",
+    # session
+    "TelemetryConfig",
+    "TelemetrySession",
+]

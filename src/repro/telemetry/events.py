@@ -1,0 +1,248 @@
+"""The typed event taxonomy of the telemetry subsystem.
+
+Every observable state change in a simulation run is described by one
+frozen dataclass below.  Events are plain data — only floats, ints, strings
+and bools — so an event stream is trivially serializable (JSONL), directly
+comparable across runs (the determinism regression tests compare streams
+byte for byte), and safe to hold after the run: no event references live
+model objects.
+
+Taxonomy (see ``docs/telemetry.md`` for the full narrative):
+
+======================  =====================================================
+Event                   Emitted when / by
+======================  =====================================================
+:class:`RunStarted`     ``DistributedDatabase.run`` begins (model/system.py)
+:class:`WarmupEnded`    statistics are truncated at the warmup boundary
+:class:`RunEnded`       the measurement window closes
+:class:`QueryCreated`   a terminal samples a new query (model/workload.py)
+:class:`QueryAllocated` the allocation policy picks a site (model/system.py)
+:class:`QueryTransferred`  a query/result crosses the subnet (model/system.py)
+:class:`ServiceStarted` execution begins at a DB site (model/site.py)
+:class:`QueryCompleted` results arrive home & metrics record the query
+                        (model/metrics.py — covers every system kind)
+:class:`LoadBoardUpdated`  a query is (de)registered on the load board
+                        (model/loadboard.py)
+:class:`TraceMessage`   a labelled kernel event fires (sim/engine.py).
+                        High-volume; only emitted when something subscribes
+                        to ``TraceMessage`` specifically.
+======================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Dict, Tuple, Type, Union
+
+#: The primitive value types an event field may carry.
+FieldValue = Union[float, int, str, bool]
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryEvent:
+    """Base class of every telemetry event.
+
+    Attributes:
+        time: Simulated time at which the event occurred.
+    """
+
+    time: float
+
+    @property
+    def name(self) -> str:
+        """The event's type name (its JSONL ``event`` tag)."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True, slots=True)
+class RunStarted(TelemetryEvent):
+    """A ``run()`` call began (before warmup)."""
+
+    policy: str
+    seed: int
+    warmup: float
+    duration: float
+
+
+@dataclass(frozen=True, slots=True)
+class WarmupEnded(TelemetryEvent):
+    """Warmup finished; statistics were truncated at this instant."""
+
+
+@dataclass(frozen=True, slots=True)
+class RunEnded(TelemetryEvent):
+    """The measurement window closed."""
+
+    completions: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryCreated(TelemetryEvent):
+    """A terminal issued a new query."""
+
+    qid: int
+    class_name: str
+    home_site: int
+    estimated_reads: float
+
+
+@dataclass(frozen=True, slots=True)
+class QueryAllocated(TelemetryEvent):
+    """The allocation policy committed a query to an execution site."""
+
+    qid: int
+    class_name: str
+    home_site: int
+    execution_site: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryTransferred(TelemetryEvent):
+    """A query descriptor or result set was handed to the subnet.
+
+    Attributes:
+        kind: ``"query"`` (home → execution site) or ``"result"``
+            (execution site → home).
+        transfer_time: Channel time the transfer will occupy.
+    """
+
+    qid: int
+    source: int
+    destination: int
+    kind: str
+    transfer_time: float
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceStarted(TelemetryEvent):
+    """A query began its disk/CPU cycles at its execution site."""
+
+    qid: int
+    site: int
+    reads: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryCompleted(TelemetryEvent):
+    """A query's results arrived back home (the full life-cycle record).
+
+    Carries every life-cycle timestamp so consumers (e.g.
+    :class:`repro.sim.trace.QueryTracer`) need no access to model objects.
+    ``time`` is the completion instant.
+    """
+
+    qid: int
+    class_name: str
+    home_site: int
+    execution_site: int
+    remote: bool
+    created_at: float
+    allocated_at: float
+    started_at: float
+    finished_at: float
+    service_time: float
+    waiting_time: float
+    migrations: int
+
+
+@dataclass(frozen=True, slots=True)
+class LoadBoardUpdated(TelemetryEvent):
+    """One site's committed-query counts changed on the load board.
+
+    Attributes:
+        site: The site whose counts changed.
+        io_queries: I/O-bound queries now committed to the site.
+        cpu_queries: CPU-bound queries now committed to the site.
+        change: ``+1`` for a registration, ``-1`` for a deregistration.
+    """
+
+    site: int
+    io_queries: int
+    cpu_queries: int
+    change: int
+
+
+@dataclass(frozen=True, slots=True)
+class TraceMessage(TelemetryEvent):
+    """A labelled kernel event fired (the old ``trace`` hook, typed).
+
+    High-volume: one per labelled event on the future-event list.  The
+    engine only constructs these when a subscriber asked for
+    ``TraceMessage`` specifically (catch-all subscribers do not trigger
+    them), so bulk event logging stays affordable.
+    """
+
+    label: str
+
+
+#: Every event type, in taxonomy order.
+EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
+    RunStarted,
+    WarmupEnded,
+    RunEnded,
+    QueryCreated,
+    QueryAllocated,
+    QueryTransferred,
+    ServiceStarted,
+    QueryCompleted,
+    LoadBoardUpdated,
+    TraceMessage,
+)
+
+#: Event name -> event class (for deserialization).
+EVENT_REGISTRY: Dict[str, Type[TelemetryEvent]] = {
+    cls.__name__: cls for cls in EVENT_TYPES
+}
+
+
+def event_to_dict(event: TelemetryEvent) -> Dict[str, FieldValue]:
+    """Flatten *event* into JSON primitives, tagged with its type name."""
+    payload: Dict[str, FieldValue] = {"event": event.name}
+    for spec in fields(event):
+        payload[spec.name] = getattr(event, spec.name)
+    return payload
+
+
+_COERCERS = {"float": float, "int": int, "str": str, "bool": bool}
+
+
+def event_from_dict(data: Dict[str, FieldValue]) -> TelemetryEvent:
+    """Rebuild a typed event from :func:`event_to_dict` output.
+
+    Field values are coerced to the annotated primitive type (JSON does not
+    distinguish ``1`` from ``1.0``), so round-trips restore exact types.
+
+    Raises:
+        ValueError: On an unknown event tag or missing fields.
+    """
+    tag = data.get("event")
+    if not isinstance(tag, str) or tag not in EVENT_REGISTRY:
+        raise ValueError(f"unknown telemetry event tag {tag!r}")
+    cls = EVENT_REGISTRY[tag]
+    kwargs: Dict[str, FieldValue] = {}
+    for spec in fields(cls):
+        if spec.name not in data:
+            raise ValueError(f"{tag} record is missing field {spec.name!r}")
+        coerce = _COERCERS.get(str(spec.type), str)
+        kwargs[spec.name] = coerce(data[spec.name])
+    return cls(**kwargs)  # type: ignore[arg-type]
+
+
+__all__ = [
+    "FieldValue",
+    "TelemetryEvent",
+    "RunStarted",
+    "WarmupEnded",
+    "RunEnded",
+    "QueryCreated",
+    "QueryAllocated",
+    "QueryTransferred",
+    "ServiceStarted",
+    "QueryCompleted",
+    "LoadBoardUpdated",
+    "TraceMessage",
+    "EVENT_TYPES",
+    "EVENT_REGISTRY",
+    "event_to_dict",
+    "event_from_dict",
+]

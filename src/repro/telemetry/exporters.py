@@ -1,0 +1,233 @@
+"""Exporters: canonical JSONL for events, CSV/JSON for timelines.
+
+Two properties drive the formats:
+
+* **Byte-identical determinism.**  JSON is serialized canonically
+  (sorted keys, no whitespace), floats are written with :func:`repr`
+  (shortest round-trip representation), and newlines are always ``"\\n"``
+  — so two runs with the same seed produce byte-identical files, the
+  property the determinism regression test pins.
+* **Exact round-trips.**  Reading a file back reconstructs the original
+  typed objects exactly (types coerced per dataclass annotation, floats
+  recovered bit-for-bit from ``repr``), so exported telemetry is a
+  faithful archive, not a lossy report.
+
+The helpers come in pure (``*_to_*`` / ``*_from_*`` on strings) and
+file-writing (``write_*`` / ``read_*``) flavours; files are written in
+text mode with explicit ``newline=""``/``"\\n"`` handling so exports are
+platform-independent.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
+
+from repro.telemetry.events import TelemetryEvent, event_from_dict, event_to_dict
+from repro.telemetry.sampler import (
+    TIMELINE_FIELDS,
+    CellValue,
+    TimelineSample,
+    sample_from_dict,
+    sample_to_dict,
+)
+
+#: Version tag embedded in the JSON timeline envelope.
+TIMELINE_FORMAT_VERSION = 1
+
+#: Anything accepted as a filesystem destination.
+PathLike = Union[str, Path]
+
+
+def _canonical(payload: Dict[str, object]) -> str:
+    """Canonical JSON: sorted keys, minimal separators, no NaN."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"), allow_nan=False)
+
+
+# ----------------------------------------------------------------------
+# Event log (JSONL)
+# ----------------------------------------------------------------------
+def events_to_jsonl(events: Iterable[TelemetryEvent]) -> str:
+    """Serialize *events* as canonical JSON Lines (one event per line).
+
+    Returns the empty string for an empty stream; otherwise every line —
+    including the last — is terminated by ``"\\n"``.
+    """
+    lines = [_canonical(dict(event_to_dict(event))) for event in events]
+    if not lines:
+        return ""
+    return "\n".join(lines) + "\n"
+
+
+def events_from_jsonl(text: str) -> Tuple[TelemetryEvent, ...]:
+    """Parse a JSONL event log back into typed events.
+
+    Blank lines are ignored; anything else must be a valid event record.
+    """
+    events: List[TelemetryEvent] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ValueError(f"line {lineno}: expected a JSON object")
+        events.append(event_from_dict(data))
+    return tuple(events)
+
+
+def write_events_jsonl(
+    events: Iterable[TelemetryEvent], path: PathLike
+) -> Path:
+    """Write *events* to *path* as JSONL; returns the resolved path."""
+    destination = Path(path)
+    destination.write_text(events_to_jsonl(events), encoding="utf-8", newline="\n")
+    return destination
+
+
+def read_events_jsonl(path: PathLike) -> Tuple[TelemetryEvent, ...]:
+    """Read a JSONL event log written by :func:`write_events_jsonl`."""
+    return events_from_jsonl(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Timeline (CSV)
+# ----------------------------------------------------------------------
+def _cell_to_text(value: CellValue) -> str:
+    """Render one cell: ints bare, floats via shortest-round-trip repr."""
+    if isinstance(value, bool):  # pragma: no cover - no bool fields today
+        raise TypeError("timeline cells must be int or float")
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def timeline_to_csv(samples: Iterable[TimelineSample]) -> str:
+    """Serialize *samples* as CSV with a fixed header row.
+
+    The column order is :data:`TIMELINE_FIELDS`; floats use ``repr`` so
+    :func:`timeline_from_csv` restores them bit-for-bit.
+    """
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(TIMELINE_FIELDS)
+    for sample in samples:
+        record = sample_to_dict(sample)
+        writer.writerow([_cell_to_text(record[name]) for name in TIMELINE_FIELDS])
+    return buffer.getvalue()
+
+
+def timeline_from_csv(text: str) -> Tuple[TimelineSample, ...]:
+    """Parse CSV produced by :func:`timeline_to_csv` back into samples."""
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("timeline CSV is empty (missing header)") from None
+    if tuple(header) != TIMELINE_FIELDS:
+        raise ValueError(
+            f"unexpected timeline header {header!r}; expected {list(TIMELINE_FIELDS)}"
+        )
+    samples: List[TimelineSample] = []
+    for row in reader:
+        if not row:
+            continue
+        if len(row) != len(TIMELINE_FIELDS):
+            raise ValueError(
+                f"timeline row has {len(row)} cells, expected {len(TIMELINE_FIELDS)}"
+            )
+        record: Dict[str, CellValue] = {
+            name: float(cell) for name, cell in zip(TIMELINE_FIELDS, row)
+        }
+        samples.append(sample_from_dict(record))
+    return tuple(samples)
+
+
+def write_timeline_csv(
+    samples: Iterable[TimelineSample], path: PathLike
+) -> Path:
+    """Write *samples* to *path* as CSV; returns the resolved path."""
+    destination = Path(path)
+    destination.write_text(timeline_to_csv(samples), encoding="utf-8", newline="")
+    return destination
+
+
+def read_timeline_csv(path: PathLike) -> Tuple[TimelineSample, ...]:
+    """Read a CSV timeline written by :func:`write_timeline_csv`."""
+    return timeline_from_csv(Path(path).read_text(encoding="utf-8"))
+
+
+# ----------------------------------------------------------------------
+# Timeline (JSON envelope)
+# ----------------------------------------------------------------------
+def timeline_to_json(samples: Sequence[TimelineSample]) -> str:
+    """Serialize *samples* as one canonical JSON document.
+
+    The envelope carries a ``format_version`` and the column order so
+    readers can validate compatibility before touching the rows.
+    """
+    payload: Dict[str, object] = {
+        "format_version": TIMELINE_FORMAT_VERSION,
+        "fields": list(TIMELINE_FIELDS),
+        "samples": [dict(sample_to_dict(sample)) for sample in samples],
+    }
+    return _canonical(payload) + "\n"
+
+
+def timeline_from_json(text: str) -> Tuple[TimelineSample, ...]:
+    """Parse a JSON timeline produced by :func:`timeline_to_json`."""
+    data = json.loads(text)
+    if not isinstance(data, dict):
+        raise ValueError("timeline JSON must be an object")
+    version = data.get("format_version")
+    if version != TIMELINE_FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported timeline format_version {version!r} "
+            f"(expected {TIMELINE_FORMAT_VERSION})"
+        )
+    rows = data.get("samples")
+    if not isinstance(rows, list):
+        raise ValueError("timeline JSON is missing its 'samples' list")
+    samples: List[TimelineSample] = []
+    for row in rows:
+        if not isinstance(row, dict):
+            raise ValueError("each timeline sample must be a JSON object")
+        samples.append(sample_from_dict(row))
+    return tuple(samples)
+
+
+def write_timeline_json(
+    samples: Sequence[TimelineSample], path: PathLike
+) -> Path:
+    """Write *samples* to *path* as JSON; returns the resolved path."""
+    destination = Path(path)
+    destination.write_text(timeline_to_json(samples), encoding="utf-8", newline="\n")
+    return destination
+
+
+def read_timeline_json(path: PathLike) -> Tuple[TimelineSample, ...]:
+    """Read a JSON timeline written by :func:`write_timeline_json`."""
+    return timeline_from_json(Path(path).read_text(encoding="utf-8"))
+
+
+__all__ = [
+    "TIMELINE_FORMAT_VERSION",
+    "PathLike",
+    "events_to_jsonl",
+    "events_from_jsonl",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "timeline_to_csv",
+    "timeline_from_csv",
+    "write_timeline_csv",
+    "read_timeline_csv",
+    "timeline_to_json",
+    "timeline_from_json",
+    "write_timeline_json",
+    "read_timeline_json",
+]

@@ -1,0 +1,281 @@
+"""The metrics registry: one namespaced API over every monitor in a run.
+
+The simulation kernel already keeps excellent low-level monitors —
+:class:`~repro.sim.monitor.Tally` for observational statistics and
+:class:`~repro.sim.monitor.TimeWeighted` for time-persistent quantities —
+but they are scattered across servers, sites, and collectors.  The
+:class:`MetricsRegistry` binds them (plus plain event counters) under
+dot-separated names with a fixed convention::
+
+    <component>.<index>.<resource>.<quantity>
+    e.g.  site.0.cpu.busy      (gauge   — TimeWeighted)
+          site.2.disk.queue    (gauge   — TimeWeighted)
+          queries.waiting      (histogram — Tally)
+          events.QueryCompleted (counter)
+
+Three metric kinds cover everything:
+
+* :class:`CounterMetric` — monotone event counts owned by the registry;
+* :class:`GaugeMetric` — wraps an existing :class:`TimeWeighted`
+  (current value, time average, maximum);
+* :class:`HistogramMetric` — wraps an existing :class:`Tally`
+  (count, mean, stdev, min/max).
+
+``snapshot()`` flattens every metric into a deterministic, sorted
+``{"name.stat": value}`` mapping — the machine-readable view the paper's
+load-board argument needs and the exporters serialize.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.sim.monitor import Tally, TimeWeighted
+
+#: Kinds a metric may report itself as.
+METRIC_KINDS = ("counter", "gauge", "histogram")
+
+
+class Metric:
+    """Base class: a named, kind-tagged statistics adapter."""
+
+    kind: str = "abstract"
+
+    def __init__(self, name: str) -> None:
+        if not name:
+            raise ValueError("metric name must be non-empty")
+        self.name = name
+
+    def value(self) -> float:
+        """The metric's single headline value."""
+        raise NotImplementedError
+
+    def stats(self) -> Dict[str, float]:
+        """All statistics of the metric, keyed by stat name."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} value={self.value():.6g}>"
+
+
+class CounterMetric(Metric):
+    """A monotone counter owned by the registry."""
+
+    kind = "counter"
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.count = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add *amount* (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        self.count += amount
+
+    def value(self) -> float:
+        return float(self.count)
+
+    def stats(self) -> Dict[str, float]:
+        return {"count": float(self.count)}
+
+
+class GaugeMetric(Metric):
+    """Adapter over an existing :class:`TimeWeighted` monitor."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, monitor: TimeWeighted) -> None:
+        super().__init__(name)
+        self.monitor = monitor
+
+    def value(self) -> float:
+        return float(self.monitor.value)
+
+    def stats(self) -> Dict[str, float]:
+        return {
+            "value": float(self.monitor.value),
+            "avg": float(self.monitor.time_average),
+            "max": float(self.monitor.maximum),
+        }
+
+
+class HistogramMetric(Metric):
+    """Adapter over an existing :class:`Tally` monitor."""
+
+    kind = "histogram"
+
+    def __init__(self, name: str, monitor: Tally) -> None:
+        super().__init__(name)
+        self.monitor = monitor
+
+    def value(self) -> float:
+        return float(self.monitor.mean)
+
+    def stats(self) -> Dict[str, float]:
+        tally = self.monitor
+        out = {
+            "count": float(tally.count),
+            "mean": float(tally.mean),
+            "stdev": float(tally.stdev),
+        }
+        if tally.count:
+            out["min"] = float(tally.minimum)
+            out["max"] = float(tally.maximum)
+        return out
+
+
+class MetricsRegistry:
+    """Named counters/gauges/histograms behind one namespaced API."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def _add(self, metric: Metric) -> None:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            raise ValueError(
+                f"metric {metric.name!r} already registered as {existing.kind}"
+            )
+        self._metrics[metric.name] = metric
+
+    def counter(self, name: str) -> CounterMetric:
+        """Create *name* as a counter, or return the existing one."""
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, CounterMetric):
+                raise ValueError(
+                    f"metric {name!r} is a {existing.kind}, not a counter"
+                )
+            return existing
+        metric = CounterMetric(name)
+        self._metrics[name] = metric
+        return metric
+
+    def bind_gauge(self, name: str, monitor: TimeWeighted) -> GaugeMetric:
+        """Expose an existing :class:`TimeWeighted` under *name*."""
+        metric = GaugeMetric(name, monitor)
+        self._add(metric)
+        return metric
+
+    def bind_histogram(self, name: str, monitor: Tally) -> HistogramMetric:
+        """Expose an existing :class:`Tally` under *name*."""
+        metric = HistogramMetric(name, monitor)
+        self._add(metric)
+        return metric
+
+    def scoped(self, prefix: str) -> "MetricNamespace":
+        """A view that prepends ``prefix + '.'`` to every registered name."""
+        return MetricNamespace(self, prefix)
+
+    # ------------------------------------------------------------------
+    # Lookup & export
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Metric:
+        """The metric registered under *name* (KeyError if absent)."""
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> List[str]:
+        """Every registered name, sorted (deterministic)."""
+        return sorted(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        for name in self.names():
+            yield self._metrics[name]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every metric into sorted ``{"name.stat": value}``.
+
+        Counters contribute a single ``name`` entry; gauges and histograms
+        contribute one ``name.stat`` entry per statistic.  Key order is
+        sorted, so two snapshots of identical state serialize identically.
+        """
+        flat: Dict[str, float] = {}
+        for name in self.names():
+            metric = self._metrics[name]
+            if isinstance(metric, CounterMetric):
+                flat[name] = metric.value()
+            else:
+                for stat, value in metric.stats().items():
+                    flat[f"{name}.{stat}"] = value
+        return dict(sorted(flat.items()))
+
+    def summary_pairs(self) -> Tuple[Tuple[str, float], ...]:
+        """:meth:`snapshot` as a hashable, sorted tuple of pairs."""
+        return tuple(self.snapshot().items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {len(self)} metrics>"
+
+
+class MetricNamespace:
+    """A prefixing view over a :class:`MetricsRegistry`.
+
+    Lets a component register its metrics without knowing where it sits in
+    the global namespace::
+
+        ns = registry.scoped(f"site.{index}")
+        ns.bind_gauge("cpu.busy", site.cpu.busy)   # -> "site.0.cpu.busy"
+    """
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self.registry = registry
+        self.prefix = prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}"
+
+    def counter(self, name: str) -> CounterMetric:
+        return self.registry.counter(self._qualify(name))
+
+    def bind_gauge(self, name: str, monitor: TimeWeighted) -> GaugeMetric:
+        return self.registry.bind_gauge(self._qualify(name), monitor)
+
+    def bind_histogram(self, name: str, monitor: Tally) -> HistogramMetric:
+        return self.registry.bind_histogram(self._qualify(name), monitor)
+
+    def scoped(self, prefix: str) -> "MetricNamespace":
+        return MetricNamespace(self.registry, self._qualify(prefix))
+
+
+#: Anything metrics can be looked up on.
+RegistryLike = Union[MetricsRegistry, MetricNamespace]
+
+#: A read-only snapshot mapping.
+Snapshot = Mapping[str, float]
+
+
+def merge_snapshots(
+    base: Optional[Snapshot], extra: Snapshot
+) -> Dict[str, float]:
+    """Merge two snapshots (extra wins), returning a sorted dict."""
+    merged: Dict[str, float] = {}
+    if base is not None:
+        merged.update(base)
+    merged.update(extra)
+    return dict(sorted(merged.items()))
+
+
+__all__ = [
+    "METRIC_KINDS",
+    "Metric",
+    "CounterMetric",
+    "GaugeMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "MetricNamespace",
+    "RegistryLike",
+    "Snapshot",
+    "merge_snapshots",
+]

@@ -1,0 +1,211 @@
+"""One-stop telemetry wiring for a simulation run.
+
+:class:`TelemetrySession` assembles the subsystem's parts — event log,
+metrics registry, timeline sampler — around one
+:class:`~repro.model.system.DistributedDatabase` and drives their life
+cycle purely through the event bus:
+
+* it subscribes to :class:`~repro.telemetry.events.RunStarted` to learn
+  the measurement horizon, and to
+  :class:`~repro.telemetry.events.WarmupEnded` to arm the timeline
+  sampler *after* statistics truncation (so the baseline sample reads
+  post-reset busy integrals and sampled utilizations integrate exactly
+  to the run's reported figures);
+* with ``config.events`` it attaches a catch-all
+  :class:`~repro.telemetry.bus.EventLog` plus per-type
+  ``events.<Type>`` counters;
+* it binds every site's CPU/disk monitors and the run's query tallies
+  into a :class:`~repro.telemetry.registry.MetricsRegistry` under the
+  ``site.<i>.<resource>.<quantity>`` convention.
+
+Because everything rides on the bus, ``DistributedDatabase.run`` needs
+no telemetry parameter: construct the session before ``run()``, read
+``events`` / ``timeline`` / ``summary()`` after, and use
+:meth:`TelemetrySession.merge` to fold the summary into the returned
+:class:`~repro.model.metrics.SystemResults`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.telemetry.bus import EventLog, Subscription
+from repro.telemetry.events import (
+    RunStarted,
+    TelemetryEvent,
+    WarmupEnded,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.sampler import TimelineSample, TimelineSampler
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.metrics import SystemResults
+    from repro.model.system import DistributedDatabase
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryConfig:
+    """What a :class:`TelemetrySession` should collect.
+
+    Attributes:
+        events: Keep a full event log (and per-type counters).
+        sample_interval: Timeline sampling cadence in simulated time;
+            ``0.0`` disables the timeline sampler.
+        event_capacity: Bound on retained events (oldest dropped first);
+            ``None`` retains everything.
+    """
+
+    events: bool = True
+    sample_interval: float = 0.0
+    event_capacity: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.sample_interval < 0:
+            raise ValueError(
+                f"sample_interval must be >= 0, got {self.sample_interval}"
+            )
+        if self.event_capacity is not None and self.event_capacity < 1:
+            raise ValueError("event_capacity must be >= 1 (or None)")
+
+
+class TelemetrySession:
+    """Attach telemetry collection to one system for one ``run()``.
+
+    Args:
+        system: The system to observe.  The session subscribes to the
+            system's bus immediately; construct it *before* ``run()``.
+        config: What to collect (default: events only).
+
+    Attributes:
+        registry: The run's :class:`MetricsRegistry`.
+        log: The event log, or ``None`` when events are disabled.
+        sampler: The timeline sampler, or ``None`` when disabled.
+    """
+
+    def __init__(
+        self,
+        system: "DistributedDatabase",
+        config: TelemetryConfig = TelemetryConfig(),
+    ) -> None:
+        self.system = system
+        self.config = config
+        self.registry = MetricsRegistry()
+        self._subscriptions: List[Subscription] = []
+        self._counters: Dict[str, int] = {}
+        self._end_time: Optional[float] = None
+        self._closed = False
+
+        bus = system.sim.bus
+        self.log: Optional[EventLog] = None
+        if config.events:
+            self.log = EventLog(capacity=config.event_capacity)
+            self.log.attach(bus)
+            self._subscriptions.append(bus.subscribe_all(self._count_event))
+
+        self.sampler: Optional[TimelineSampler] = None
+        if config.sample_interval > 0:
+            self.sampler = TimelineSampler(system, config.sample_interval)
+
+        self._subscriptions.append(bus.subscribe(RunStarted, self._on_run_started))
+        self._subscriptions.append(
+            bus.subscribe(WarmupEnded, self._on_warmup_ended)
+        )
+        self._bind_monitors()
+
+    # ------------------------------------------------------------------
+    # Bus handlers
+    # ------------------------------------------------------------------
+    def _count_event(self, event: TelemetryEvent) -> None:
+        self.registry.counter(f"events.{event.name}").inc()
+
+    def _on_run_started(self, event: TelemetryEvent) -> None:
+        assert isinstance(event, RunStarted)
+        self._end_time = event.time + event.warmup + event.duration
+
+    def _on_warmup_ended(self, event: TelemetryEvent) -> None:
+        del event
+        sampler = self.sampler
+        if sampler is None:
+            return
+        end_time = self._end_time
+        if end_time is None:
+            raise ValueError(
+                "WarmupEnded seen without RunStarted; cannot derive the "
+                "sampling horizon"
+            )
+        sampler.start(end_time)
+
+    # ------------------------------------------------------------------
+    # Registry bindings
+    # ------------------------------------------------------------------
+    def _bind_monitors(self) -> None:
+        registry = self.registry
+        for site in self.system.sites:
+            ns = registry.scoped(f"site.{site.index}")
+            ns.bind_gauge("cpu.busy", site.cpu.busy)
+            ns.bind_gauge("cpu.queue", site.cpu.population)
+            for position, disk in enumerate(site.disks):
+                disk_ns = ns.scoped(f"disk.{position}")
+                disk_ns.bind_gauge("busy", disk.busy)
+                disk_ns.bind_gauge("queue", disk.population)
+        metrics = self.system.metrics
+        queries = registry.scoped("queries")
+        queries.bind_histogram("waiting", metrics.waiting)
+        queries.bind_histogram("response", metrics.response)
+        queries.bind_histogram("normalized", metrics.normalized_waiting)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[TelemetryEvent, ...]:
+        """The retained event stream (empty when events are disabled)."""
+        if self.log is None:
+            return ()
+        return self.log.events
+
+    @property
+    def timeline(self) -> Tuple[TimelineSample, ...]:
+        """The sampled timeline (empty when sampling is disabled)."""
+        if self.sampler is None:
+            return ()
+        return self.sampler.samples
+
+    def summary(self) -> Dict[str, float]:
+        """The registry snapshot: sorted ``{"name.stat": value}``."""
+        return self.registry.snapshot()
+
+    def merge(self, results: "SystemResults") -> "SystemResults":
+        """Return *results* with the telemetry summary folded in."""
+        return replace(results, telemetry=self.registry.summary_pairs())
+
+    # ------------------------------------------------------------------
+    # Life cycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Unsubscribe from the bus (idempotent); results stay readable."""
+        if self._closed:
+            return
+        self._closed = True
+        bus = self.system.sim.bus
+        if self.log is not None:
+            self.log.detach()
+        for subscription in self._subscriptions:
+            bus.unsubscribe(subscription)
+        self._subscriptions.clear()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<TelemetrySession events={len(self.events)} "
+            f"samples={len(self.timeline)} metrics={len(self.registry)}>"
+        )
+
+
+__all__ = ["TelemetryConfig", "TelemetrySession"]

@@ -1,0 +1,101 @@
+"""Round-trip and schema tests for the typed event taxonomy."""
+
+import dataclasses
+
+import pytest
+
+from repro.telemetry.events import (
+    EVENT_REGISTRY,
+    EVENT_TYPES,
+    LoadBoardUpdated,
+    QueryAllocated,
+    QueryCompleted,
+    QueryCreated,
+    QueryTransferred,
+    RunEnded,
+    RunStarted,
+    ServiceStarted,
+    TraceMessage,
+    WarmupEnded,
+    event_from_dict,
+    event_to_dict,
+)
+
+#: One concrete instance of every event type (all fields non-default-ish).
+SAMPLES = (
+    RunStarted(time=0.0, policy="LERT", seed=7, warmup=100.0, duration=400.0),
+    WarmupEnded(time=100.0),
+    RunEnded(time=500.0, completions=63),
+    QueryCreated(time=1.5, qid=3, class_name="io", home_site=2, estimated_reads=4.25),
+    QueryAllocated(time=1.5, qid=3, class_name="io", home_site=2, execution_site=0),
+    QueryTransferred(
+        time=1.5, qid=3, source=2, destination=0, kind="query", transfer_time=0.125
+    ),
+    ServiceStarted(time=1.75, qid=3, site=0, reads=4),
+    QueryCompleted(
+        time=9.0,
+        qid=3,
+        class_name="io",
+        home_site=2,
+        execution_site=0,
+        remote=True,
+        created_at=1.5,
+        allocated_at=1.5,
+        started_at=1.75,
+        finished_at=8.5,
+        service_time=6.75,
+        waiting_time=7.5,
+        migrations=0,
+    ),
+    LoadBoardUpdated(time=1.5, site=0, io_queries=2, cpu_queries=1, change=1),
+    TraceMessage(time=0.5, label="terminal.0.0"),
+)
+
+
+class TestTaxonomy:
+    def test_every_type_has_a_sample(self):
+        assert {type(s) for s in SAMPLES} == set(EVENT_TYPES)
+
+    def test_registry_maps_names(self):
+        for cls in EVENT_TYPES:
+            assert EVENT_REGISTRY[cls.__name__] is cls
+
+    def test_events_are_frozen(self):
+        for sample in SAMPLES:
+            with pytest.raises(dataclasses.FrozenInstanceError):
+                setattr(sample, "time", -1.0)
+
+    def test_name_property(self):
+        assert WarmupEnded(time=1.0).name == "WarmupEnded"
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("sample", SAMPLES, ids=lambda s: s.name)
+    def test_dict_round_trip_is_exact(self, sample):
+        restored = event_from_dict(event_to_dict(sample))
+        assert restored == sample
+        assert type(restored) is type(sample)
+
+    def test_to_dict_carries_type_tag(self):
+        payload = event_to_dict(WarmupEnded(time=2.0))
+        assert payload == {"event": "WarmupEnded", "time": 2.0}
+
+    def test_coerces_json_widened_ints(self):
+        # JSON can't distinguish 1 from 1.0; round-trips restore exact types.
+        payload = event_to_dict(ServiceStarted(time=1.0, qid=3, site=0, reads=4))
+        payload["reads"] = 4.0
+        payload["time"] = 1
+        restored = event_from_dict(payload)
+        assert restored == ServiceStarted(time=1.0, qid=3, site=0, reads=4)
+        assert isinstance(restored.reads, int)
+        assert isinstance(restored.time, float)
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ValueError, match="unknown telemetry event tag"):
+            event_from_dict({"event": "Nope", "time": 1.0})
+        with pytest.raises(ValueError, match="unknown telemetry event tag"):
+            event_from_dict({"time": 1.0})
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ValueError, match="missing field"):
+            event_from_dict({"event": "RunEnded", "time": 1.0})

@@ -1,0 +1,120 @@
+"""Unit tests for the metrics registry and its monitor adapters."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Tally, TimeWeighted
+from repro.telemetry.registry import (
+    CounterMetric,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+class TestCounter:
+    def test_create_or_get(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("events.QueryCompleted")
+        counter.inc()
+        counter.inc(3)
+        assert registry.counter("events.QueryCompleted") is counter
+        assert counter.count == 4
+        assert counter.value() == 4.0
+        assert counter.stats() == {"count": 4.0}
+
+    def test_negative_increment_rejected(self):
+        counter = CounterMetric("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_kind_mismatch_rejected(self):
+        registry = MetricsRegistry()
+        registry.bind_histogram("x", Tally("x"))
+        with pytest.raises(ValueError, match="not a counter"):
+            registry.counter("x")
+
+
+class TestAdapters:
+    def test_gauge_reads_time_weighted(self):
+        sim = Simulator()
+        monitor = TimeWeighted(sim, "queue")
+        registry = MetricsRegistry()
+        gauge = registry.bind_gauge("site.0.cpu.queue", monitor)
+        monitor.set(2.0)
+        stats = gauge.stats()
+        assert stats["value"] == 2.0
+        assert stats["max"] == 2.0
+        assert gauge.value() == 2.0
+
+    def test_histogram_reads_tally(self):
+        tally = Tally("waiting")
+        registry = MetricsRegistry()
+        histogram = registry.bind_histogram("queries.waiting", tally)
+        assert histogram.stats() == {"count": 0.0, "mean": 0.0, "stdev": 0.0}
+        tally.record(2.0)
+        tally.record(4.0)
+        stats = histogram.stats()
+        assert stats["count"] == 2.0
+        assert stats["mean"] == 3.0
+        assert stats["min"] == 2.0
+        assert stats["max"] == 4.0
+
+    def test_duplicate_name_rejected(self):
+        registry = MetricsRegistry()
+        registry.bind_histogram("x", Tally("x"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.bind_histogram("x", Tally("x"))
+
+    def test_empty_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("")
+
+
+class TestNamespace:
+    def test_prefixing_and_nesting(self):
+        registry = MetricsRegistry()
+        site = registry.scoped("site.2")
+        disk = site.scoped("disk.1")
+        disk.bind_histogram("seek", Tally())
+        site.counter("visits").inc()
+        assert "site.2.disk.1.seek" in registry
+        assert "site.2.visits" in registry
+        assert registry.get("site.2.visits").value() == 1.0
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().scoped("")
+
+
+class TestSnapshot:
+    def test_snapshot_is_flat_and_sorted(self):
+        sim = Simulator()
+        registry = MetricsRegistry()
+        registry.counter("events.RunEnded").inc()
+        registry.bind_gauge("site.0.cpu.busy", TimeWeighted(sim))
+        registry.bind_histogram("queries.waiting", Tally())
+        snapshot = registry.snapshot()
+        assert list(snapshot) == sorted(snapshot)
+        assert snapshot["events.RunEnded"] == 1.0
+        assert "site.0.cpu.busy.avg" in snapshot
+        assert "queries.waiting.count" in snapshot
+
+    def test_names_sorted_and_iteration(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.counter("a")
+        assert registry.names() == ["a", "b"]
+        assert [m.name for m in registry] == ["a", "b"]
+        assert len(registry) == 2
+
+    def test_summary_pairs_match_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        assert registry.summary_pairs() == (("a", 2.0),)
+
+    def test_merge_snapshots(self):
+        merged = merge_snapshots({"a": 1.0, "b": 2.0}, {"b": 3.0, "c": 4.0})
+        assert merged == {"a": 1.0, "b": 3.0, "c": 4.0}
+        assert list(merged) == ["a", "b", "c"]
+        assert merge_snapshots(None, {"x": 1.0}) == {"x": 1.0}

@@ -1,0 +1,148 @@
+"""TelemetrySession wiring tests: event logs, counters, merge, lifecycle."""
+
+import pytest
+
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+from repro.telemetry.events import (
+    QueryCompleted,
+    RunEnded,
+    RunStarted,
+    WarmupEnded,
+)
+from repro.telemetry.session import TelemetryConfig, TelemetrySession
+
+WARMUP = 50.0
+DURATION = 200.0
+
+
+def make_system(config, seed=5, policy="LERT"):
+    return DistributedDatabase(config, make_policy(policy), seed=seed)
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = TelemetryConfig()
+        assert config.events
+        assert config.sample_interval == 0.0
+        assert config.event_capacity is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TelemetryConfig(sample_interval=-1.0)
+        with pytest.raises(ValueError):
+            TelemetryConfig(event_capacity=0)
+
+
+class TestEventCollection:
+    def test_collects_lifecycle_and_query_events(self, tiny_config):
+        system = make_system(tiny_config)
+        with TelemetrySession(system) as session:
+            results = system.run(warmup=WARMUP, duration=DURATION)
+        names = [event.name for event in session.events]
+        assert names[0] == "RunStarted"
+        assert "WarmupEnded" in names
+        assert names[-1] == "RunEnded"
+        completions = [e for e in session.events if isinstance(e, QueryCompleted)]
+        # Events from the warmup period are retained too; at least the
+        # measured completions must be present.
+        assert len(completions) >= results.completions
+        started = next(e for e in session.events if isinstance(e, RunStarted))
+        assert started.policy == "LERT"
+        assert started.seed == 5
+        assert started.warmup == WARMUP
+        ended = next(e for e in session.events if isinstance(e, RunEnded))
+        assert ended.completions == results.completions
+        assert ended.time == WARMUP + DURATION
+
+    def test_event_counters_match_log(self, tiny_config):
+        system = make_system(tiny_config)
+        with TelemetrySession(system) as session:
+            system.run(warmup=WARMUP, duration=DURATION)
+        summary = session.summary()
+        for name in ("QueryCreated", "QueryAllocated", "QueryCompleted"):
+            logged = sum(1 for e in session.events if e.name == name)
+            assert summary[f"events.{name}"] == logged
+            assert logged > 0
+        assert summary["events.WarmupEnded"] == 1.0
+        assert summary["events.RunEnded"] == 1.0
+
+    def test_warmup_ended_orders_after_truncation(self, tiny_config):
+        system = make_system(tiny_config)
+        with TelemetrySession(system) as session:
+            system.run(warmup=WARMUP, duration=DURATION)
+        boundary = next(e for e in session.events if isinstance(e, WarmupEnded))
+        assert boundary.time == WARMUP
+
+    def test_capacity_bounds_the_log(self, tiny_config):
+        system = make_system(tiny_config)
+        with TelemetrySession(
+            system, TelemetryConfig(event_capacity=10)
+        ) as session:
+            system.run(warmup=WARMUP, duration=DURATION)
+        assert len(session.events) == 10
+        assert session.log is not None and session.log.dropped > 0
+        # Newest retained: the RunEnded terminator must survive.
+        assert session.events[-1].name == "RunEnded"
+
+    def test_events_disabled(self, tiny_config):
+        system = make_system(tiny_config)
+        with TelemetrySession(system, TelemetryConfig(events=False)) as session:
+            system.run(warmup=WARMUP, duration=DURATION)
+        assert session.events == ()
+        assert session.log is None
+        # No event counters, but monitor bindings still report.
+        summary = session.summary()
+        assert not any(key.startswith("events.") for key in summary)
+        assert "site.0.cpu.busy.avg" in summary
+
+
+class TestRegistryBindings:
+    def test_site_and_query_metrics_present(self, tiny_config):
+        system = make_system(tiny_config)
+        with TelemetrySession(system) as session:
+            results = system.run(warmup=WARMUP, duration=DURATION)
+        summary = session.summary()
+        for index in range(tiny_config.num_sites):
+            assert f"site.{index}.cpu.busy.avg" in summary
+            assert f"site.{index}.cpu.queue.avg" in summary
+            for disk in range(tiny_config.site.num_disks):
+                assert f"site.{index}.disk.{disk}.busy.avg" in summary
+        assert summary["queries.waiting.count"] == results.completions
+        assert summary["queries.waiting.mean"] == pytest.approx(
+            results.mean_waiting_time
+        )
+
+    def test_merge_folds_summary_into_results(self, tiny_config):
+        system = make_system(tiny_config)
+        with TelemetrySession(system) as session:
+            results = system.run(warmup=WARMUP, duration=DURATION)
+        merged = session.merge(results)
+        assert merged.telemetry == session.registry.summary_pairs()
+        assert dict(merged.telemetry) == session.summary()
+        # Everything else is untouched.
+        assert merged.mean_waiting_time == results.mean_waiting_time
+
+
+class TestLifecycle:
+    def test_close_unsubscribes(self, tiny_config):
+        system = make_system(tiny_config)
+        session = TelemetrySession(system)
+        assert system.sim.bus.active
+        session.close()
+        session.close()  # idempotent
+        assert not system.sim.bus.active
+
+    def test_events_survive_close(self, tiny_config):
+        system = make_system(tiny_config)
+        session = TelemetrySession(system)
+        system.run(warmup=WARMUP, duration=DURATION)
+        session.close()
+        assert len(session.events) > 0
+        assert session.summary()  # still readable
+
+    def test_warmup_without_run_started_rejected(self, tiny_config):
+        system = make_system(tiny_config)
+        TelemetrySession(system, TelemetryConfig(sample_interval=10.0))
+        with pytest.raises(ValueError, match="WarmupEnded seen without RunStarted"):
+            system.sim.bus.emit(WarmupEnded(time=0.0))

@@ -1,0 +1,101 @@
+"""The legacy ``Simulator(trace=...)`` hook: shim behaviour + caller pin.
+
+The typed :class:`~repro.telemetry.events.TraceMessage` stream replaces
+the untyped ``trace`` callable.  These tests pin three things:
+
+* passing ``trace=`` still works but raises a ``DeprecationWarning``;
+* the compat shim delivers exactly what the old hook delivered;
+* no module under ``src/repro`` passes ``trace=`` to ``Simulator``
+  anymore (an AST scan, so the deprecated spelling cannot creep back in).
+"""
+
+import ast
+import pathlib
+import warnings
+
+import pytest
+
+import repro
+from repro.sim.engine import Simulator
+from repro.sim.process import Hold
+from repro.telemetry.events import TraceMessage
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+
+def _labelled_workload(sim):
+    def proc():
+        yield Hold(1.0)
+        yield Hold(2.0)
+
+    sim.launch(proc(), name="worker")
+
+
+class TestCompatShim:
+    def test_trace_kwarg_warns(self):
+        with pytest.warns(DeprecationWarning, match="Simulator\\(trace=...\\)"):
+            Simulator(trace=lambda t, s: None)
+
+    def test_no_warning_without_trace(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            Simulator()
+
+    def test_shim_delivers_old_hook_shape(self):
+        lines = []
+        with pytest.warns(DeprecationWarning):
+            sim = Simulator(trace=lambda t, s: lines.append((t, s)))
+        _labelled_workload(sim)
+        sim.run(until=10.0)
+        assert lines
+        for time, text in lines:
+            assert isinstance(time, float)
+            assert isinstance(text, str)
+
+    def test_shim_equals_bus_subscription(self):
+        with pytest.warns(DeprecationWarning):
+            legacy_sim = Simulator(trace=lambda t, s: legacy.append((t, s)))
+        legacy = []
+        _labelled_workload(legacy_sim)
+        legacy_sim.run(until=10.0)
+
+        modern_sim = Simulator()
+        modern = []
+        modern_sim.bus.subscribe(
+            TraceMessage, lambda e: modern.append((e.time, e.label))
+        )
+        _labelled_workload(modern_sim)
+        modern_sim.run(until=10.0)
+        assert legacy == modern
+
+    def test_no_trace_messages_without_explicit_subscriber(self):
+        sim = Simulator()
+        seen = []
+        # A catch-all subscriber does NOT opt in to the high-volume stream.
+        sim.bus.subscribe_all(seen.append)
+        _labelled_workload(sim)
+        sim.run(until=10.0)
+        assert not any(isinstance(e, TraceMessage) for e in seen)
+
+
+class TestNoInternalCallers:
+    def test_src_never_passes_trace_to_simulator(self):
+        offenders = []
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = node.func
+                name = None
+                if isinstance(callee, ast.Name):
+                    name = callee.id
+                elif isinstance(callee, ast.Attribute):
+                    name = callee.attr
+                if name != "Simulator":
+                    continue
+                if any(kw.arg == "trace" for kw in node.keywords):
+                    offenders.append(f"{path}:{node.lineno}")
+        assert not offenders, (
+            "deprecated Simulator(trace=...) callers remain: " + ", ".join(offenders)
+        )
