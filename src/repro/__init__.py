@@ -39,10 +39,28 @@ Subpackages:
   query migration, partial replication).
 * :mod:`repro.telemetry` — typed event bus, metrics registry, timeline
   sampler, and exporters (see ``docs/telemetry.md``).
+* :mod:`repro.faults` — deterministic fault injection: declarative
+  :class:`FaultPlan`, degraded-mode query life cycle, availability
+  metrics (see ``docs/faults.md``).
 * :mod:`repro.runner` — the :func:`run`/:func:`execute` facade shared by
   the library API and the experiment harness.
+
+Fault-injection quick start::
+
+    from repro import FaultPlan, RandomOutages, RunSpec, run, paper_defaults
+
+    plan = FaultPlan(random_outages=(RandomOutages(mtbf=2000.0, mttr=50.0),))
+    report = run(paper_defaults(), "BNQ", RunSpec(seed=7, faults=plan))
+    print(report.availability)
 """
 
+from repro.faults.plan import (
+    FaultPlan,
+    LoadBoardOutage,
+    MessageFaults,
+    RandomOutages,
+    SiteOutage,
+)
 from repro.model.config import (
     NetworkSpec,
     QueryClassSpec,
@@ -51,13 +69,16 @@ from repro.model.config import (
     paper_classes,
     paper_defaults,
 )
-from repro.model.metrics import SystemResults
+from repro.model.metrics import AvailabilitySummary, SystemResults
+from repro.model.serialization import load_fault_plan, save_fault_plan
 from repro.model.system import DistributedDatabase
+from repro.model.view import SystemView
+from repro.policies.base import AllocationPolicy, LegacyPolicyAdapter
 from repro.policies.registry import available_policies, make_policy
 from repro.runner import RunReport, RunSpec, execute, run
 from repro.telemetry import EventBus, EventLog, TelemetryConfig, TelemetrySession
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "DistributedDatabase",
@@ -66,10 +87,21 @@ __all__ = [
     "NetworkSpec",
     "QueryClassSpec",
     "SystemResults",
+    "AvailabilitySummary",
     "paper_classes",
     "paper_defaults",
+    "AllocationPolicy",
+    "LegacyPolicyAdapter",
+    "SystemView",
     "make_policy",
     "available_policies",
+    "FaultPlan",
+    "SiteOutage",
+    "RandomOutages",
+    "MessageFaults",
+    "LoadBoardOutage",
+    "save_fault_plan",
+    "load_fault_plan",
     "RunSpec",
     "RunReport",
     "run",

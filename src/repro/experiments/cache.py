@@ -47,10 +47,12 @@ import tempfile
 from dataclasses import dataclass
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
+from repro.faults.plan import FaultPlan
 from repro.model.config import SystemConfig
 from repro.model.metrics import SystemResults
 from repro.model.serialization import (
     config_to_dict,
+    fault_plan_to_dict,
     results_from_dict,
     results_to_dict,
 )
@@ -93,6 +95,7 @@ def cache_key(
     duration: float,
     system_kind: str = "standard",
     system_kwargs: Sequence[Tuple[str, Any]] = (),
+    faults: Optional[FaultPlan] = None,
 ) -> str:
     """Content address of one simulation run.
 
@@ -100,7 +103,10 @@ def cache_key(
     of every input that determines the run's output.  ``system_kind`` and
     ``system_kwargs`` identify extension system classes (stale-info,
     update-workload, heterogeneous) and their parameters so extension runs
-    never collide with standard ones.
+    never collide with standard ones.  A non-``None`` *faults* plan is
+    folded into the key (so a faulted run can never be answered from a
+    faultless entry); ``None`` leaves the payload — and therefore every
+    pre-faults key — unchanged.
     """
     payload: Dict[str, Any] = {
         "cache_version": CACHE_VERSION,
@@ -112,6 +118,9 @@ def cache_key(
         "system_kind": system_kind,
         "system_kwargs": {name: value for name, value in system_kwargs},
     }
+    if faults is not None:
+        # Added only when present: existing cache entries stay addressable.
+        payload["faults"] = fault_plan_to_dict(faults)
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 

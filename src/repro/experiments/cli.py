@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterator, Optional
 
 from repro.experiments import (
     ablations,
+    failure,
     validation,
     msg_sensitivity,
     table5,
@@ -49,6 +50,7 @@ _SIMULATED: Dict[str, Callable] = {
     "table11": table11.main,
     "table12": table12.main,
     "msg": msg_sensitivity.main,
+    "failures": failure.main,
     "ablation-stale": ablations.main_stale,
     "ablation-disk": ablations.main_disk,
     "ablation-updates": ablations.main_updates,
@@ -114,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk result cache (always re-simulate)",
     )
     parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "install a fault plan (written by repro.save_fault_plan) into "
+            "every simulated run; only the standard system kind supports "
+            "faults, so extension experiments reject this flag"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help=(
@@ -173,6 +185,10 @@ def _timing_line(name: str, elapsed: float, cache) -> str:
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     settings = settings_for(args.scale)
+    if args.faults is not None:
+        from repro.model.serialization import load_fault_plan
+
+        settings = settings.with_faults(load_fault_plan(args.faults))
     if args.experiment == "report":
         from repro.experiments.report import write_report
 

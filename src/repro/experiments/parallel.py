@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from repro.experiments.cache import ResultCache, cache_key
 from repro.experiments.runconfig import RunSettings
+from repro.faults.plan import FaultPlan
 from repro.model.config import SystemConfig
 from repro.model.metrics import SystemResults
 
@@ -101,6 +102,13 @@ class ReplicationTask:
     carries its extra constructor arguments as a sorted tuple of
     ``(name, value)`` pairs so the task stays hashable and its cache key
     stays canonical.
+
+    ``faults`` optionally installs a fault plan for the run.  A no-op
+    plan is normalized to ``None`` at construction (same run, same cache
+    key), and non-``None`` plans are folded into :meth:`key`, so a
+    faulted task can never be answered from a faultless cache entry.
+    Fault plans are only supported on the "standard" system kind (the
+    extension life cycles do not implement degraded mode).
     """
 
     config: SystemConfig
@@ -110,6 +118,7 @@ class ReplicationTask:
     duration: float
     system_kind: str = "standard"
     system_kwargs: Tuple[Tuple[str, Any], ...] = field(default=())
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.system_kind not in SYSTEM_KINDS:
@@ -119,6 +128,13 @@ class ReplicationTask:
             )
         ordered = tuple(sorted(self.system_kwargs))
         object.__setattr__(self, "system_kwargs", ordered)
+        if self.faults is not None and self.faults.is_noop:
+            object.__setattr__(self, "faults", None)
+        if self.faults is not None and self.system_kind != "standard":
+            raise ValueError(
+                "fault plans require the 'standard' system kind; "
+                f"got {self.system_kind!r}"
+            )
 
     def key(self) -> str:
         """Content address of this task (see :func:`cache_key`)."""
@@ -130,6 +146,7 @@ class ReplicationTask:
             duration=self.duration,
             system_kind=self.system_kind,
             system_kwargs=self.system_kwargs,
+            faults=self.faults,
         )
 
 
@@ -141,7 +158,10 @@ def replication_tasks(
     system_kind: str = "standard",
     system_kwargs: Tuple[Tuple[str, Any], ...] = (),
 ) -> List[ReplicationTask]:
-    """One task per replication of a (config, policy, settings) cell."""
+    """One task per replication of a (config, policy, settings) cell.
+
+    ``settings.faults`` (when set) is carried onto every task.
+    """
     return [
         ReplicationTask(
             config=config,
@@ -151,6 +171,7 @@ def replication_tasks(
             duration=settings.duration,
             system_kind=system_kind,
             system_kwargs=system_kwargs,
+            faults=settings.faults,
         )
         for replication in range(settings.replications)
     ]
@@ -207,7 +228,12 @@ def run_task(task: ReplicationTask) -> SystemResults:
         seed=task.seed,
         **dict(task.system_kwargs),
     )
-    spec = RunSpec(warmup=task.warmup, duration=task.duration, seed=task.seed)
+    spec = RunSpec(
+        warmup=task.warmup,
+        duration=task.duration,
+        seed=task.seed,
+        faults=task.faults,
+    )
     return execute(system, spec).results
 
 

@@ -15,22 +15,39 @@ independently derived master seeds and results are averaged.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
 class RunSettings:
-    """Warmup/measurement lengths and replication control for one run."""
+    """Warmup/measurement lengths and replication control for one run.
+
+    ``faults`` optionally installs a fault plan in every run made from
+    these settings (each replication executes the same plan under its own
+    derived seed); ``None`` — and a no-op plan — keeps the runs faultless.
+    """
 
     warmup: float = 3000.0
     duration: float = 15000.0
     replications: int = 1
     base_seed: int = 20250705
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or self.duration <= 0:
             raise ValueError("need warmup >= 0 and duration > 0")
         if self.replications < 1:
             raise ValueError("need at least one replication")
+        if self.faults is not None and self.faults.is_noop:
+            # Normalize: a no-op plan is the same run as no plan, and the
+            # cache key must agree.
+            object.__setattr__(self, "faults", None)
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "RunSettings":
+        """These settings with *faults* installed (``None`` to clear)."""
+        return replace(self, faults=faults)
 
     def seed_for(self, replication: int) -> int:
         """Master seed of one replication (stable, well separated)."""

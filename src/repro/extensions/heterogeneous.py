@@ -69,7 +69,7 @@ class HeterogeneousDatabase(DistributedDatabase):
         from repro.sim.process import WaitFor
 
         sim = self.sim
-        execution_site = self.policy.select_site(query, query.home_site)
+        execution_site = self.policy.select(query, self.view_for(query.home_site))
         if not 0 <= execution_site < self.config.num_sites:
             raise ValueError(
                 f"policy {self.policy.name} chose invalid site {execution_site}"
@@ -149,7 +149,7 @@ class HeterogeneousLERTPolicy(LERTPolicy):
         speed = system.cpu_speed_factors[site]
         cpu_time = query.estimated_cpu_demand / speed
         io_time = query.estimated_io_demand(site_spec.disk_time)
-        if site == self._arrival_site:
+        if site == self._view.arrival_site:
             net_time = 0.0
         else:
             net_time = system.estimated_transfer_time(

@@ -83,8 +83,10 @@ class MigratingDatabase(DistributedDatabase):
             actual_reads=reads_left,
             io_bound=query.io_bound,
         )
-        if isinstance(self.policy, _ARRIVAL_AWARE):
-            self.policy._arrival_site = current_site
+        # Re-costing happens from the query's *current* site: point the
+        # policy's active view there so arrival-aware cost functions (LERT,
+        # LERT-MVA) zero the network term for staying put.
+        self.policy._view = self.view_for(current_site)
         local_cost = self.policy.site_cost(remainder, current_site)
         best_site, best_cost = current_site, local_cost
         for site in self.candidate_sites(remainder):
@@ -116,7 +118,7 @@ class MigratingDatabase(DistributedDatabase):
     # ------------------------------------------------------------------
     def execute_query(self, query: Query, query_rng):
         sim = self.sim
-        execution_site = self.policy.select_site(query, query.home_site)
+        execution_site = self.policy.select(query, self.view_for(query.home_site))
         query.allocated_at = sim.now
         query.execution_site = execution_site
         self.load_board.register(query, execution_site)
@@ -207,14 +209,6 @@ class MigratingDatabase(DistributedDatabase):
         query.completed_at = sim.now
         self.load_board.deregister(query, execution_site)
         self.metrics.record(query)
-
-
-# Policies that cache the arrival site inside select_site need it refreshed
-# before their site_cost can be reused for migration decisions.
-from repro.policies.lert import LERTPolicy  # noqa: E402
-from repro.policies.lert_mva import LERTMVAPolicy  # noqa: E402
-
-_ARRIVAL_AWARE = (LERTPolicy, LERTMVAPolicy)
 
 
 __all__ = ["MigratingDatabase"]

@@ -92,8 +92,7 @@ class SubqueryDatabase(PartialReplicationDatabase):
         if isinstance(policy, CostBasedPolicy):
             # Present the pipeline's current location as the arrival site so
             # cost models that price network transfers do so correctly.
-            if hasattr(policy, "_arrival_site"):
-                policy._arrival_site = current_site
+            policy._view = self.view_for(current_site)
             if current_site in candidates:
                 best, best_cost = current_site, policy.site_cost(
                     stage_query, current_site

@@ -1,0 +1,48 @@
+"""Deterministic fault injection and resilience (``repro.faults``).
+
+The paper's allocators assume every site is always up and every load
+broadcast arrives.  This package drops that assumption without giving up
+reproducibility: a frozen :class:`~repro.faults.plan.FaultPlan` declares
+site outages (deterministic schedules or stochastic MTBF/MTTR processes),
+token-ring message faults, and load-board broadcast outages; the
+:class:`~repro.faults.injector.FaultInjector` executes the plan off the
+simulator's event loop using named random streams, so the same
+``(seed, plan)`` pair replays byte-identically — including across the
+parallel runner.
+
+Degraded-mode semantics (see ``docs/faults.md``):
+
+* in-flight queries at a crashed site are aborted and re-allocated with
+  bounded retry and exponential backoff;
+* policies see only *available* sites through a
+  :class:`~repro.model.view.SystemView` (stale load entries for down
+  sites are masked);
+* :class:`~repro.model.metrics.SystemResults` gains availability metrics
+  (per-site downtime, aborted/retried/lost counts, response time
+  conditioned on failure exposure).
+"""
+
+from repro.faults.errors import FaultError, NoAvailableSiteError, SiteCrashedError
+from repro.faults.injector import FAULT_PRIORITY, FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    LoadBoardOutage,
+    MessageFaults,
+    RandomOutages,
+    SiteOutage,
+    site_outage_schedule,
+)
+
+__all__ = [
+    "FaultError",
+    "SiteCrashedError",
+    "NoAvailableSiteError",
+    "FaultPlan",
+    "SiteOutage",
+    "RandomOutages",
+    "MessageFaults",
+    "LoadBoardOutage",
+    "site_outage_schedule",
+    "FaultInjector",
+    "FAULT_PRIORITY",
+]

@@ -1,0 +1,29 @@
+"""Exceptions raised by the fault-injection layer."""
+
+from __future__ import annotations
+
+from repro.sim.errors import SimulationError
+
+
+class FaultError(SimulationError):
+    """Base class of every fault-layer error."""
+
+
+class SiteCrashedError(FaultError):
+    """Thrown into a query process when its execution site goes down.
+
+    The degraded-mode query life cycle catches this to abort and
+    re-allocate the query; anything else letting it escape is a bug.
+    """
+
+    def __init__(self, site: int) -> None:
+        super().__init__(f"site {site} crashed")
+        self.site = site
+
+
+class NoAvailableSiteError(FaultError):
+    """Raised by a :class:`~repro.model.view.SystemView` when every
+    candidate site for a query is currently down."""
+
+
+__all__ = ["FaultError", "SiteCrashedError", "NoAvailableSiteError"]

@@ -1,0 +1,294 @@
+"""Deterministic execution of a :class:`~repro.faults.plan.FaultPlan`.
+
+The :class:`FaultInjector` turns a declarative plan into simulator events:
+
+* deterministic site outages become pre-scheduled crash/recover events;
+* stochastic MTBF/MTTR processes become self-rescheduling event chains,
+  each drawing from its own named random stream
+  (``faults.outage{i}.s{site}``), so the failure schedule is a pure
+  function of ``(seed, plan)`` and never perturbs workload streams;
+* load-board outages freeze the load information policies see;
+* message faults are consulted by the degraded query life cycle in
+  :meth:`repro.model.system.DistributedDatabase.execute_query` through
+  :attr:`FaultInjector.net_rng` (stream ``faults.net``).
+
+Crash/recover events are scheduled at :data:`FAULT_PRIORITY`, which is
+*below* the default priority: when a crash and a service completion land
+on the same timestamp, the crash fires first and the completion is
+retracted (``Simulator.cancel`` on the already-fired loser is a documented
+no-op).  This tie-break is pinned by a regression test.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.faults.errors import SiteCrashedError
+from repro.faults.plan import FaultPlan, RandomOutages
+from repro.model.loadboard import LoadView
+from repro.model.metrics import AvailabilitySummary
+from repro.model.query import Query
+from repro.sim.monitor import Tally, TimeWeighted
+from repro.sim.process import Process
+from repro.telemetry.events import SiteCrashed, SiteRecovered
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.system import DistributedDatabase
+
+#: Event priority of crash/recover/outage edges.  Lower than
+#: :data:`repro.sim.events.DEFAULT_PRIORITY`, so fault transitions fire
+#: before same-timestamp model events (the documented tie-break).
+FAULT_PRIORITY = -10
+
+
+class FaultInjector:
+    """Executes a fault plan against one :class:`DistributedDatabase`.
+
+    Constructed (and fully scheduled) at simulated time 0 by
+    :meth:`~repro.model.system.DistributedDatabase.install_faults`.
+
+    Attributes:
+        system: The system under fault.
+        plan: The declarative plan being executed.
+        crashes / recoveries: Site transitions observed so far.
+        queries_aborted / queries_retried / queries_lost: Degraded-mode
+            query counters.
+        messages_dropped: Subnet transfers lost so far.
+        degraded_completions: Completions with ``fault_exposure > 0``.
+    """
+
+    def __init__(self, system: "DistributedDatabase", plan: FaultPlan) -> None:
+        plan.validate_for(system.config.num_sites)
+        self.system = system
+        self.plan = plan
+        sim = system.sim
+        num_sites = system.config.num_sites
+        # A site is down while its depth is > 0; depths (not booleans) make
+        # overlapping outage intervals compose correctly.
+        self._down_depth: List[int] = [0] * num_sites
+        self._down_monitors: List[TimeWeighted] = [
+            TimeWeighted(sim, name=f"faults.down{s}") for s in range(num_sites)
+        ]
+        #: Processes currently executing a query at each site, in
+        #: registration order (determinism: interrupts replay identically).
+        self._executing: List[List[Process]] = [[] for _ in range(num_sites)]
+        self._dark_depth = 0
+        self._dark_view: Optional[LoadView] = None
+        self.crashes = 0
+        self.recoveries = 0
+        self.queries_aborted = 0
+        self.queries_retried = 0
+        self.queries_lost = 0
+        self.messages_dropped = 0
+        self.degraded_completions = 0
+        self.clean_responses = Tally(name="faults.clean_response")
+        self.degraded_responses = Tally(name="faults.degraded_response")
+        self._schedule_plan()
+
+    # ------------------------------------------------------------------
+    # Plan scheduling
+    # ------------------------------------------------------------------
+    def _schedule_plan(self) -> None:
+        sim = self.system.sim
+        for outage in self.plan.site_outages:
+            site = outage.site
+            sim.schedule_at(
+                outage.at,
+                lambda s=site: self._crash(s),
+                priority=FAULT_PRIORITY,
+                label=f"faults:crash{site}",
+            )
+            sim.schedule_at(
+                outage.at + outage.duration,
+                lambda s=site: self._recover(s),
+                priority=FAULT_PRIORITY,
+                label=f"faults:recover{site}",
+            )
+        num_sites = self.system.config.num_sites
+        for index, process_spec in enumerate(self.plan.random_outages):
+            if process_spec.site is None:
+                for site in range(num_sites):
+                    self._start_outage_chain(index, process_spec, site)
+            else:
+                self._start_outage_chain(index, process_spec, process_spec.site)
+        for outage in self.plan.loadboard_outages:
+            sim.schedule_at(
+                outage.at,
+                self._board_dark,
+                priority=FAULT_PRIORITY,
+                label="faults:board-dark",
+            )
+            sim.schedule_at(
+                outage.at + outage.duration,
+                self._board_restore,
+                priority=FAULT_PRIORITY,
+                label="faults:board-restore",
+            )
+
+    def _start_outage_chain(
+        self, index: int, spec: RandomOutages, site: int
+    ) -> None:
+        """Start one crash/repair renewal process at *site*.
+
+        The chain is a pair of mutually-scheduling callbacks; both draws
+        (up-time then down-time) come from a stream named after the plan
+        entry and the site, so schedules replay exactly and independent
+        chains never share randomness.
+        """
+        sim = self.system.sim
+        rng = sim.rng.stream(f"faults.outage{index}.s{site}")
+
+        def schedule_crash() -> None:
+            up_time = rng.expovariate(1.0 / spec.mtbf)
+            sim.schedule(
+                up_time,
+                crash,
+                priority=FAULT_PRIORITY,
+                label=f"faults:crash{site}",
+            )
+
+        def crash() -> None:
+            self._crash(site)
+            down_time = rng.expovariate(1.0 / spec.mttr)
+            sim.schedule(
+                down_time,
+                recover,
+                priority=FAULT_PRIORITY,
+                label=f"faults:recover{site}",
+            )
+
+        def recover() -> None:
+            self._recover(site)
+            schedule_crash()
+
+        schedule_crash()
+
+    # ------------------------------------------------------------------
+    # Site state transitions
+    # ------------------------------------------------------------------
+    def _crash(self, site: int) -> None:
+        self._down_depth[site] += 1
+        if self._down_depth[site] > 1:
+            return  # already down (overlapping outages)
+        self.crashes += 1
+        self._down_monitors[site].set(1)
+        sim = self.system.sim
+        bus = sim.bus
+        if bus.active and bus.wants(SiteCrashed):
+            bus.emit(SiteCrashed(time=sim.now, site=site))
+        # Tear down the site's service centers first (cancels completion
+        # events), then interrupt the victims in registration order.
+        self.system.sites[site].abort_all()
+        victims = self._executing[site]
+        self._executing[site] = []
+        for process in victims:
+            process.interrupt(SiteCrashedError(site))
+
+    def _recover(self, site: int) -> None:
+        if self._down_depth[site] <= 0:
+            return  # spurious (should not happen; defensive)
+        self._down_depth[site] -= 1
+        if self._down_depth[site] > 0:
+            return  # still inside an overlapping outage
+        self.recoveries += 1
+        self._down_monitors[site].set(0)
+        sim = self.system.sim
+        bus = sim.bus
+        if bus.active and bus.wants(SiteRecovered):
+            bus.emit(SiteRecovered(time=sim.now, site=site))
+
+    def _board_dark(self) -> None:
+        self._dark_depth += 1
+        if self._dark_depth == 1:
+            self._dark_view = self.system.load_board.snapshot()
+
+    def _board_restore(self) -> None:
+        if self._dark_depth <= 0:
+            return
+        self._dark_depth -= 1
+        if self._dark_depth == 0:
+            self._dark_view = None
+
+    # ------------------------------------------------------------------
+    # Queries read through these
+    # ------------------------------------------------------------------
+    def is_up(self, site: int) -> bool:
+        """Whether *site* is currently available."""
+        return self._down_depth[site] == 0
+
+    @property
+    def available_sites(self) -> List[int]:
+        """Sites currently up, in index order."""
+        return [s for s, depth in enumerate(self._down_depth) if depth == 0]
+
+    @property
+    def dark_view(self) -> Optional[LoadView]:
+        """The frozen load snapshot while broadcasts are dark, else None."""
+        return self._dark_view
+
+    @property
+    def net_rng(self) -> random.Random:
+        """The message-fault stream (``faults.net``)."""
+        return self.system.sim.rng.stream("faults.net")
+
+    # ------------------------------------------------------------------
+    # Degraded-mode bookkeeping (called by the query life cycle)
+    # ------------------------------------------------------------------
+    def begin_execution(self, site: int, process: Process) -> None:
+        """Register *process* as executing at *site* (crash victim set)."""
+        self._executing[site].append(process)
+
+    def end_execution(self, site: int, process: Process) -> None:
+        """Deregister *process*; idempotent (a crash empties the set)."""
+        try:
+            self._executing[site].remove(process)
+        except ValueError:
+            pass
+
+    def record_completion(self, query: Query) -> None:
+        """Classify a completion as clean or degraded for the metrics."""
+        if query.fault_exposure > 0:
+            self.degraded_completions += 1
+            self.degraded_responses.record(query.response_time)
+        else:
+            self.clean_responses.record(query.response_time)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Truncate availability statistics (end of warmup)."""
+        for monitor in self._down_monitors:
+            monitor.reset()
+        self.crashes = 0
+        self.recoveries = 0
+        self.queries_aborted = 0
+        self.queries_retried = 0
+        self.queries_lost = 0
+        self.messages_dropped = 0
+        self.degraded_completions = 0
+        self.clean_responses.reset()
+        self.degraded_responses.reset()
+
+    def availability_summary(self) -> AvailabilitySummary:
+        """Snapshot the availability metrics since the last reset."""
+        return AvailabilitySummary(
+            site_downtime=tuple(m.integral for m in self._down_monitors),
+            crashes=self.crashes,
+            recoveries=self.recoveries,
+            queries_aborted=self.queries_aborted,
+            queries_retried=self.queries_retried,
+            queries_lost=self.queries_lost,
+            messages_dropped=self.messages_dropped,
+            degraded_completions=self.degraded_completions,
+            clean_response_time=self.clean_responses.mean,
+            degraded_response_time=self.degraded_responses.mean,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        down = [s for s, d in enumerate(self._down_depth) if d > 0]
+        return f"<FaultInjector down={down} aborted={self.queries_aborted}>"
+
+
+__all__ = ["FAULT_PRIORITY", "FaultInjector"]

@@ -1,4 +1,4 @@
-"""The determinism & simulation-invariant rules (RL001–RL010).
+"""The determinism & simulation-invariant rules (RL001–RL011).
 
 Each rule encodes one invariant the reproduction depends on.  RL001 and
 RL004 directly guard the bit-identical parallel/cached-run guarantee from
@@ -558,6 +558,62 @@ class FilesystemOrder(Rule):
                 )
 
 
+@register
+class FaultStreamDiscipline(Rule):
+    """RL011 — fault schedules must draw from named ``sim.rng`` streams.
+
+    The chaos-replay guarantee — the same ``(seed, plan)`` replays
+    byte-identically, including across the parallel runner — holds only
+    because every draw the fault layer makes comes from a named stream
+    (``faults.outage{i}.s{site}``, ``faults.net``) derived from the run's
+    master seed.  An ad-hoc ``random.Random(...)`` (however it is
+    seeded), a ``.seed(...)`` call, or any numpy randomness inside
+    ``repro.faults`` bypasses that derivation: the schedule stops being a
+    pure function of ``(seed, plan)`` and starts perturbing — or being
+    perturbed by — workload streams.
+    """
+
+    code = "RL011"
+    name = "fault-stream-discipline"
+    summary = (
+        "fault-schedule randomness must come from named sim.rng streams; "
+        "no random.Random()/seed()/numpy randomness in repro.faults"
+    )
+    scope = ("repro.faults",)
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = ctx.resolve_imported(node.func)
+            if target == "random.Random":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "ad-hoc random.Random(...) in the fault layer; derive "
+                    "the stream from sim.rng.stream('faults....') so the "
+                    "schedule is a pure function of (seed, plan)",
+                )
+            elif target is not None and target.startswith("numpy.random"):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"numpy randomness ({target}) in the fault layer; use "
+                    "a named sim.rng stream",
+                )
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "seed"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "re-seeding an RNG in the fault layer; named streams "
+                    "are already seeded deterministically from the run's "
+                    "master seed",
+                )
+
+
 __all__ = [
     "CORE_SIM_SCOPE",
     "AGGREGATION_SCOPE",
@@ -573,4 +629,5 @@ __all__ = [
     "SwallowedException",
     "PrintInCore",
     "FilesystemOrder",
+    "FaultStreamDiscipline",
 ]

@@ -15,6 +15,7 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional, Tuple
 
@@ -129,6 +130,55 @@ class MetricsCollector:
 
 
 @dataclass(frozen=True)
+class AvailabilitySummary:
+    """Availability metrics of one run under a fault plan.
+
+    Produced by :meth:`repro.faults.injector.FaultInjector.availability_summary`
+    over the measurement window (warmup statistics are truncated, exactly
+    like every other monitor).
+
+    Attributes:
+        site_downtime: Per-site accumulated downtime (simulated time each
+            site spent crashed inside the measurement window).
+        crashes: Site down-transitions observed.
+        recoveries: Site up-transitions observed.
+        queries_aborted: In-flight queries aborted by site crashes.
+        queries_retried: Aborted queries that re-entered allocation.
+        queries_lost: Aborted queries that exhausted their retry budget.
+        messages_dropped: Subnet transfers lost to message faults.
+        degraded_completions: Completions whose query was exposed to at
+            least one fault (abort or message loss) on the way.
+        clean_response_time: Mean response time of fault-free completions.
+        degraded_response_time: Mean response time of degraded completions
+            (0.0 when there were none).
+    """
+
+    site_downtime: Tuple[float, ...]
+    crashes: int
+    recoveries: int
+    queries_aborted: int
+    queries_retried: int
+    queries_lost: int
+    messages_dropped: int
+    degraded_completions: int
+    clean_response_time: float
+    degraded_response_time: float
+
+    @property
+    def total_downtime(self) -> float:
+        """Downtime summed over all sites."""
+        return math.fsum(self.site_downtime)
+
+    def __str__(self) -> str:
+        return (
+            f"downtime={self.total_downtime:.1f} crashes={self.crashes} "
+            f"aborted={self.queries_aborted} retried={self.queries_retried} "
+            f"lost={self.queries_lost} dropped={self.messages_dropped} "
+            f"degraded={self.degraded_completions}"
+        )
+
+
+@dataclass(frozen=True)
 class SystemResults:
     """Immutable summary of one simulation run.
 
@@ -154,6 +204,9 @@ class SystemResults:
             ``None`` when the run collected no telemetry — note the cache
             stores results of telemetry-free runs, so cached entries
             always carry ``None`` here.
+        availability: Availability metrics when a fault plan was
+            installed; ``None`` for faultless runs (and for runs under a
+            no-op plan, which are normalized to faultless).
     """
 
     policy: str
@@ -170,6 +223,7 @@ class SystemResults:
     measured_time: float
     waiting_ci: Optional[IntervalEstimate] = None
     telemetry: Optional[Tuple[Tuple[str, float], ...]] = None
+    availability: Optional[AvailabilitySummary] = None
 
     def __str__(self) -> str:
         fair = f"{self.fairness:+.4f}" if self.fairness is not None else "n/a"
@@ -189,6 +243,7 @@ def summarize(
     disk_utilization: float,
     measured_time: float,
     ci_batches: int = 20,
+    availability: Optional[AvailabilitySummary] = None,
 ) -> SystemResults:
     """Package a collector into a :class:`SystemResults`."""
     fairness: Optional[float]
@@ -213,7 +268,8 @@ def summarize(
         remote_fraction=collector.remote_fraction,
         measured_time=measured_time,
         waiting_ci=waiting_ci,
+        availability=availability,
     )
 
 
-__all__ = ["MetricsCollector", "SystemResults", "summarize"]
+__all__ = ["MetricsCollector", "AvailabilitySummary", "SystemResults", "summarize"]

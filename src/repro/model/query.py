@@ -69,6 +69,12 @@ class Query:
     #: extension); always 0 in the base model.
     migrations: int = 0
 
+    #: How many fault events the query was exposed to (site crashes that
+    #: aborted it plus subnet messages lost under it); always 0 when no
+    #: fault plan is installed.  A completion with ``fault_exposure > 0``
+    #: is counted as *degraded* by the availability metrics.
+    fault_exposure: int = 0
+
     # ------------------------------------------------------------------
     # Optimizer-estimate accessors (what policies may read)
     # ------------------------------------------------------------------

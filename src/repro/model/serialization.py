@@ -19,6 +19,11 @@ replication-averaged
 :class:`~repro.experiments.common.AveragedResults`.  These power the
 content-addressed result cache (:mod:`repro.experiments.cache`) and let
 sweep outputs be archived losslessly.
+
+Fault plans round-trip with :func:`fault_plan_to_dict` /
+:func:`fault_plan_from_dict` (and :func:`save_fault_plan` /
+:func:`load_fault_plan` for files) — this is the on-disk format the CLI's
+``--faults plan.json`` flag reads.
 """
 
 from __future__ import annotations
@@ -27,6 +32,13 @@ import json
 import pathlib
 from typing import Any, Dict, Optional, Union
 
+from repro.faults.plan import (
+    FaultPlan,
+    LoadBoardOutage,
+    MessageFaults,
+    RandomOutages,
+    SiteOutage,
+)
 from repro.model.config import (
     ConfigError,
     NetworkSpec,
@@ -34,13 +46,16 @@ from repro.model.config import (
     SiteSpec,
     SystemConfig,
 )
-from repro.model.metrics import SystemResults
+from repro.model.metrics import AvailabilitySummary, SystemResults
 from repro.sim.stats import IntervalEstimate
 
 FORMAT_VERSION = 1
 
 #: Version tag of the serialized result formats (bump on layout changes).
 RESULTS_FORMAT_VERSION = 1
+
+#: Version tag of the serialized fault-plan format.
+FAULT_PLAN_FORMAT_VERSION = 1
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
@@ -125,8 +140,137 @@ def load_config(path: Union[str, pathlib.Path]) -> SystemConfig:
 
 
 # ----------------------------------------------------------------------
+# Fault plans
+# ----------------------------------------------------------------------
+
+
+def fault_plan_to_dict(plan: FaultPlan) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.faults.plan.FaultPlan` into JSON primitives."""
+    return {
+        "format_version": FAULT_PLAN_FORMAT_VERSION,
+        "site_outages": [
+            {"site": o.site, "at": o.at, "duration": o.duration}
+            for o in plan.site_outages
+        ],
+        "random_outages": [
+            {"mtbf": o.mtbf, "mttr": o.mttr, "site": o.site}
+            for o in plan.random_outages
+        ],
+        "messages": (
+            None
+            if plan.messages is None
+            else {
+                "loss_prob": plan.messages.loss_prob,
+                "extra_delay": plan.messages.extra_delay,
+                "retransmit_timeout": plan.messages.retransmit_timeout,
+                "max_retransmits": plan.messages.max_retransmits,
+            }
+        ),
+        "loadboard_outages": [
+            {"at": o.at, "duration": o.duration} for o in plan.loadboard_outages
+        ],
+        "max_retries": plan.max_retries,
+        "retry_backoff": plan.retry_backoff,
+        "backoff_factor": plan.backoff_factor,
+    }
+
+
+def fault_plan_from_dict(data: Dict[str, Any]) -> FaultPlan:
+    """Rebuild a :class:`~repro.faults.plan.FaultPlan`.
+
+    Raises:
+        ConfigError: On missing keys, unknown versions, or malformed values
+            (field validation happens in the plan dataclasses themselves).
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    version = data.get("format_version", FAULT_PLAN_FORMAT_VERSION)
+    if version != FAULT_PLAN_FORMAT_VERSION:
+        raise ConfigError(f"unsupported fault-plan format version {version}")
+    messages_data = data.get("messages")
+    try:
+        return FaultPlan(
+            site_outages=tuple(
+                SiteOutage(**entry) for entry in data.get("site_outages", [])
+            ),
+            random_outages=tuple(
+                RandomOutages(**entry) for entry in data.get("random_outages", [])
+            ),
+            messages=(
+                None if messages_data is None else MessageFaults(**messages_data)
+            ),
+            loadboard_outages=tuple(
+                LoadBoardOutage(**entry)
+                for entry in data.get("loadboard_outages", [])
+            ),
+            max_retries=data.get("max_retries", 5),
+            retry_backoff=data.get("retry_backoff", 1.0),
+            backoff_factor=data.get("backoff_factor", 2.0),
+        )
+    except KeyError as missing:
+        raise ConfigError(f"fault plan dict is missing key {missing}") from None
+    except TypeError as bad:
+        raise ConfigError(f"malformed fault plan dict: {bad}") from None
+
+
+def save_fault_plan(plan: FaultPlan, path: Union[str, pathlib.Path]) -> None:
+    """Write *plan* as pretty-printed JSON (the ``--faults`` file format)."""
+    payload = json.dumps(fault_plan_to_dict(plan), indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(payload + "\n", encoding="utf-8")
+
+
+def load_fault_plan(path: Union[str, pathlib.Path]) -> FaultPlan:
+    """Read a fault plan written by :func:`save_fault_plan`."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as bad:
+        raise ConfigError(f"{path}: not valid JSON ({bad})") from None
+    return fault_plan_from_dict(data)
+
+
+# ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
+
+
+def availability_to_dict(summary: AvailabilitySummary) -> Dict[str, Any]:
+    """Flatten an :class:`AvailabilitySummary` into JSON primitives."""
+    return {
+        "site_downtime": list(summary.site_downtime),
+        "crashes": summary.crashes,
+        "recoveries": summary.recoveries,
+        "queries_aborted": summary.queries_aborted,
+        "queries_retried": summary.queries_retried,
+        "queries_lost": summary.queries_lost,
+        "messages_dropped": summary.messages_dropped,
+        "degraded_completions": summary.degraded_completions,
+        "clean_response_time": summary.clean_response_time,
+        "degraded_response_time": summary.degraded_response_time,
+    }
+
+
+def availability_from_dict(data: Dict[str, Any]) -> AvailabilitySummary:
+    """Rebuild an :class:`AvailabilitySummary`."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    try:
+        return AvailabilitySummary(
+            site_downtime=tuple(data["site_downtime"]),
+            crashes=data["crashes"],
+            recoveries=data["recoveries"],
+            queries_aborted=data["queries_aborted"],
+            queries_retried=data["queries_retried"],
+            queries_lost=data["queries_lost"],
+            messages_dropped=data["messages_dropped"],
+            degraded_completions=data["degraded_completions"],
+            clean_response_time=data["clean_response_time"],
+            degraded_response_time=data["degraded_response_time"],
+        )
+    except KeyError as missing:
+        raise ConfigError(
+            f"availability dict is missing key {missing}"
+        ) from None
 
 
 def interval_to_dict(estimate: IntervalEstimate) -> Dict[str, Any]:
@@ -180,6 +324,11 @@ def results_to_dict(results: SystemResults) -> Dict[str, Any]:
             if results.telemetry is None
             else [[name, value] for name, value in results.telemetry]
         ),
+        "availability": (
+            None
+            if results.availability is None
+            else availability_to_dict(results.availability)
+        ),
     }
 
 
@@ -205,6 +354,13 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
         if telemetry_data is None
         else tuple((str(name), float(value)) for name, value in telemetry_data)
     )
+    # Absent in pre-faults entries: .get keeps old archives loadable.
+    availability_data = data.get("availability")
+    availability = (
+        None
+        if availability_data is None
+        else availability_from_dict(availability_data)
+    )
     try:
         return SystemResults(
             policy=data["policy"],
@@ -221,6 +377,7 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
             measured_time=data["measured_time"],
             waiting_ci=waiting_ci,
             telemetry=telemetry,
+            availability=availability,
         )
     except KeyError as missing:
         raise ConfigError(f"results dict is missing key {missing}") from None
@@ -286,10 +443,17 @@ def averaged_results_from_dict(data: Dict[str, Any]):
 __all__ = [
     "FORMAT_VERSION",
     "RESULTS_FORMAT_VERSION",
+    "FAULT_PLAN_FORMAT_VERSION",
     "config_to_dict",
     "config_from_dict",
     "save_config",
     "load_config",
+    "fault_plan_to_dict",
+    "fault_plan_from_dict",
+    "save_fault_plan",
+    "load_fault_plan",
+    "availability_to_dict",
+    "availability_from_dict",
     "interval_to_dict",
     "interval_from_dict",
     "results_to_dict",

@@ -106,6 +106,21 @@ class DBSite:
             query.service_acquired += cpu_time
         query.finished_at = sim.now
 
+    def abort_all(self) -> int:
+        """Flush every job from the site's CPU and disks (site crash).
+
+        Called by the fault injector when the site goes down.  Only the
+        service centers' bookkeeping is torn down; the injector interrupts
+        the affected query processes itself.
+
+        Returns:
+            The number of jobs flushed across all service centers.
+        """
+        flushed = self.cpu.abort_all()
+        for disk in self.disks:
+            flushed += disk.abort_all()
+        return flushed
+
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------

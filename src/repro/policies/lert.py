@@ -32,27 +32,21 @@ class LERTPolicy(CostBasedPolicy):
 
     name = "LERT"
 
-    def __init__(self) -> None:
-        super().__init__()
-        self._arrival_site = -1
-
-    def select_site(self, query: Query, arrival_site: int) -> int:
-        # Figure 6's cost function needs the arrival site to zero out the
-        # network term; stash it for site_cost.
-        self._arrival_site = arrival_site
-        return super().select_site(query, arrival_site)
-
     def site_cost(self, query: Query, site: int) -> float:
-        config = self.system.config
+        # Figure 6's cost function reads the arrival site (to zero out the
+        # network term) and the optimizer's transfer estimates through the
+        # active view, so fault masking applies transparently.
+        view = self._view
+        config = view.config
         site_spec = config.site
         cpu_time = query.estimated_cpu_demand
         io_time = query.estimated_io_demand(site_spec.disk_time)
-        if site == self._arrival_site:
+        if site == view.arrival_site:
             net_time = 0.0
         else:
-            net_time = self.system.estimated_transfer_time(
+            net_time = view.estimated_transfer_time(
                 query
-            ) + self.system.estimated_return_time(query)
+            ) + view.estimated_return_time(query)
         cpu_wait = cpu_time * self.loads.num_cpu_queries(site)
         io_wait = io_time * (self.loads.num_io_queries(site) / site_spec.num_disks)
         return cpu_time + cpu_wait + io_time + io_wait + net_time

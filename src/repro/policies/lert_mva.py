@@ -40,12 +40,7 @@ class LERTMVAPolicy(CostBasedPolicy):
 
     def __init__(self) -> None:
         super().__init__()
-        self._arrival_site = -1
         self._cache: Dict[Tuple[int, int, int], float] = {}
-
-    def select_site(self, query: Query, arrival_site: int) -> int:
-        self._arrival_site = arrival_site
-        return super().select_site(query, arrival_site)
 
     # ------------------------------------------------------------------
     # Cost model
@@ -114,16 +109,17 @@ class LERTMVAPolicy(CostBasedPolicy):
         return response
 
     def site_cost(self, query: Query, site: int) -> float:
+        view = self._view
         loads = self.loads
         response = self._estimated_response(
             loads.num_io_queries(site), loads.num_cpu_queries(site), query.class_index
         )
-        if site == self._arrival_site:
+        if site == view.arrival_site:
             net_time = 0.0
         else:
-            net_time = self.system.estimated_transfer_time(
+            net_time = view.estimated_transfer_time(
                 query
-            ) + self.system.estimated_return_time(query)
+            ) + view.estimated_return_time(query)
         return response + net_time
 
 

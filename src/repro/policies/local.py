@@ -8,27 +8,30 @@ conventional distributed DBMS with no dynamic allocation at all.
 from __future__ import annotations
 
 from repro.model.query import Query
+from repro.model.view import SystemView
 from repro.policies.base import AllocationPolicy
 
 
 class LocalPolicy(AllocationPolicy):
     """Execute every query at its home site.
 
-    Under partial replication the home site may hold no copy of the data;
-    LOCAL then falls back to the nearest holder (lowest ring distance from
-    home), which is what a static allocator with no load information would
-    plausibly do.
+    When the home site is unavailable — no copy of the data under partial
+    replication, or crashed under a fault plan — LOCAL falls back to the
+    nearest candidate (lowest ring distance from home), which is what a
+    static allocator with no load information would plausibly do.
     """
 
     name = "LOCAL"
 
-    def select_site(self, query: Query, arrival_site: int) -> int:
-        candidates = list(self.system.candidate_sites(query))
+    def select(self, query: Query, view: SystemView) -> int:
+        self._view = view
+        arrival_site = view.arrival_site
+        candidates = view.candidates(query)
         if arrival_site in candidates:
             return arrival_site
         if not candidates:
             raise RuntimeError(f"no candidate sites for query {query.qid}")
-        num_sites = self.system.config.num_sites
+        num_sites = view.num_sites
         return min(candidates, key=lambda s: (s - arrival_site) % num_sites)
 
 

@@ -9,6 +9,7 @@ actually consulting load state.
 from __future__ import annotations
 
 from repro.model.query import Query
+from repro.model.view import SystemView
 from repro.policies.base import AllocationPolicy
 
 
@@ -17,9 +18,10 @@ class RandomPolicy(AllocationPolicy):
 
     name = "RANDOM"
 
-    def select_site(self, query: Query, arrival_site: int) -> int:
-        rng = self.system.sim.rng.stream("policy.random")
-        candidates = list(self.system.candidate_sites(query))
+    def select(self, query: Query, view: SystemView) -> int:
+        self._view = view
+        rng = view.rng("policy.random")
+        candidates = view.candidates(query)
         if not candidates:
             raise RuntimeError(f"no candidate sites for query {query.qid}")
         return candidates[rng.randrange(len(candidates))]

@@ -23,6 +23,7 @@ isolates "how much load information" from "what kind".
 from __future__ import annotations
 
 from repro.model.query import Query
+from repro.model.view import SystemView
 from repro.policies.base import AllocationPolicy
 
 
@@ -43,19 +44,24 @@ class ThresholdPolicy(AllocationPolicy):
         #: Probes issued (for the information-cost comparison).
         self.probes_sent = 0
 
-    def select_site(self, query: Query, arrival_site: int) -> int:
-        loads = self.loads
-        if loads.num_queries(arrival_site) <= self.threshold:
+    def select(self, query: Query, view: SystemView) -> int:
+        self._view = view
+        loads = view.loads
+        arrival_site = view.arrival_site
+        candidates = view.candidates(query)
+        arrival_available = arrival_site in candidates
+        if arrival_available and loads.num_queries(arrival_site) <= self.threshold:
             return arrival_site
-        num_sites = self.system.config.num_sites
+        num_sites = view.num_sites
         if num_sites == 1:
             return arrival_site
+        probe_set = set(candidates)
         start = self._probe_offset
         self._probe_offset += 1
         probed = 0
         for step in range(num_sites - 1):
             site = (arrival_site + 1 + (start + step)) % num_sites
-            if site == arrival_site:
+            if site == arrival_site or site not in probe_set:
                 continue
             self.probes_sent += 1
             probed += 1
@@ -63,7 +69,11 @@ class ThresholdPolicy(AllocationPolicy):
                 return site
             if probed >= self.probe_limit:
                 break
-        return arrival_site
+        if arrival_available:
+            return arrival_site
+        # Degraded fallback: the home site is down and every probe failed —
+        # run at the nearest available candidate rather than nowhere.
+        return min(candidates, key=lambda s: (s - arrival_site) % num_sites)
 
 
 class PowerOfDPolicy(AllocationPolicy):
@@ -77,18 +87,27 @@ class PowerOfDPolicy(AllocationPolicy):
             raise ValueError("d must be >= 1")
         self.d = d
 
-    def select_site(self, query: Query, arrival_site: int) -> int:
-        loads = self.loads
-        num_sites = self.system.config.num_sites
-        rng = self.system.sim.rng.stream("policy.sq")
+    def select(self, query: Query, view: SystemView) -> int:
+        self._view = view
+        loads = view.loads
+        arrival_site = view.arrival_site
+        num_sites = view.num_sites
+        rng = view.rng("policy.sq")
+        # The sample is always drawn over the full site range so the random
+        # stream advances identically with and without faults installed.
         sample_size = min(self.d, num_sites)
-        candidates = set(rng.sample(range(num_sites), sample_size))
-        candidates.add(arrival_site)
+        sampled = set(rng.sample(range(num_sites), sample_size))
+        sampled.add(arrival_site)
+        eligible = [site for site in sampled if view.is_available(site)]
+        if not eligible:
+            # Every sampled site (and home) is down: fall back to the
+            # available candidate set.
+            eligible = view.candidates(query)
         # Least count wins; the home site wins ties (no pointless moves).
         def sort_key(site: int):
             return (loads.num_queries(site), site != arrival_site, site)
 
-        return min(candidates, key=sort_key)
+        return min(eligible, key=sort_key)
 
 
 __all__ = ["ThresholdPolicy", "PowerOfDPolicy"]

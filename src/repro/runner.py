@@ -38,8 +38,9 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Optional, Tuple, Union
 
+from repro.faults.plan import FaultPlan
 from repro.model.config import SystemConfig
-from repro.model.metrics import SystemResults
+from repro.model.metrics import AvailabilitySummary, SystemResults
 from repro.model.system import DistributedDatabase
 from repro.policies.base import AllocationPolicy
 from repro.policies.registry import make_policy
@@ -68,12 +69,16 @@ class RunSpec:
         seed: Master seed for every random stream of the run.
         telemetry: What to collect during the run; ``None`` disables the
             telemetry subsystem entirely (zero overhead).
+        faults: Fault plan to install before the run; ``None`` (and a
+            no-op plan) runs the plain, faultless life cycle — the run is
+            then byte-identical to one without the field.
     """
 
     warmup: float = 3000.0
     duration: float = 15000.0
     seed: int = 0
     telemetry: Optional[TelemetryConfig] = None
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or math.isinf(self.warmup) or self.warmup != self.warmup:
@@ -100,6 +105,7 @@ class RunSpec:
             duration=settings.duration,
             seed=settings.seed_for(replication),
             telemetry=telemetry,
+            faults=settings.faults,
         )
 
 
@@ -119,6 +125,11 @@ class RunReport:
     results: SystemResults
     events: Tuple[TelemetryEvent, ...] = ()
     timeline: Tuple[TimelineSample, ...] = ()
+
+    @property
+    def availability(self) -> Optional[AvailabilitySummary]:
+        """The run's availability metrics (``None`` for faultless runs)."""
+        return self.results.availability
 
     @property
     def summary(self) -> Dict[str, float]:
@@ -147,7 +158,15 @@ def execute(system: DistributedDatabase, spec: RunSpec) -> RunReport:
     is *not* re-applied here — seeds bind at system construction.  This is
     the single choke point every runner shares: the parallel backend's
     workers, the experiment harness, and :func:`run` all come through it.
+    ``spec.faults`` is installed here (a no-op plan installs nothing), so
+    callers construct systems without fault arguments.
     """
+    if spec.faults is not None:
+        installed = system.fault_injector
+        if installed is None or installed.plan != spec.faults:
+            # Idempotent when the constructor already took the same plan;
+            # install_faults itself rejects conflicting double-installs.
+            system.install_faults(spec.faults)
     if spec.telemetry is None:
         return RunReport(results=system.run(spec.warmup, spec.duration))
     with TelemetrySession(system, spec.telemetry) as session:

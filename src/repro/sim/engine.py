@@ -60,6 +60,12 @@ class Simulator:
         self._running = False
         self._process_count = 0
         self._event_count = 0
+        #: The process whose generator is currently executing, or ``None``
+        #: when control is in plain event callbacks.  Maintained by
+        #: :class:`~repro.sim.process.Process`; model code reads it to
+        #: learn "who am I" inside a ``yield from`` chain (the fault layer
+        #: uses it to register the executing process at a site).
+        self.current_process: Optional[Any] = None
         if trace is not None:
             warnings.warn(
                 "Simulator(trace=...) is deprecated; subscribe to "
@@ -111,7 +117,14 @@ class Simulator:
         return self.schedule(time - self.now, callback, priority=priority, label=label)
 
     def cancel(self, event: Event) -> None:
-        """Retract a previously scheduled event."""
+        """Retract a previously scheduled event.
+
+        Cancelling an event that has already fired or was already
+        cancelled is a documented no-op.  The fault injector relies on
+        this: when a site crash and a service completion land on the same
+        timestamp, event ``priority`` decides who runs first and the
+        loser's retraction is silently ignored.
+        """
         self._queue.cancel(event)
 
     # ------------------------------------------------------------------

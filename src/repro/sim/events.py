@@ -40,9 +40,12 @@ class Event:
             final FIFO tie-break.
         callback: Zero-argument callable invoked when the event fires.
         label: Optional human-readable tag used in traces and error messages.
+        fired: Whether the event has already been popped by the engine.
+            A fired event can no longer be cancelled (cancelling it is a
+            no-op, see :meth:`EventQueue.cancel`).
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "label", "_cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "label", "fired", "_cancelled")
 
     def __init__(
         self,
@@ -56,6 +59,7 @@ class Event:
         self.seq = -1  # assigned on push
         self.callback = callback
         self.label = label
+        self.fired = False
         self._cancelled = False
 
     @property
@@ -111,10 +115,19 @@ class EventQueue:
         return event
 
     def cancel(self, event: Event) -> None:
-        """Retract *event* (lazy deletion)."""
-        if not event._cancelled:
-            event.cancel()
-            self._live -= 1
+        """Retract *event* (lazy deletion).
+
+        Cancelling an event that already fired, or one that was already
+        cancelled, is a documented no-op.  This matters when a retraction
+        races a completion at the same timestamp: whichever fires first
+        wins, and the loser's ``cancel`` must not corrupt the live-event
+        count.  Callers (resource teardown, fault injection) can therefore
+        hold on to stale event handles without bookkeeping.
+        """
+        if event._cancelled or event.fired:
+            return
+        event.cancel()
+        self._live -= 1
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next live event, or ``None`` if empty."""
@@ -133,6 +146,7 @@ class EventQueue:
         if not self._heap:
             raise SchedulingError("event queue is empty")
         event = heapq.heappop(self._heap)
+        event.fired = True
         self._live -= 1
         return event
 

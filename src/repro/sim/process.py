@@ -190,21 +190,31 @@ class Process:
     def _step(self, value: Any) -> None:
         self._resume_event = None
         self._state = ProcessState.RUNNING
+        previous = self.sim.current_process
+        self.sim.current_process = self
         try:
-            command = self._generator.send(value)
-        except StopIteration as stop:
-            self._finish(stop.value)
-            return
+            try:
+                command = self._generator.send(value)
+            except StopIteration as stop:
+                self._finish(stop.value)
+                return
+        finally:
+            self.sim.current_process = previous
         self._dispatch(command)
 
     def _throw(self, exception: BaseException) -> None:
         self._resume_event = None
         self._state = ProcessState.RUNNING
+        previous = self.sim.current_process
+        self.sim.current_process = self
         try:
-            command = self._generator.throw(exception)
-        except StopIteration as stop:
-            self._finish(stop.value)
-            return
+            try:
+                command = self._generator.throw(exception)
+            except StopIteration as stop:
+                self._finish(stop.value)
+                return
+        finally:
+            self.sim.current_process = previous
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:

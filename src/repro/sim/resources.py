@@ -88,6 +88,31 @@ class Server:
         """Time-average number of customers at the station."""
         return self.population.time_average
 
+    def abort_all(self) -> int:
+        """Flush every queued and in-service customer (fault injection).
+
+        Pending completion events are cancelled and the station's monitors
+        are corrected so that time-weighted statistics stay consistent.
+        The flushed *processes* are **not** resumed or interrupted — the
+        caller (the fault injector) owns process teardown; this method only
+        tears down the station's internal bookkeeping.
+
+        Returns:
+            The number of customers flushed.
+        """
+        raise NotImplementedError(f"{self.name}: abort_all() not supported")
+
+
+class _FCFSJob:
+    """Bookkeeping record for one in-service job at a :class:`FCFSServer`."""
+
+    __slots__ = ("process", "arrived", "event")
+
+    def __init__(self, process: Process, arrived: float) -> None:
+        self.process = process
+        self.arrived = arrived
+        self.event: Optional[Event] = None
+
 
 class FCFSServer(Server):
     """An ``m``-server FCFS station with one shared FIFO queue.
@@ -103,7 +128,7 @@ class FCFSServer(Server):
         super().__init__(sim, name)
         self.servers = servers
         self._queue: Deque[Tuple[Process, float, float]] = deque()
-        self._in_service = 0
+        self._active: List[_FCFSJob] = []
 
     @property
     def queue_depth(self) -> int:
@@ -112,38 +137,51 @@ class FCFSServer(Server):
 
     @property
     def busy_servers(self) -> int:
-        return self._in_service
+        return len(self._active)
 
     def _accept(self, process: Process, demand: float) -> None:
         now = self.sim.now
         self.population.add(1)
-        if self._in_service < self.servers:
+        if len(self._active) < self.servers:
             self._begin(process, demand, arrived=now)
         else:
             self._queue.append((process, demand, now))
 
     def _begin(self, process: Process, demand: float, arrived: float) -> None:
         now = self.sim.now
-        self._in_service += 1
         self.busy.add(1)
         self.waits.record(now - arrived)
-        self.sim.schedule(
+        job = _FCFSJob(process, arrived)
+        job.event = self.sim.schedule(
             demand,
-            lambda: self._complete(process, arrived),
+            lambda: self._complete(job),
             label=f"{self.name}:done",
         )
+        self._active.append(job)
 
-    def _complete(self, process: Process, arrived: float) -> None:
+    def _complete(self, job: _FCFSJob) -> None:
         now = self.sim.now
-        self._in_service -= 1
+        self._active.remove(job)
         self.busy.add(-1)
         self.population.add(-1)
-        self.responses.record(now - arrived)
+        self.responses.record(now - job.arrived)
         self.completions += 1
         if self._queue:
             next_process, next_demand, next_arrived = self._queue.popleft()
             self._begin(next_process, next_demand, arrived=next_arrived)
-        process.resume_now()
+        job.process.resume_now()
+
+    def abort_all(self) -> int:
+        flushed = len(self._active) + len(self._queue)
+        for job in self._active:
+            if job.event is not None:
+                self.sim.cancel(job.event)
+        self._active.clear()
+        self._queue.clear()
+        if flushed:
+            self.population.add(-flushed)
+        self.busy.set(0)
+        return flushed
 
     def utilization(self, server_count: Optional[int] = None) -> float:
         return super().utilization(server_count or self.servers)
@@ -234,6 +272,18 @@ class PSServer(Server):
         self.completions += 1
         self._reschedule()
         job.process.resume_now()
+
+    def abort_all(self) -> int:
+        flushed = len(self._heap)
+        if self._completion_event is not None:
+            self.sim.cancel(self._completion_event)
+            self._completion_event = None
+        self._advance_virtual()
+        self._heap.clear()
+        if flushed:
+            self.population.add(-flushed)
+        self.busy.set(0)
+        return flushed
 
 
 class DelayStation(Server):

@@ -23,13 +23,19 @@ from repro.telemetry.events import (
     EVENT_REGISTRY,
     EVENT_TYPES,
     LoadBoardUpdated,
+    MessageDropped,
+    QueryAborted,
     QueryAllocated,
     QueryCompleted,
     QueryCreated,
+    QueryLost,
+    QueryRetried,
     QueryTransferred,
     RunEnded,
     RunStarted,
     ServiceStarted,
+    SiteCrashed,
+    SiteRecovered,
     TelemetryEvent,
     TraceMessage,
     WarmupEnded,
@@ -87,6 +93,12 @@ __all__ = [
     "QueryCompleted",
     "LoadBoardUpdated",
     "TraceMessage",
+    "SiteCrashed",
+    "SiteRecovered",
+    "QueryAborted",
+    "QueryRetried",
+    "QueryLost",
+    "MessageDropped",
     "EVENT_TYPES",
     "EVENT_REGISTRY",
     "event_to_dict",

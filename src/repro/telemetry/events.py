@@ -26,6 +26,17 @@ Event                   Emitted when / by
 :class:`TraceMessage`   a labelled kernel event fires (sim/engine.py).
                         High-volume; only emitted when something subscribes
                         to ``TraceMessage`` specifically.
+:class:`SiteCrashed`    the fault injector takes a site down
+                        (faults/injector.py)
+:class:`SiteRecovered`  a crashed site comes back up (faults/injector.py)
+:class:`QueryAborted`   a site crash aborted an in-flight query
+                        (model/system.py, degraded path)
+:class:`QueryRetried`   an aborted query re-enters allocation after backoff
+                        (model/system.py, degraded path)
+:class:`QueryLost`      an aborted query exhausted its retry budget
+                        (model/system.py, degraded path)
+:class:`MessageDropped` the subnet lost a query/result transfer
+                        (model/system.py, degraded path)
 ======================  =====================================================
 """
 
@@ -175,6 +186,87 @@ class TraceMessage(TelemetryEvent):
     label: str
 
 
+@dataclass(frozen=True, slots=True)
+class SiteCrashed(TelemetryEvent):
+    """The fault injector took a site down.
+
+    In-flight queries at the site are aborted (each produces a
+    :class:`QueryAborted`) and the site disappears from every
+    :class:`~repro.model.view.SystemView` until it recovers.
+    """
+
+    site: int
+
+
+@dataclass(frozen=True, slots=True)
+class SiteRecovered(TelemetryEvent):
+    """A crashed site came back up and rejoined the candidate set."""
+
+    site: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryAborted(TelemetryEvent):
+    """A site crash aborted a query mid-execution (or mid-transfer).
+
+    Attributes:
+        qid: The aborted query.
+        site: The site that crashed under it.
+        attempt: How many allocation attempts the query has made so far
+            (1 for the first abort).
+    """
+
+    qid: int
+    site: int
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class QueryRetried(TelemetryEvent):
+    """An aborted query re-entered allocation after exponential backoff.
+
+    Attributes:
+        qid: The retrying query.
+        attempt: The attempt number about to start (2 for the first retry).
+        backoff: The backoff delay that was waited before this retry.
+    """
+
+    qid: int
+    attempt: int
+    backoff: float
+
+
+@dataclass(frozen=True, slots=True)
+class QueryLost(TelemetryEvent):
+    """An aborted query exhausted its bounded retry budget and was dropped.
+
+    Attributes:
+        qid: The lost query.
+        attempts: Total allocation attempts made before giving up.
+    """
+
+    qid: int
+    attempts: int
+
+
+@dataclass(frozen=True, slots=True)
+class MessageDropped(TelemetryEvent):
+    """The subnet lost a query/result transfer (token-ring message loss).
+
+    Attributes:
+        source: Sending site.
+        destination: Receiving site.
+        kind: ``"query"`` or ``"result"`` (mirrors
+            :class:`QueryTransferred`).
+        qid: The query whose transfer was dropped.
+    """
+
+    source: int
+    destination: int
+    kind: str
+    qid: int
+
+
 #: Every event type, in taxonomy order.
 EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     RunStarted,
@@ -187,6 +279,12 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     QueryCompleted,
     LoadBoardUpdated,
     TraceMessage,
+    SiteCrashed,
+    SiteRecovered,
+    QueryAborted,
+    QueryRetried,
+    QueryLost,
+    MessageDropped,
 )
 
 #: Event name -> event class (for deserialization).
@@ -241,6 +339,12 @@ __all__ = [
     "QueryCompleted",
     "LoadBoardUpdated",
     "TraceMessage",
+    "SiteCrashed",
+    "SiteRecovered",
+    "QueryAborted",
+    "QueryRetried",
+    "QueryLost",
+    "MessageDropped",
     "EVENT_TYPES",
     "EVENT_REGISTRY",
     "event_to_dict",

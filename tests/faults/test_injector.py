@@ -1,0 +1,360 @@
+"""FaultInjector behaviour: scheduling, downtime accounting, tie-breaks."""
+
+import pytest
+
+from repro.faults.injector import FAULT_PRIORITY, FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    LoadBoardOutage,
+    MessageFaults,
+    RandomOutages,
+    SiteOutage,
+)
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.events import DEFAULT_PRIORITY
+
+
+def make_system(config, plan, policy="BNQ", seed=42):
+    return DistributedDatabase(config, make_policy(policy), seed=seed, faults=plan)
+
+
+@pytest.fixture
+def busy_config(tiny_config):
+    """A near-saturated variant: sites are almost always executing, so a
+    crash reliably finds in-flight victims."""
+    from dataclasses import replace
+
+    return replace(
+        tiny_config, site=replace(tiny_config.site, think_time=1.0)
+    )
+
+
+class TestInstallation:
+    def test_install_none_is_noop(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=1)
+        assert system.fault_injector is None
+        system.install_faults(None)
+        assert system.fault_injector is None
+
+    def test_install_noop_plan_is_noop(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=1)
+        system.install_faults(FaultPlan())
+        assert system.fault_injector is None
+
+    def test_double_install_rejected(self, tiny_config):
+        plan = FaultPlan(site_outages=(SiteOutage(0, 10.0, 5.0),))
+        system = make_system(tiny_config, plan)
+        assert system.fault_injector is not None
+        with pytest.raises(RuntimeError, match="already"):
+            system.install_faults(plan)
+
+    def test_install_after_time_zero_rejected(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=1)
+        system.sim.run(until=5.0)
+        plan = FaultPlan(site_outages=(SiteOutage(0, 10.0, 5.0),))
+        with pytest.raises(RuntimeError, match="time 0"):
+            system.install_faults(plan)
+
+    def test_plan_validated_against_topology(self, tiny_config):
+        plan = FaultPlan(site_outages=(SiteOutage(7, 10.0, 5.0),))
+        from repro.faults.errors import FaultError
+
+        with pytest.raises(FaultError):
+            make_system(tiny_config, plan)
+
+
+class TestSiteTransitions:
+    def test_deterministic_outage_up_down_up(self, tiny_config):
+        plan = FaultPlan(site_outages=(SiteOutage(1, 10.0, 5.0),))
+        system = make_system(tiny_config, plan, policy="LOCAL")
+        injector = system.fault_injector
+        assert injector.is_up(1)
+        system.sim.run(until=12.0)
+        assert not injector.is_up(1)
+        assert injector.is_up(0) and injector.is_up(2)
+        assert injector.available_sites == [0, 2]
+        system.sim.run(until=16.0)
+        assert injector.is_up(1)
+        assert injector.available_sites == [0, 1, 2]
+        assert injector.crashes == 1
+        assert injector.recoveries == 1
+
+    def test_overlapping_outages_compose_by_depth(self, tiny_config):
+        plan = FaultPlan(
+            site_outages=(SiteOutage(0, 10.0, 20.0), SiteOutage(0, 15.0, 5.0))
+        )
+        system = make_system(tiny_config, plan, policy="LOCAL")
+        injector = system.fault_injector
+        system.sim.run(until=22.0)
+        # Inner outage ended at t=20, but the outer one holds until t=30.
+        assert not injector.is_up(0)
+        assert injector.crashes == 1  # one *transition*, not two
+        system.sim.run(until=31.0)
+        assert injector.is_up(0)
+        assert injector.recoveries == 1
+
+    def test_downtime_accounting(self, tiny_config):
+        plan = FaultPlan(site_outages=(SiteOutage(2, 100.0, 40.0),))
+        system = make_system(tiny_config, plan, policy="LOCAL", seed=3)
+        results = system.run(warmup=50.0, duration=200.0)
+        availability = results.availability
+        assert availability is not None
+        assert availability.site_downtime[0] == 0.0
+        assert availability.site_downtime[1] == 0.0
+        assert availability.site_downtime[2] == pytest.approx(40.0)
+        assert availability.crashes == 1
+        assert availability.recoveries == 1
+
+    def test_downtime_clipped_to_measurement_window(self, tiny_config):
+        # Outage spans the warmup boundary at t=50: only the post-warmup
+        # part (t=50..70) may count.
+        plan = FaultPlan(site_outages=(SiteOutage(0, 30.0, 40.0),))
+        system = make_system(tiny_config, plan, policy="LOCAL", seed=3)
+        results = system.run(warmup=50.0, duration=100.0)
+        assert results.availability.site_downtime[0] == pytest.approx(20.0)
+
+
+class TestRandomOutagesDeterminism:
+    def test_schedule_is_pure_function_of_seed_and_plan(self, tiny_config):
+        plan = FaultPlan(random_outages=(RandomOutages(mtbf=300.0, mttr=20.0),))
+
+        def downtimes(seed):
+            system = make_system(tiny_config, plan, policy="LOCAL", seed=seed)
+            results = system.run(warmup=100.0, duration=1500.0)
+            return results.availability
+
+        first = downtimes(11)
+        second = downtimes(11)
+        assert first == second
+        assert first.crashes > 0  # the process really fired
+
+    def test_different_seeds_different_schedules(self, tiny_config):
+        plan = FaultPlan(random_outages=(RandomOutages(mtbf=300.0, mttr=20.0),))
+        a = make_system(tiny_config, plan, policy="LOCAL", seed=1)
+        b = make_system(tiny_config, plan, policy="LOCAL", seed=2)
+        ra = a.run(warmup=100.0, duration=1500.0)
+        rb = b.run(warmup=100.0, duration=1500.0)
+        assert ra.availability.site_downtime != rb.availability.site_downtime
+
+    def test_fault_streams_do_not_perturb_workload(self, tiny_config):
+        """Adding a fault process that never fires leaves workload intact.
+
+        An MTBF far beyond the horizon draws its (one) up-time from the
+        dedicated ``faults.outage0.s*`` streams; if the injector leaked
+        randomness into workload streams, results would shift.
+        """
+        quiet = FaultPlan(
+            random_outages=(RandomOutages(mtbf=10_000_000.0, mttr=1.0),)
+        )
+        baseline = DistributedDatabase(
+            tiny_config, make_policy("BNQ"), seed=9
+        ).run(50.0, 400.0)
+        faulted = make_system(tiny_config, quiet, policy="BNQ", seed=9).run(
+            50.0, 400.0
+        )
+        assert faulted.mean_waiting_time == baseline.mean_waiting_time
+        assert faulted.completions == baseline.completions
+
+
+class TestLoadBoardOutage:
+    def test_dark_view_frozen_and_restored(self, tiny_config):
+        plan = FaultPlan(loadboard_outages=(LoadBoardOutage(20.0, 10.0),))
+        system = make_system(tiny_config, plan, policy="BNQ", seed=5)
+        injector = system.fault_injector
+        assert injector.dark_view is None
+        system.sim.run(until=25.0)
+        frozen = injector.dark_view
+        assert frozen is not None
+        # The frozen snapshot serves policies through the view.
+        assert system.view_for(0).loads is frozen
+        system.sim.run(until=31.0)
+        assert injector.dark_view is None
+
+    def test_overlapping_dark_windows(self, tiny_config):
+        plan = FaultPlan(
+            loadboard_outages=(
+                LoadBoardOutage(10.0, 20.0),
+                LoadBoardOutage(15.0, 5.0),
+            )
+        )
+        system = make_system(tiny_config, plan, policy="LOCAL", seed=5)
+        injector = system.fault_injector
+        system.sim.run(until=22.0)
+        assert injector.dark_view is not None  # outer window still open
+        system.sim.run(until=31.0)
+        assert injector.dark_view is None
+
+
+class TestDegradedLifeCycle:
+    def test_outage_aborts_and_retries_queries(self, busy_config):
+        # A long mid-run outage at one near-saturated site: its in-flight
+        # queries are aborted, retried elsewhere, and complete.
+        plan = FaultPlan(
+            site_outages=(SiteOutage(0, 100.0, 60.0),),
+            max_retries=50,
+            retry_backoff=5.0,
+        )
+        system = make_system(busy_config, plan, policy="BNQ", seed=7)
+        results = system.run(warmup=50.0, duration=400.0)
+        availability = results.availability
+        assert availability.queries_aborted > 0
+        assert availability.queries_retried > 0
+        assert availability.queries_lost == 0  # generous retry budget
+        assert availability.degraded_completions > 0
+        assert results.completions > 0
+
+    def test_retry_budget_exhaustion_loses_queries(self, busy_config):
+        # All three sites down for a long stretch with a zero retry
+        # budget: every aborted query is lost.
+        plan = FaultPlan(
+            site_outages=tuple(
+                SiteOutage(s, 100.0, 200.0) for s in range(3)
+            ),
+            max_retries=0,
+        )
+        system = make_system(busy_config, plan, policy="BNQ", seed=7)
+        results = system.run(warmup=50.0, duration=400.0)
+        availability = results.availability
+        assert availability.queries_aborted > 0
+        assert availability.queries_lost >= availability.queries_aborted
+        assert availability.queries_retried == 0
+
+    def test_message_faults_count_drops(self, tiny_config):
+        plan = FaultPlan(
+            messages=MessageFaults(loss_prob=0.3, retransmit_timeout=1.0)
+        )
+        # BNQ ships work between sites, so transfers (and drops) happen.
+        system = make_system(tiny_config, plan, policy="BNQ", seed=13)
+        results = system.run(warmup=50.0, duration=600.0)
+        availability = results.availability
+        assert availability.messages_dropped > 0
+        assert availability.degraded_completions > 0
+        assert (
+            availability.degraded_completions
+            + (results.completions - availability.degraded_completions)
+            == results.completions
+        )
+
+    def test_clean_vs_degraded_response_split(self, tiny_config):
+        plan = FaultPlan(
+            messages=MessageFaults(loss_prob=0.2, retransmit_timeout=5.0)
+        )
+        system = make_system(tiny_config, plan, policy="BNQ", seed=13)
+        results = system.run(warmup=50.0, duration=600.0)
+        availability = results.availability
+        assert availability.clean_response_time > 0.0
+        if availability.degraded_completions:
+            # Retransmission timeouts make degraded queries slower on
+            # average for this workload.
+            assert availability.degraded_response_time > 0.0
+
+
+class TestSameTimeTieBreak:
+    """Crash beats completion on the same timestamp (the pinned tie-break)."""
+
+    def test_fault_priority_is_below_default(self):
+        assert FAULT_PRIORITY < DEFAULT_PRIORITY
+
+    def test_crash_fires_first_and_retracts_completion(self):
+        sim = Simulator(seed=0)
+        order = []
+        completion = sim.schedule_at(10.0, lambda: order.append("complete"))
+
+        def crash():
+            order.append("crash")
+            sim.cancel(completion)  # loser retraction: documented no-op path
+
+        sim.schedule_at(10.0, crash, priority=FAULT_PRIORITY)
+        sim.run(until=20.0)
+        assert order == ["crash"]
+
+    def test_completion_scheduled_first_still_loses(self):
+        # Insertion order must not matter: priority alone decides.
+        sim = Simulator(seed=0)
+        order = []
+        for _ in range(3):  # a few same-time completions
+            event = sim.schedule_at(10.0, lambda: order.append("complete"))
+        crash_event = sim.schedule_at(
+            10.0, lambda: order.append("crash"), priority=FAULT_PRIORITY
+        )
+        del event, crash_event
+        sim.run(until=20.0)
+        assert order[0] == "crash"
+
+    def test_cancel_already_fired_completion_is_noop(self):
+        sim = Simulator(seed=0)
+        fired = []
+        completion = sim.schedule_at(5.0, lambda: fired.append(True))
+        sim.run(until=6.0)
+        assert fired
+        sim.cancel(completion)  # must not raise, must not corrupt the queue
+        sim.schedule_at(7.0, lambda: fired.append(True))
+        sim.run(until=8.0)
+        assert len(fired) == 2
+
+    def test_crash_at_query_completion_time_aborts_it(self, tiny_config):
+        """Model-level tie-break: a crash landing exactly on a completion
+        timestamp aborts the query instead of letting it complete.
+
+        We find a completion time from a dry run, then rerun with a crash
+        scheduled at exactly that timestamp and check the abort counter.
+        """
+        probe = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=21)
+        finish_times = []
+        original_record = probe.metrics.record
+
+        def spy(query):
+            finish_times.append((query.finished_at, query.execution_site))
+            original_record(query)
+
+        probe.metrics.record = spy
+        probe.sim.run(until=300.0)
+        assert finish_times
+        # Pick a completion comfortably inside the window.
+        at, site = next(
+            (t, s) for t, s in finish_times if t is not None and t > 50.0
+        )
+        plan = FaultPlan(
+            site_outages=(SiteOutage(site, at, 30.0),),
+            max_retries=20,
+            retry_backoff=2.0,
+        )
+        system = make_system(tiny_config, plan, policy="LOCAL", seed=21)
+        system.sim.run(until=300.0)
+        assert system.fault_injector.queries_aborted > 0
+
+
+class TestResetStatistics:
+    def test_warmup_reset_truncates_availability(self, tiny_config):
+        plan = FaultPlan(site_outages=(SiteOutage(0, 10.0, 5.0),))
+        system = make_system(tiny_config, plan, policy="LOCAL", seed=3)
+        results = system.run(warmup=50.0, duration=100.0)
+        availability = results.availability
+        # The whole outage happened inside warmup: nothing may survive.
+        assert availability.crashes == 0
+        assert availability.recoveries == 0
+        assert availability.total_downtime == pytest.approx(0.0)
+
+
+class TestRegistrationBookkeeping:
+    def test_end_execution_is_idempotent(self, tiny_config):
+        plan = FaultPlan(site_outages=(SiteOutage(0, 1e9, 1.0),))
+        system = make_system(tiny_config, plan, policy="LOCAL")
+        injector = system.fault_injector
+
+        class FakeProcess:
+            pass
+
+        process = FakeProcess()
+        injector.begin_execution(0, process)
+        injector.end_execution(0, process)
+        injector.end_execution(0, process)  # second call: silently ignored
+        assert injector._executing[0] == []
+
+    def test_injector_is_a_fault_injector(self, tiny_config):
+        plan = FaultPlan(site_outages=(SiteOutage(0, 10.0, 5.0),))
+        system = make_system(tiny_config, plan)
+        assert isinstance(system.fault_injector, FaultInjector)
+        assert system.fault_injector.plan == plan

@@ -1,0 +1,185 @@
+"""FaultPlan and friends: validation, no-op detection, backoff math."""
+
+import pytest
+
+from repro.faults.errors import FaultError
+from repro.faults.plan import (
+    FaultPlan,
+    LoadBoardOutage,
+    MessageFaults,
+    RandomOutages,
+    SiteOutage,
+    site_outage_schedule,
+)
+
+
+class TestSiteOutage:
+    def test_valid(self):
+        outage = SiteOutage(site=1, at=100.0, duration=50.0)
+        assert outage.site == 1
+        assert outage.at == 100.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(site=-1, at=0.0, duration=1.0),
+            dict(site=0, at=-1.0, duration=1.0),
+            dict(site=0, at=0.0, duration=0.0),
+            dict(site=0, at=0.0, duration=-5.0),
+            dict(site=0, at=float("inf"), duration=1.0),
+            dict(site=0, at=0.0, duration=float("nan")),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(FaultError):
+            SiteOutage(**kwargs)
+
+
+class TestRandomOutages:
+    def test_valid_all_sites(self):
+        spec = RandomOutages(mtbf=1000.0, mttr=50.0)
+        assert spec.site is None
+
+    def test_valid_single_site(self):
+        assert RandomOutages(mtbf=1.0, mttr=1.0, site=2).site == 2
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(mtbf=0.0, mttr=1.0),
+            dict(mtbf=1.0, mttr=0.0),
+            dict(mtbf=-1.0, mttr=1.0),
+            dict(mtbf=float("nan"), mttr=1.0),
+            dict(mtbf=1.0, mttr=1.0, site=-1),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(FaultError):
+            RandomOutages(**kwargs)
+
+
+class TestMessageFaults:
+    def test_defaults_are_noop(self):
+        assert MessageFaults().is_noop
+
+    def test_loss_is_not_noop(self):
+        assert not MessageFaults(loss_prob=0.1).is_noop
+
+    def test_delay_is_not_noop(self):
+        assert not MessageFaults(extra_delay=0.5).is_noop
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(loss_prob=1.0),  # must stay < 1 or retransmission never ends
+            dict(loss_prob=-0.1),
+            dict(extra_delay=-1.0),
+            dict(retransmit_timeout=0.0),
+            dict(max_retransmits=0),
+        ],
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(FaultError):
+            MessageFaults(**kwargs)
+
+
+class TestLoadBoardOutage:
+    def test_valid(self):
+        assert LoadBoardOutage(at=10.0, duration=5.0).duration == 5.0
+
+    @pytest.mark.parametrize(
+        "kwargs", [dict(at=-1.0, duration=1.0), dict(at=0.0, duration=0.0)]
+    )
+    def test_invalid(self, kwargs):
+        with pytest.raises(FaultError):
+            LoadBoardOutage(**kwargs)
+
+
+class TestFaultPlan:
+    def test_default_is_noop(self):
+        assert FaultPlan().is_noop
+
+    def test_noop_message_faults_still_noop(self):
+        assert FaultPlan(messages=MessageFaults()).is_noop
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(site_outages=(SiteOutage(0, 10.0, 5.0),)),
+            dict(random_outages=(RandomOutages(mtbf=100.0, mttr=5.0),)),
+            dict(messages=MessageFaults(loss_prob=0.05)),
+            dict(loadboard_outages=(LoadBoardOutage(10.0, 5.0),)),
+        ],
+    )
+    def test_any_fault_is_not_noop(self, kwargs):
+        assert not FaultPlan(**kwargs).is_noop
+
+    def test_hashable_and_comparable(self):
+        a = FaultPlan(site_outages=(SiteOutage(0, 10.0, 5.0),))
+        b = FaultPlan(site_outages=(SiteOutage(0, 10.0, 5.0),))
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != FaultPlan()
+
+    def test_sequences_normalized_to_tuples(self):
+        plan = FaultPlan(site_outages=[SiteOutage(0, 10.0, 5.0)])
+        assert isinstance(plan.site_outages, tuple)
+        assert hash(plan)  # still hashable after normalization
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(max_retries=-1),
+            dict(retry_backoff=0.0),
+            dict(backoff_factor=0.5),
+            dict(retry_backoff=float("inf")),
+        ],
+    )
+    def test_invalid_retry_settings(self, kwargs):
+        with pytest.raises(FaultError):
+            FaultPlan(**kwargs)
+
+    def test_backoff_is_exponential(self):
+        plan = FaultPlan(retry_backoff=2.0, backoff_factor=3.0)
+        assert plan.backoff(1) == 2.0
+        assert plan.backoff(2) == 6.0
+        assert plan.backoff(3) == 18.0
+
+    def test_backoff_rejects_attempt_zero(self):
+        with pytest.raises(FaultError):
+            FaultPlan().backoff(0)
+
+    def test_validate_for_accepts_in_range_sites(self):
+        plan = FaultPlan(
+            site_outages=(SiteOutage(2, 10.0, 5.0),),
+            random_outages=(RandomOutages(mtbf=100.0, mttr=5.0, site=1),),
+        )
+        plan.validate_for(3)  # must not raise
+
+    def test_validate_for_rejects_unknown_site_outage(self):
+        plan = FaultPlan(site_outages=(SiteOutage(5, 10.0, 5.0),))
+        with pytest.raises(FaultError, match="site 5"):
+            plan.validate_for(3)
+
+    def test_validate_for_rejects_unknown_random_outage_site(self):
+        plan = FaultPlan(random_outages=(RandomOutages(100.0, 5.0, site=9),))
+        with pytest.raises(FaultError, match="site 9"):
+            plan.validate_for(3)
+
+
+class TestSiteOutageSchedule:
+    def test_edges_sorted_and_signed(self):
+        outages = (SiteOutage(1, 20.0, 10.0), SiteOutage(0, 5.0, 30.0))
+        edges = site_outage_schedule(outages)
+        assert edges == (
+            (5.0, 0, +1),
+            (20.0, 1, +1),
+            (30.0, 1, -1),
+            (35.0, 0, -1),
+        )
+
+    def test_overlapping_outages_deterministic_order(self):
+        outages = (SiteOutage(0, 10.0, 5.0), SiteOutage(0, 10.0, 20.0))
+        edges = site_outage_schedule(outages)
+        assert edges[0] == (10.0, 0, +1)
+        assert edges[1] == (10.0, 0, +1)

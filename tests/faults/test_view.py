@@ -1,0 +1,151 @@
+"""SystemView and MaskedLoadView: what policies may (and may not) see."""
+
+import pytest
+
+from repro.faults.errors import NoAvailableSiteError
+from repro.faults.plan import FaultPlan, SiteOutage
+from repro.model.system import DistributedDatabase
+from repro.model.view import MaskedLoadView, SystemView
+from repro.policies.registry import make_policy
+
+
+def _query(config, home_site=0):
+    from repro.model.query import make_query
+
+    return make_query(
+        config, 0, home_site=home_site, estimated_reads=5.0, created_at=0.0, qid=1
+    )
+
+
+def crashed_system(tiny_config, down_sites, *, policy="LOCAL", until=20.0):
+    """A system run just past t=10 with *down_sites* crashed."""
+    plan = FaultPlan(
+        site_outages=tuple(SiteOutage(s, 10.0, 1e6) for s in down_sites),
+        max_retries=0,
+    )
+    system = DistributedDatabase(
+        tiny_config, make_policy(policy), seed=4, faults=plan
+    )
+    system.sim.run(until=until)
+    return system
+
+
+class FakeLoads:
+    """A deterministic LoadView stand-in."""
+
+    def __init__(self, counts):
+        self.counts = list(counts)
+
+    def num_queries(self, site):
+        return self.counts[site]
+
+    def num_io_queries(self, site):
+        return self.counts[site]
+
+    def num_cpu_queries(self, site):
+        return 0
+
+    def query_distribution(self):
+        return list(self.counts)
+
+
+class TestMaskedLoadView:
+    def test_down_sites_read_zero(self):
+        masked = MaskedLoadView(FakeLoads([5, 7, 3]), [True, False, True])
+        assert masked.num_queries(0) == 5
+        assert masked.num_queries(1) == 0
+        assert masked.num_queries(2) == 3
+        assert masked.num_io_queries(1) == 0
+        assert masked.num_cpu_queries(1) == 0
+
+    def test_distribution_masks_in_place(self):
+        masked = MaskedLoadView(FakeLoads([5, 7, 3]), [False, True, True])
+        assert masked.query_distribution() == [0, 7, 3]
+
+
+class TestSystemViewWithoutFaults:
+    def test_passthrough_when_no_injector(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=4)
+        view = system.view_for(1)
+        assert view.injector is None
+        assert view.arrival_site == 1
+        assert view.num_sites == 3
+        assert view.is_available(0) and view.is_available(2)
+        # Live board, no masking wrapper.
+        assert view.loads is system.load_view
+
+    def test_candidates_unfiltered(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=4)
+        view = system.view_for(0)
+        query = _query(tiny_config)
+        assert view.candidates(query) == list(system.candidate_sites(query))
+
+    def test_rng_is_named_stream(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=4)
+        view = system.view_for(0)
+        assert view.rng("policy.random") is system.sim.rng.stream("policy.random")
+
+    def test_config_and_estimates_exposed(self, tiny_config):
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=4)
+        view = system.view_for(0)
+        assert view.config is system.config
+        query = _query(tiny_config)
+        assert view.estimated_transfer_time(query) == pytest.approx(
+            system.estimated_transfer_time(query)
+        )
+        assert view.estimated_return_time(query) == pytest.approx(
+            system.estimated_return_time(query)
+        )
+        assert view.load_info_age() == system.load_info_age()
+
+
+class TestSystemViewUnderFaults:
+    def test_down_site_not_available(self, tiny_config):
+        system = crashed_system(tiny_config, [1])
+        view = system.view_for(0)
+        assert view.is_available(0)
+        assert not view.is_available(1)
+        assert view.is_available(2)
+
+    def test_candidates_filter_down_sites(self, tiny_config):
+        system = crashed_system(tiny_config, [1], policy="BNQ")
+        query = _query(tiny_config)
+        view = system.view_for(0)
+        assert 1 not in view.candidates(query)
+
+    def test_all_down_raises_no_available_site(self, tiny_config):
+        system = crashed_system(tiny_config, [0, 1, 2])
+        query = _query(tiny_config)
+        view = system.view_for(0)
+        with pytest.raises(NoAvailableSiteError):
+            view.candidates(query)
+
+    def test_loads_masked_for_down_sites(self, tiny_config):
+        system = crashed_system(tiny_config, [1], policy="BNQ")
+        view = system.view_for(0)
+        loads = view.loads
+        assert isinstance(loads, MaskedLoadView)
+        assert loads.num_queries(1) == 0
+
+    def test_loads_unwrapped_when_all_up(self, tiny_config):
+        # Far-future outage: injector installed, nothing down yet.
+        plan = FaultPlan(site_outages=(SiteOutage(0, 1e9, 1.0),))
+        system = DistributedDatabase(
+            tiny_config, make_policy("BNQ"), seed=4, faults=plan
+        )
+        view = system.view_for(0)
+        assert not isinstance(view.loads, MaskedLoadView)
+
+    def test_stub_system_works(self):
+        """Attributes resolve lazily: a stub with only config works."""
+
+        class StubConfig:
+            num_sites = 4
+
+        class StubSystem:
+            config = StubConfig()
+
+        view = SystemView(StubSystem(), arrival_site=2)
+        assert view.num_sites == 4
+        assert view.arrival_site == 2
+        assert view.is_available(3)

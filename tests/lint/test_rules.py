@@ -334,6 +334,56 @@ def test_rl010_clean(tmp_path, source):
 
 
 # ----------------------------------------------------------------------
+# RL011 — fault-schedule randomness must use named sim.rng streams
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        # Owned streams are fine elsewhere (RL001 allows them) but not in
+        # the fault layer: the schedule must derive from (seed, plan).
+        "import random\nrng = random.Random(42)\n",
+        "import random\n\ndef chain(spec):\n    return random.Random(spec.site)\n",
+        "import numpy as np\ng = np.random.default_rng(3)\n",
+        "def f(rng):\n    rng.seed(0)\n    return rng.random()\n",
+    ],
+)
+def test_rl011_fires(tmp_path, source):
+    result = lint_snippet(
+        tmp_path, "repro/faults/injector2.py", source, select=["RL011"]
+    )
+    assert "RL011" in codes(result)
+
+
+@pytest.mark.parametrize(
+    "relative, source",
+    [
+        # Named streams are the blessed spelling.
+        (
+            "repro/faults/injector2.py",
+            "def chain(sim, i, s):\n"
+            "    rng = sim.rng.stream(f'faults.outage{i}.s{s}')\n"
+            "    return rng.expovariate(1.0)\n",
+        ),
+        # Drawing from a stream object is fine.
+        (
+            "repro/faults/net.py",
+            "def drop(rng, p):\n    return rng.random() < p\n",
+        ),
+        # Outside repro.faults the rule never applies.
+        (
+            "repro/model/other.py",
+            "import random\nrng = random.Random(42)\n",
+        ),
+    ],
+)
+def test_rl011_clean(tmp_path, relative, source):
+    result = lint_snippet(tmp_path, relative, source, select=["RL011"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour around rule selection
 # ----------------------------------------------------------------------
 

@@ -86,7 +86,7 @@ class TestAccountingInvariants:
         class BrokenPolicy(type(make_policy("LOCAL"))):
             name = "BROKEN"
 
-            def select_site(self, query, arrival_site):
+            def select(self, query, view):
                 return 99
 
         system = DistributedDatabase(tiny_config, BrokenPolicy(), seed=1)

@@ -7,6 +7,7 @@ import pytest
 
 from repro.model.config import paper_defaults
 from repro.model.query import make_query
+from repro.model.view import SystemView
 from repro.policies.base import CostBasedPolicy
 
 
@@ -47,7 +48,7 @@ class TestFigure3Semantics:
         system = StubSystem()
         policy = ScriptedPolicy({0: 5.0, 1: 3.0, 2: 1.0, 3: 4.0})
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 2
+        assert policy.select(_query(system), SystemView(system, 0)) == 2
 
     def test_arrival_site_wins_ties(self):
         # Strict < in Figure 3: equal-cost remote sites never displace home.
@@ -55,7 +56,7 @@ class TestFigure3Semantics:
         policy = ScriptedPolicy({0: 2.0, 1: 2.0, 2: 2.0, 3: 2.0})
         policy.bind(system)
         for _ in range(8):
-            assert policy.select_site(_query(system), arrival_site=0) == 0
+            assert policy.select(_query(system), SystemView(system, 0)) == 0
 
     def test_remote_ties_rotate_round_robin(self):
         # Two equally attractive remote sites should both get picked over a
@@ -63,14 +64,14 @@ class TestFigure3Semantics:
         system = StubSystem()
         policy = ScriptedPolicy({0: 9.0, 1: 1.0, 2: 1.0, 3: 9.0})
         policy.bind(system)
-        picks = {policy.select_site(_query(system), arrival_site=0) for _ in range(8)}
+        picks = {policy.select(_query(system), SystemView(system, 0)) for _ in range(8)}
         assert picks == {1, 2}
 
     def test_arrival_site_probed_first(self):
         system = StubSystem()
         policy = ScriptedPolicy({0: 1.0, 1: 2.0, 2: 3.0, 3: 4.0})
         policy.bind(system)
-        policy.select_site(_query(system), arrival_site=2)
+        policy.select(_query(system), SystemView(system, 2))
         assert policy.probes[0] == 2
 
     def test_candidate_restriction(self):
@@ -79,21 +80,21 @@ class TestFigure3Semantics:
         policy = ScriptedPolicy({0: 0.0, 1: 5.0, 2: 0.0, 3: 4.0})
         policy.bind(system)
         # Sites 0 and 2 are cheapest but not candidates.
-        assert policy.select_site(_query(system), arrival_site=0) == 3
+        assert policy.select(_query(system), SystemView(system, 0)) == 3
 
     def test_arrival_not_candidate(self):
         system = StubSystem()
         system._candidates = (1, 2)
         policy = ScriptedPolicy({1: 7.0, 2: 4.0})
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 2
+        assert policy.select(_query(system), SystemView(system, 0)) == 2
 
     def test_single_candidate_short_circuit(self):
         system = StubSystem()
         system._candidates = [0]
         policy = ScriptedPolicy({})
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 0
+        assert policy.select(_query(system), SystemView(system, 0)) == 0
         assert policy.probes == []  # no cost evaluation needed
 
     def test_no_candidates_raises(self):
@@ -102,7 +103,7 @@ class TestFigure3Semantics:
         policy = ScriptedPolicy({})
         policy.bind(system)
         with pytest.raises(RuntimeError):
-            policy.select_site(_query(system), arrival_site=0)
+            policy.select(_query(system), SystemView(system, 0))
 
     def test_unbound_policy_raises(self):
         policy = ScriptedPolicy({})

@@ -9,6 +9,7 @@ import pytest
 from repro.model.config import paper_defaults
 from repro.model.loadboard import FrozenLoadView
 from repro.model.query import make_query
+from repro.model.view import SystemView
 from repro.policies.bnq import BNQPolicy
 from repro.policies.bnqrd import BNQRDPolicy
 from repro.policies.lert import LERTPolicy
@@ -55,7 +56,7 @@ class TestBNQ:
         system = StubSystem(io_counts=(2, 0, 1), cpu_counts=(1, 3, 0))
         policy = BNQPolicy()
         policy.bind(system)
-        assert policy.select_site(_io_query(system), arrival_site=0) == 2
+        assert policy.select(_io_query(system), SystemView(system, 0)) == 2
 
 
 class TestBNQRD:
@@ -95,7 +96,7 @@ class TestBNQRD:
         policy = BNQRDPolicy()
         policy.bind(system)
         # An I/O query ignores site 1's huge CPU population.
-        assert policy.select_site(_io_query(system), arrival_site=0) == 1
+        assert policy.select(_io_query(system), SystemView(system, 0)) == 1
 
 
 class TestLERT:
@@ -104,7 +105,7 @@ class TestLERT:
         policy = LERTPolicy()
         policy.bind(system)
         query = _io_query(system, reads=10.0)
-        policy._arrival_site = 0
+        policy._view = SystemView(system, 0)
         # cpu_time = 10*0.05 = 0.5 ; io_time = 10*1 = 10
         # cpu_wait = 0.5*1 = 0.5 ; io_wait = 10*(2/2) = 10 ; net = 0
         assert policy.site_cost(query, 0) == pytest.approx(0.5 + 0.5 + 10 + 10)
@@ -114,7 +115,7 @@ class TestLERT:
         policy = LERTPolicy()
         policy.bind(system)
         query = _cpu_query(system, reads=10.0)
-        policy._arrival_site = 0
+        policy._view = SystemView(system, 0)
         # cpu_time = 10*1 = 10 ; io_time = 10 ; waits 0 ; net = 1.5+1.5.
         assert policy.site_cost(query, 1) == pytest.approx(10 + 10 + 3.0)
         assert policy.site_cost(query, 0) == pytest.approx(20.0)
@@ -124,7 +125,7 @@ class TestLERT:
         policy = LERTPolicy()
         policy.bind(system)
         query = _io_query(system, reads=10.0)
-        policy._arrival_site = 0
+        policy._view = SystemView(system, 0)
         # io_wait = 10 * (4/2) = 20.
         cost = policy.site_cost(query, 0)
         assert cost == pytest.approx(0.5 + 0.0 + 10 + 20)
@@ -136,14 +137,14 @@ class TestLERT:
         policy = LERTPolicy()
         policy.bind(system)
         query = _io_query(system, reads=1.0)
-        assert policy.select_site(query, arrival_site=0) == 0
+        assert policy.select(query, SystemView(system, 0)) == 0
 
     def test_transfers_when_gain_exceeds_cost(self):
         system = StubSystem(io_counts=(8, 0), cpu_counts=(0, 0), msg_length=1.0)
         policy = LERTPolicy()
         policy.bind(system)
         query = _io_query(system, reads=10.0)
-        assert policy.select_site(query, arrival_site=0) == 1
+        assert policy.select(query, SystemView(system, 0)) == 1
 
 
 class TestLocalAndRandom:
@@ -151,7 +152,7 @@ class TestLocalAndRandom:
         system = StubSystem(io_counts=(9, 0), cpu_counts=(9, 0))
         policy = LocalPolicy()
         policy.bind(system)
-        assert policy.select_site(_io_query(system), arrival_site=0) == 0
+        assert policy.select(_io_query(system), SystemView(system, 0)) == 0
 
     def test_random_covers_all_sites(self):
         class RandomStub(StubSystem):
@@ -165,7 +166,7 @@ class TestLocalAndRandom:
         policy = RandomPolicy()
         policy.bind(system)
         picks = {
-            policy.select_site(_io_query(system), arrival_site=0)
+            policy.select(_io_query(system), SystemView(system, 0))
             for _ in range(100)
         }
         assert picks == {0, 1, 2}

@@ -5,6 +5,7 @@ import pytest
 from repro.model.config import paper_defaults
 from repro.model.loadboard import FrozenLoadView
 from repro.model.query import make_query
+from repro.model.view import SystemView
 from repro.policies.lert_mva import LERTMVAPolicy
 
 
@@ -70,11 +71,11 @@ class TestSelection:
         system = StubSystem((6, 0, 6), (4, 0, 4))
         policy = LERTMVAPolicy()
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 1
+        assert policy.select(_query(system), SystemView(system, 0)) == 1
 
     def test_network_cost_discourages_marginal_transfers(self):
         system = StubSystem((1, 0), (0, 0), msg_length=50.0)
         policy = LERTMVAPolicy()
         policy.bind(system)
         # One competitor at home, but moving costs 100 time units.
-        assert policy.select_site(_query(system), arrival_site=0) == 0
+        assert policy.select(_query(system), SystemView(system, 0)) == 0

@@ -5,6 +5,7 @@ import pytest
 from repro.model.config import paper_defaults
 from repro.model.loadboard import FrozenLoadView
 from repro.model.query import make_query
+from repro.model.view import SystemView
 from repro.model.system import DistributedDatabase
 from repro.policies.registry import make_policy
 from repro.policies.threshold import PowerOfDPolicy, ThresholdPolicy
@@ -36,14 +37,14 @@ class TestThresholdPolicy:
         system = StubSystem((3, 0, 0, 0), (0, 0, 0, 0))
         policy = ThresholdPolicy(threshold=4)
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 0
+        assert policy.select(_query(system), SystemView(system, 0)) == 0
         assert policy.probes_sent == 0
 
     def test_transfers_when_overloaded(self):
         system = StubSystem((9, 0, 0, 0), (0, 0, 0, 0))
         policy = ThresholdPolicy(threshold=4)
         policy.bind(system)
-        chosen = policy.select_site(_query(system), arrival_site=0)
+        chosen = policy.select(_query(system), SystemView(system, 0))
         assert chosen != 0
         assert policy.probes_sent >= 1
 
@@ -53,21 +54,21 @@ class TestThresholdPolicy:
         system = StubSystem((9, 9, 9, 9, 9, 9), (0, 0, 0, 0, 0, 0))
         policy = ThresholdPolicy(threshold=4, probe_limit=2)
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 0
+        assert policy.select(_query(system), SystemView(system, 0)) == 0
         assert policy.probes_sent == 2
 
     def test_probe_start_rotates(self):
         system = StubSystem((9, 0, 0, 0), (0, 0, 0, 0))
         policy = ThresholdPolicy(threshold=4, probe_limit=1)
         policy.bind(system)
-        picks = {policy.select_site(_query(system), arrival_site=0) for _ in range(6)}
+        picks = {policy.select(_query(system), SystemView(system, 0)) for _ in range(6)}
         assert len(picks) > 1  # different first-probe targets over time
 
     def test_single_site_system(self):
         system = StubSystem((9,), (0,))
         policy = ThresholdPolicy(threshold=1)
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 0
+        assert policy.select(_query(system), SystemView(system, 0)) == 0
 
 
 class TestPowerOfDPolicy:
@@ -80,19 +81,19 @@ class TestPowerOfDPolicy:
         system = StubSystem((5, 2, 7, 0), (0, 0, 0, 0))
         policy = PowerOfDPolicy(d=4)
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 3
+        assert policy.select(_query(system), SystemView(system, 0)) == 3
 
     def test_home_wins_ties(self):
         system = StubSystem((1, 1, 1, 1), (0, 0, 0, 0))
         policy = PowerOfDPolicy(d=4)
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=2) == 2
+        assert policy.select(_query(system), SystemView(system, 2)) == 2
 
     def test_d_larger_than_sites_is_clamped(self):
         system = StubSystem((1, 0), (0, 0))
         policy = PowerOfDPolicy(d=10)
         policy.bind(system)
-        assert policy.select_site(_query(system), arrival_site=0) == 1
+        assert policy.select(_query(system), SystemView(system, 0)) == 1
 
 
 class TestEndToEnd:

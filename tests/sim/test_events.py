@@ -141,3 +141,40 @@ class TestValidateDelay:
             validate_delay(0.0, math.inf)
         with pytest.raises(SchedulingError):
             validate_delay(0.0, -math.inf)
+
+
+class TestCancelAfterFire:
+    """Regression: cancelling a fired (or cancelled) event is a no-op.
+
+    Before the fix, cancelling an event that had already been popped
+    decremented the live counter a second time, silently corrupting
+    ``len(queue)`` — exactly what the fault injector does when a crash
+    retracts a same-timestamp completion event that already fired.
+    """
+
+    def test_pop_sets_fired(self):
+        queue = EventQueue()
+        event = queue.push(Event(1.0, _noop))
+        assert not event.fired
+        assert queue.pop() is event
+        assert event.fired
+
+    def test_cancel_after_fire_is_noop(self):
+        queue = EventQueue()
+        fired = queue.push(Event(1.0, _noop))
+        queue.push(Event(2.0, _noop))
+        assert queue.pop() is fired
+        before = len(queue)
+        queue.cancel(fired)  # documented no-op
+        assert len(queue) == before == 1
+        assert not fired.cancelled  # it ran; it was never retracted
+        assert queue.pop().time == 2.0
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        victim = queue.push(Event(1.0, _noop))
+        queue.push(Event(2.0, _noop))
+        queue.cancel(victim)
+        queue.cancel(victim)
+        assert len(queue) == 1
+        assert queue.pop().time == 2.0

@@ -8,13 +8,19 @@ from repro.telemetry.events import (
     EVENT_REGISTRY,
     EVENT_TYPES,
     LoadBoardUpdated,
+    MessageDropped,
+    QueryAborted,
     QueryAllocated,
     QueryCompleted,
     QueryCreated,
+    QueryLost,
+    QueryRetried,
     QueryTransferred,
     RunEnded,
     RunStarted,
     ServiceStarted,
+    SiteCrashed,
+    SiteRecovered,
     TraceMessage,
     WarmupEnded,
     event_from_dict,
@@ -49,6 +55,12 @@ SAMPLES = (
     ),
     LoadBoardUpdated(time=1.5, site=0, io_queries=2, cpu_queries=1, change=1),
     TraceMessage(time=0.5, label="terminal.0.0"),
+    SiteCrashed(time=120.0, site=1),
+    SiteRecovered(time=160.0, site=1),
+    QueryAborted(time=120.0, qid=3, site=1, attempt=1),
+    QueryRetried(time=122.0, qid=3, attempt=2, backoff=2.0),
+    QueryLost(time=190.0, qid=4, attempts=6),
+    MessageDropped(time=130.0, source=2, destination=0, kind="result", qid=5),
 )
 
 
