@@ -1,0 +1,33 @@
+"""Kernel & system benchmarks with a pinned per-PR perf trajectory.
+
+``python -m repro.bench`` runs a fixed matrix — table-9-style closed
+system runs plus a large synthetic kernel stress configuration — and
+emits a schema-validated ``BENCH_*.json`` snapshot (events/sec,
+wall-clock per case, peak RSS).  The committed snapshot
+(``benchmarks/perf/BENCH_6.json``) is the trajectory baseline: the CI
+``perf`` job reruns a smoke subset and reports any events/sec regression
+beyond the tolerance.
+
+See ``docs/performance.md`` for how to run and read the numbers.
+"""
+
+from repro.bench.cases import BENCH_CASES, BenchCase, smoke_cases
+from repro.bench.core import (
+    BenchReport,
+    CaseResult,
+    compare_reports,
+    run_benchmarks,
+)
+from repro.bench.schema import BENCH_FORMAT, validate_bench_payload
+
+__all__ = [
+    "BENCH_CASES",
+    "BENCH_FORMAT",
+    "BenchCase",
+    "BenchReport",
+    "CaseResult",
+    "compare_reports",
+    "run_benchmarks",
+    "smoke_cases",
+    "validate_bench_payload",
+]

@@ -1,0 +1,134 @@
+"""``python -m repro.bench`` — run the benchmark matrix, pin the trajectory.
+
+Examples::
+
+    # Full matrix, write the committed snapshot:
+    python -m repro.bench --out benchmarks/perf/BENCH_6.json
+
+    # CI smoke subset, gate against the committed trajectory:
+    python -m repro.bench --smoke --compare benchmarks/perf/BENCH_6.json
+
+    # Embed a previously measured kernel as the baseline section:
+    python -m repro.bench --out BENCH_6.json --baseline-json seed.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.cases import BENCH_CASES, smoke_cases
+from repro.bench.core import (
+    compare_reports,
+    load_payload,
+    report_from_payload,
+    run_benchmarks,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the kernel/system benchmark matrix.",
+    )
+    parser.add_argument(
+        "--out", metavar="PATH", help="write the BENCH_*.json snapshot here"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the CI smoke subset (reduced scale) instead of the full matrix",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="timed repetitions per case; best wall time wins (default: 3)",
+    )
+    parser.add_argument(
+        "--bench",
+        default="BENCH_6",
+        help="snapshot identifier written into the JSON (default: BENCH_6)",
+    )
+    parser.add_argument(
+        "--kernel",
+        default="current",
+        help="label for the kernel under test (e.g. 'seed', 'overhauled')",
+    )
+    parser.add_argument(
+        "--baseline-json",
+        metavar="PATH",
+        help="embed this previously written snapshot as the baseline section",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="PATH",
+        help="compare events/sec against this committed snapshot",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="tolerated fractional events/sec drop for --compare (default: 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    # Load reference snapshots *before* the (potentially minutes-long)
+    # benchmark run, so a bad path or payload fails fast and cleanly.
+    baseline_payload = None
+    compare_payload = None
+    try:
+        if args.baseline_json:
+            baseline_payload = load_payload(args.baseline_json)
+        if args.compare:
+            compare_payload = load_payload(args.compare)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load snapshot: {exc}", file=sys.stderr)
+        return 2
+
+    cases = smoke_cases() if args.smoke else BENCH_CASES
+    scale = "smoke" if args.smoke else "full"
+    report = run_benchmarks(
+        cases,
+        bench=args.bench,
+        kernel=args.kernel,
+        scale=scale,
+        repeats=args.repeats,
+    )
+
+    baseline = None
+    if baseline_payload is not None:
+        baseline = report_from_payload(baseline_payload)
+
+    if args.out:
+        destination = report.write(args.out, baseline=baseline)
+        print(f"wrote {destination}")
+
+    if compare_payload is not None:
+        regressions = compare_reports(
+            report, compare_payload, max_regression=args.max_regression
+        )
+        if regressions:
+            print(
+                f"PERF REGRESSION vs {args.compare} "
+                f"(tolerance {args.max_regression:.0%}):",
+                file=sys.stderr,
+            )
+            for item in regressions:
+                print(
+                    f"  {item.name}: {item.current:,.0f} ev/s vs "
+                    f"{item.reference:,.0f} ev/s recorded "
+                    f"({item.ratio:.2f}x)",
+                    file=sys.stderr,
+                )
+            return 1
+        print(
+            f"trajectory healthy vs {args.compare} "
+            f"(all cases within {args.max_regression:.0%})"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

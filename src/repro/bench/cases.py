@@ -1,0 +1,198 @@
+"""The benchmark matrix: synthetic kernel stress + closed-system runs.
+
+Each case is a self-contained callable that builds its model fresh,
+runs it, and reports ``(events_fired, wall_seconds)`` with the wall
+clock measured around the run only (setup excluded).  Cases come in two
+scales: ``full`` (the committed trajectory numbers) and ``smoke`` (the
+CI subset, roughly a tenth of the work).
+
+All cases are deterministic: fixed seeds, fixed iteration counts —
+the *event count* of every case is a pure function of its definition,
+so events/sec differences are wall-clock differences, never workload
+drift.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Generator, List, Tuple
+
+from repro.model.config import paper_defaults
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+from repro.sim.engine import Simulator
+from repro.sim.process import Hold
+from repro.sim.resources import FCFSServer, PSServer
+
+#: A case runner returns (events_fired, wall_seconds).
+CaseRunner = Callable[[], Tuple[int, float]]
+
+
+@dataclass(frozen=True)
+class BenchCase:
+    """One entry of the benchmark matrix.
+
+    Attributes:
+        name: Stable identifier (keys the trajectory comparison).
+        kind: ``"stress"`` (synthetic kernel workload) or ``"closed"``
+            (a table-9-style closed-system simulation).
+        description: One line of what the case exercises.
+        run_full: Runner at trajectory scale.
+        run_smoke: Runner at CI smoke scale.
+    """
+
+    name: str
+    kind: str
+    description: str
+    run_full: CaseRunner
+    run_smoke: CaseRunner
+
+
+def _timed_kernel_run(sim: Simulator) -> Tuple[int, float]:
+    """Run *sim* to exhaustion, timing only the event loop."""
+    start = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - start
+    return sim.events_fired, wall
+
+
+def _stress_mix(workers: int, rounds: int, queue: str = "heap") -> Tuple[int, float]:
+    """The large synthetic stress config: holds + PS + FCFS churn.
+
+    ``workers`` processes each loop ``rounds`` times through a hold, a
+    PS service, and an FCFS service — the exact command mix of the
+    paper's query life cycle, minus the model bookkeeping, so the
+    number isolates the kernel hot path (event queue, process resume,
+    virtual-time accounting).
+    """
+    sim = Simulator(seed=1234, queue=queue) if queue != "heap" else Simulator(seed=1234)
+    cpu = PSServer(sim, name="cpu")
+    disk = FCFSServer(sim, name="disk", servers=2)
+
+    def worker(index: int) -> Generator[object, object, None]:
+        spacing = 0.1 + (index % 13) * 0.01
+        for _ in range(rounds):
+            yield Hold(spacing)
+            yield cpu.service(0.05 + (index % 7) * 0.01)
+            yield disk.service(0.02 + (index % 5) * 0.005)
+
+    for index in range(workers):
+        sim.launch(worker(index), name=f"w{index}")
+    return _timed_kernel_run(sim)
+
+
+def _stress_cancellation(events: int) -> Tuple[int, float]:
+    """Heavy schedule/cancel churn: half of all scheduled events retract.
+
+    Exercises the lazy-deletion path of the future-event list — the
+    pattern fault injection and PS rescheduling produce at scale.
+    """
+    sim = Simulator(seed=99)
+    batch = 1000
+
+    def _noop() -> None:
+        return None
+
+    def churn(remaining: int) -> None:
+        live = [
+            sim.schedule(float(1 + (i % 17)), _noop, label=None)
+            for i in range(batch)
+        ]
+        for event in live[::2]:
+            sim.cancel(event)
+        if remaining > 0:
+            sim.schedule(0.5, lambda: churn(remaining - 1))
+
+    sim.schedule(0.0, lambda: churn(events // batch - 1))
+    return _timed_kernel_run(sim)
+
+
+def _stress_timer_wheel(processes: int, ticks: int) -> Tuple[int, float]:
+    """Dense simultaneous timers: many processes on identical cadences.
+
+    Stresses FIFO tie-breaking among equal-time, equal-priority events —
+    the worst case for the heap's comparison path.
+    """
+    sim = Simulator(seed=7)
+
+    def ticker() -> Generator[object, object, None]:
+        for _ in range(ticks):
+            yield Hold(1.0)
+
+    for index in range(processes):
+        sim.launch(ticker(), name=f"t{index}")
+    return _timed_kernel_run(sim)
+
+
+def _closed_run(policy: str, seed: int, warmup: float, duration: float) -> Tuple[int, float]:
+    """A table-9-style closed run at the paper's defaults (MPL 4/site)."""
+    system = DistributedDatabase(paper_defaults(), make_policy(policy), seed=seed)
+    start = time.perf_counter()
+    system.run(warmup, duration)
+    wall = time.perf_counter() - start
+    return system.sim.events_fired, wall
+
+
+def _case(
+    name: str,
+    kind: str,
+    description: str,
+    full: CaseRunner,
+    smoke: CaseRunner,
+) -> BenchCase:
+    return BenchCase(
+        name=name, kind=kind, description=description, run_full=full, run_smoke=smoke
+    )
+
+
+#: The fixed matrix.  Order is presentation order in reports.
+BENCH_CASES: Tuple[BenchCase, ...] = (
+    _case(
+        "stress_mix",
+        "stress",
+        "hold + PS + FCFS churn over 400 processes (kernel hot path)",
+        lambda: _stress_mix(workers=400, rounds=250),
+        lambda: _stress_mix(workers=100, rounds=100),
+    ),
+    _case(
+        "stress_cancellation",
+        "stress",
+        "schedule/cancel churn, 50% lazy deletions",
+        lambda: _stress_cancellation(events=400_000),
+        lambda: _stress_cancellation(events=60_000),
+    ),
+    _case(
+        "stress_timer_wheel",
+        "stress",
+        "dense simultaneous timers (FIFO tie-break worst case)",
+        lambda: _stress_timer_wheel(processes=500, ticks=400),
+        lambda: _stress_timer_wheel(processes=200, ticks=120),
+    ),
+    _case(
+        "table9_lert",
+        "closed",
+        "paper defaults, LERT policy (table-9-style closed run)",
+        lambda: _closed_run("LERT", seed=42, warmup=1000.0, duration=8000.0),
+        lambda: _closed_run("LERT", seed=42, warmup=300.0, duration=1500.0),
+    ),
+    _case(
+        "table9_local",
+        "closed",
+        "paper defaults, LOCAL policy (no-allocation baseline)",
+        lambda: _closed_run("LOCAL", seed=42, warmup=1000.0, duration=8000.0),
+        lambda: _closed_run("LOCAL", seed=42, warmup=300.0, duration=1500.0),
+    ),
+)
+
+
+def smoke_cases() -> Tuple[BenchCase, ...]:
+    """The CI smoke subset (currently: every case at smoke scale)."""
+    return BENCH_CASES
+
+
+def case_names() -> List[str]:
+    return [case.name for case in BENCH_CASES]
+
+
+__all__ = ["BenchCase", "BENCH_CASES", "CaseRunner", "case_names", "smoke_cases"]

@@ -1,0 +1,290 @@
+"""Benchmark execution: repeats, RSS tracking, snapshots, comparisons."""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.bench.cases import BENCH_CASES, BenchCase
+from repro.bench.schema import BENCH_FORMAT, validate_bench_payload
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class CaseResult:
+    """Measured outcome of one benchmark case.
+
+    ``wall_s`` is the best (minimum) over ``repeats`` runs — the
+    least-noise estimator for throughput-style benchmarks — and
+    ``events_per_sec`` is derived from it.  ``peak_rss_kb`` is the
+    process-wide high-water mark *after* the case ran (``ru_maxrss`` is
+    monotone, so later cases inherit earlier peaks; compare trajectories
+    per case name, not across cases).
+    """
+
+    name: str
+    kind: str
+    scale: str
+    description: str
+    events: int
+    wall_s: float
+    peak_rss_kb: int
+    repeats: int
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.events / self.wall_s
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "scale": self.scale,
+            "description": self.description,
+            "events": self.events,
+            "wall_s": round(self.wall_s, 6),
+            "events_per_sec": round(self.events_per_sec, 1),
+            "peak_rss_kb": self.peak_rss_kb,
+            "repeats": self.repeats,
+        }
+
+
+@dataclass(frozen=True)
+class BenchReport:
+    """A full benchmark run: one :class:`CaseResult` per matrix entry."""
+
+    bench: str
+    kernel: str
+    scale: str
+    results: Tuple[CaseResult, ...]
+
+    def result(self, name: str) -> Optional[CaseResult]:
+        for entry in self.results:
+            if entry.name == name:
+                return entry
+        return None
+
+    def to_payload(
+        self, baseline: Optional["BenchReport"] = None
+    ) -> Dict[str, object]:
+        """Assemble the schema-valid ``BENCH_*.json`` payload."""
+        payload: Dict[str, object] = {
+            "format": BENCH_FORMAT,
+            "bench": self.bench,
+            "kernel": self.kernel,
+            "python": platform.python_version(),
+            "platform": f"{sys.platform}-{platform.machine()}",
+            "cases": [entry.to_dict() for entry in self.results],
+        }
+        if baseline is not None:
+            payload["baseline"] = {
+                "kernel": baseline.kernel,
+                "cases": [entry.to_dict() for entry in baseline.results],
+            }
+            speedup: Dict[str, float] = {}
+            for entry in self.results:
+                reference = baseline.result(entry.name)
+                if reference is not None:
+                    speedup[entry.name] = round(
+                        entry.events_per_sec / reference.events_per_sec, 3
+                    )
+            payload["speedup_vs_baseline"] = speedup
+        validate_bench_payload(payload)
+        return payload
+
+    def write(
+        self, path: PathLike, baseline: Optional["BenchReport"] = None
+    ) -> Path:
+        """Write the snapshot JSON; returns the path written."""
+        destination = Path(path)
+        destination.write_text(
+            json.dumps(self.to_payload(baseline), indent=2) + "\n",
+            encoding="utf-8",
+        )
+        return destination
+
+
+def _peak_rss_kb() -> int:
+    """Process peak RSS in KiB (``ru_maxrss`` is KiB on Linux)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - bytes on macOS
+        peak //= 1024
+    return int(peak)
+
+
+def run_case(case: BenchCase, scale: str, repeats: int) -> CaseResult:
+    """Measure one case: best wall time over *repeats* fresh runs."""
+    runner = case.run_full if scale == "full" else case.run_smoke
+    best_wall = float("inf")
+    events = 0
+    for _ in range(repeats):
+        run_events, wall = runner()
+        if events and run_events != events:
+            raise RuntimeError(
+                f"{case.name}: nondeterministic event count "
+                f"({run_events} != {events}); benchmark cases must be "
+                "pure functions of their definition"
+            )
+        events = run_events
+        if wall < best_wall:
+            best_wall = wall
+    return CaseResult(
+        name=case.name,
+        kind=case.kind,
+        scale=scale,
+        description=case.description,
+        events=events,
+        wall_s=best_wall,
+        peak_rss_kb=_peak_rss_kb(),
+        repeats=repeats,
+    )
+
+
+def run_benchmarks(
+    cases: Sequence[BenchCase] = BENCH_CASES,
+    *,
+    bench: str = "BENCH_6",
+    kernel: str = "current",
+    scale: str = "full",
+    repeats: int = 3,
+    echo: bool = True,
+) -> BenchReport:
+    """Run the matrix and return a report (optionally echoing progress)."""
+    if scale not in ("full", "smoke"):
+        raise ValueError(f"scale must be 'full' or 'smoke', got {scale!r}")
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    results: List[CaseResult] = []
+    for case in cases:
+        outcome = run_case(case, scale, repeats)
+        results.append(outcome)
+        if echo:
+            print(
+                f"{outcome.name:22s} {outcome.events:>9d} events "
+                f"{outcome.wall_s:8.3f}s  "
+                f"{outcome.events_per_sec:>12,.0f} ev/s  "
+                f"rss {outcome.peak_rss_kb} KiB"
+            )
+    return BenchReport(
+        bench=bench, kernel=kernel, scale=scale, results=tuple(results)
+    )
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One case whose events/sec fell beyond the tolerance."""
+
+    name: str
+    current: float
+    reference: float
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.reference
+
+
+def compare_reports(
+    current: BenchReport,
+    reference_payload: Dict[str, object],
+    *,
+    max_regression: float = 0.15,
+) -> List[Regression]:
+    """Compare *current* against a committed snapshot payload.
+
+    Returns the cases whose events/sec dropped more than
+    ``max_regression`` relative to the snapshot (empty list = healthy).
+    Cases are matched on ``(name, scale)`` — a smoke-scale run never
+    gates against full-scale recorded rates (fixed overhead amortizes
+    differently, so cross-scale ratios are meaningless) — and cases
+    present on only one side are ignored.
+    """
+    validate_bench_payload(reference_payload)
+    reference_cases = reference_payload.get("cases")
+    rates: Dict[Tuple[str, str], float] = {}
+    if isinstance(reference_cases, list):
+        for entry in reference_cases:
+            if isinstance(entry, dict):
+                name = entry.get("name")
+                scale = entry.get("scale")
+                rate = entry.get("events_per_sec")
+                if (
+                    isinstance(name, str)
+                    and isinstance(scale, str)
+                    and isinstance(rate, (int, float))
+                ):
+                    rates[(name, scale)] = float(rate)
+    regressions: List[Regression] = []
+    for outcome in current.results:
+        reference_rate = rates.get((outcome.name, outcome.scale))
+        if reference_rate is None:
+            continue
+        if outcome.events_per_sec < reference_rate * (1.0 - max_regression):
+            regressions.append(
+                Regression(
+                    name=outcome.name,
+                    current=outcome.events_per_sec,
+                    reference=reference_rate,
+                )
+            )
+    return regressions
+
+
+def load_payload(path: PathLike) -> Dict[str, object]:
+    """Load and schema-validate a committed ``BENCH_*.json``."""
+    with Path(path).open(encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    validate_bench_payload(payload)
+    return payload
+
+
+def report_from_payload(payload: Dict[str, object]) -> BenchReport:
+    """Rehydrate a :class:`BenchReport` from a snapshot payload.
+
+    Used to embed a previously measured kernel (e.g. the pre-overhaul
+    baseline) into a new snapshot's ``baseline`` section.
+    """
+    validate_bench_payload(payload)
+    cases = payload.get("cases")
+    results: List[CaseResult] = []
+    if isinstance(cases, list):
+        for entry in cases:
+            if not isinstance(entry, dict):
+                continue
+            results.append(
+                CaseResult(
+                    name=str(entry["name"]),
+                    kind=str(entry["kind"]),
+                    scale=str(entry["scale"]),
+                    description=str(entry.get("description", "")),
+                    events=int(str(entry["events"])),
+                    wall_s=float(str(entry["wall_s"])),
+                    peak_rss_kb=int(str(entry["peak_rss_kb"])),
+                    repeats=int(str(entry["repeats"])),
+                )
+            )
+    return BenchReport(
+        bench=str(payload["bench"]),
+        kernel=str(payload["kernel"]),
+        scale=str(results[0].scale) if results else "full",
+        results=tuple(results),
+    )
+
+
+__all__ = [
+    "BenchReport",
+    "CaseResult",
+    "Regression",
+    "compare_reports",
+    "load_payload",
+    "report_from_payload",
+    "run_benchmarks",
+    "run_case",
+]

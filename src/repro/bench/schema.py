@@ -1,0 +1,150 @@
+"""Schema for ``BENCH_*.json`` snapshots (validated on write *and* read).
+
+The snapshot must stay machine-comparable across PRs, so its shape is
+pinned here.  Validation prefers :mod:`jsonschema` when available and
+falls back to an equivalent hand-rolled structural check — the benchmark
+harness must run in environments with no extras installed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+#: Bump on breaking shape changes; the perf CI job refuses mismatches.
+BENCH_FORMAT = 1
+
+_CASE_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "name",
+        "kind",
+        "scale",
+        "events",
+        "wall_s",
+        "events_per_sec",
+        "peak_rss_kb",
+        "repeats",
+    ],
+    "properties": {
+        "name": {"type": "string", "minLength": 1},
+        "kind": {"enum": ["stress", "closed"]},
+        "scale": {"enum": ["full", "smoke"]},
+        "events": {"type": "integer", "minimum": 1},
+        "wall_s": {"type": "number", "exclusiveMinimum": 0},
+        "events_per_sec": {"type": "number", "exclusiveMinimum": 0},
+        "peak_rss_kb": {"type": "integer", "minimum": 0},
+        "repeats": {"type": "integer", "minimum": 1},
+        "description": {"type": "string"},
+    },
+    "additionalProperties": False,
+}
+
+BENCH_SCHEMA: Dict[str, Any] = {
+    "type": "object",
+    "required": ["format", "bench", "kernel", "python", "platform", "cases"],
+    "properties": {
+        "format": {"const": BENCH_FORMAT},
+        "bench": {"type": "string", "pattern": "^BENCH_[0-9]+$"},
+        "kernel": {"type": "string", "minLength": 1},
+        "python": {"type": "string", "minLength": 1},
+        "platform": {"type": "string", "minLength": 1},
+        "cases": {"type": "array", "minItems": 1, "items": _CASE_SCHEMA},
+        "baseline": {
+            "type": "object",
+            "required": ["kernel", "cases"],
+            "properties": {
+                "kernel": {"type": "string", "minLength": 1},
+                "cases": {"type": "array", "items": _CASE_SCHEMA},
+            },
+            "additionalProperties": False,
+        },
+        "speedup_vs_baseline": {
+            "type": "object",
+            "additionalProperties": {"type": "number"},
+        },
+    },
+    "additionalProperties": False,
+}
+
+
+class BenchSchemaError(ValueError):
+    """A ``BENCH_*.json`` payload does not match :data:`BENCH_SCHEMA`."""
+
+
+def _check_case(case: Any, where: str) -> List[str]:
+    problems: List[str] = []
+    if not isinstance(case, dict):
+        return [f"{where}: expected an object"]
+    for field in _CASE_SCHEMA["required"]:
+        if field not in case:
+            problems.append(f"{where}: missing field {field!r}")
+    for field in case:
+        if field not in _CASE_SCHEMA["properties"]:
+            problems.append(f"{where}: unknown field {field!r}")
+    if case.get("kind") not in ("stress", "closed"):
+        problems.append(f"{where}: kind must be 'stress' or 'closed'")
+    if case.get("scale") not in ("full", "smoke"):
+        problems.append(f"{where}: scale must be 'full' or 'smoke'")
+    for field in ("events", "peak_rss_kb", "repeats"):
+        value = case.get(field)
+        if value is not None and (not isinstance(value, int) or value < 0):
+            problems.append(f"{where}: {field} must be a non-negative integer")
+    for field in ("wall_s", "events_per_sec"):
+        value = case.get(field)
+        if value is not None and (
+            not isinstance(value, (int, float)) or not value > 0
+        ):
+            problems.append(f"{where}: {field} must be > 0")
+    return problems
+
+
+def _validate_by_hand(payload: Dict[str, Any]) -> None:
+    problems: List[str] = []
+    if payload.get("format") != BENCH_FORMAT:
+        problems.append(f"format must be {BENCH_FORMAT}")
+    bench = payload.get("bench")
+    if not (isinstance(bench, str) and bench.startswith("BENCH_")):
+        problems.append("bench must look like 'BENCH_<n>'")
+    for field in ("kernel", "python", "platform"):
+        if not isinstance(payload.get(field), str):
+            problems.append(f"{field} must be a string")
+    cases = payload.get("cases")
+    if not (isinstance(cases, list) and cases):
+        problems.append("cases must be a non-empty array")
+    else:
+        for index, case in enumerate(cases):
+            problems.extend(_check_case(case, f"cases[{index}]"))
+    baseline = payload.get("baseline")
+    if baseline is not None:
+        if not isinstance(baseline, dict):
+            problems.append("baseline must be an object")
+        else:
+            for index, case in enumerate(baseline.get("cases", [])):
+                problems.extend(_check_case(case, f"baseline.cases[{index}]"))
+    if problems:
+        raise BenchSchemaError("; ".join(problems))
+
+
+def validate_bench_payload(payload: Dict[str, Any]) -> None:
+    """Validate a snapshot payload against :data:`BENCH_SCHEMA`.
+
+    Raises:
+        BenchSchemaError: On any structural mismatch.
+    """
+    try:
+        import jsonschema
+    except ImportError:
+        _validate_by_hand(payload)
+        return
+    try:
+        jsonschema.validate(payload, BENCH_SCHEMA)
+    except jsonschema.ValidationError as exc:
+        raise BenchSchemaError(str(exc)) from exc
+
+
+__all__ = [
+    "BENCH_FORMAT",
+    "BENCH_SCHEMA",
+    "BenchSchemaError",
+    "validate_bench_payload",
+]

@@ -1,4 +1,4 @@
-"""The determinism & simulation-invariant rules (RL001–RL011).
+"""The determinism & simulation-invariant rules (RL001–RL012).
 
 Each rule encodes one invariant the reproduction depends on.  RL001 and
 RL004 directly guard the bit-identical parallel/cached-run guarantee from
@@ -614,6 +614,74 @@ class FaultStreamDiscipline(Rule):
                 )
 
 
+@register
+class EventListEncapsulation(Rule):
+    """RL012 — the future-event list has exactly one implementation home.
+
+    The kernel's replay guarantee rests on a single total order —
+    ``(time, priority, seq)`` with lazy deletion — whose invariants live
+    entirely in ``repro.sim.events`` (:class:`EventQueue`,
+    :class:`CalendarQueue`, and the :class:`MinHeap` helper resources
+    use).  A stray ``import heapq`` or a reach into the queues' private
+    structures (``_heap``, ``_buckets``, ``_keys``, ``_free``) creates a
+    second place where ordering or liveness can drift — exactly the kind
+    of silent divergence the golden-trace suite exists to catch, except
+    at a call site the suite may not cover.  Everything else goes through
+    the queue's public API (``push``/``rent``/``cancel``/``pop_due``).
+    """
+
+    code = "RL012"
+    name = "event-list-encapsulation"
+    summary = (
+        "no heapq import or event-queue private-structure access "
+        "(_heap/_buckets/_keys/_free) outside repro.sim.events; use the "
+        "EventQueue/CalendarQueue/MinHeap public API"
+    )
+    scope = ("repro",)
+
+    _HOME = "repro.sim.events"
+    _PRIVATE_ATTRS: FrozenSet[str] = frozenset(
+        {"_heap", "_buckets", "_keys", "_free"}
+    )
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        if ctx.module == self._HOME:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "heapq" or alias.name.startswith("heapq."):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "import of heapq outside repro.sim.events; the "
+                            "future-event list's ordering invariants have "
+                            "one home — use EventQueue/CalendarQueue/"
+                            "MinHeap from repro.sim.events",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "heapq" or (
+                    node.module or ""
+                ).startswith("heapq."):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "import from heapq outside repro.sim.events; use "
+                        "the EventQueue/CalendarQueue/MinHeap public API",
+                    )
+            elif (
+                isinstance(node, ast.Attribute)
+                and node.attr in self._PRIVATE_ATTRS
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"access to event-queue private structure "
+                    f"{node.attr!r} outside repro.sim.events; go through "
+                    "push/rent/cancel/pop_due/peek_time instead",
+                )
+
+
 __all__ = [
     "CORE_SIM_SCOPE",
     "AGGREGATION_SCOPE",
@@ -630,4 +698,5 @@ __all__ = [
     "PrintInCore",
     "FilesystemOrder",
     "FaultStreamDiscipline",
+    "EventListEncapsulation",
 ]

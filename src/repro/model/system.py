@@ -74,6 +74,9 @@ class DistributedDatabase:
         faults: Optional fault plan to install at time 0.  ``None`` (and
             a no-op plan) leave the system on the plain, faultless query
             life cycle.
+        queue: Future-event-list implementation for the engine
+            (``"heap"`` or ``"calendar"``); both replay byte-identically,
+            see :func:`repro.sim.events.make_event_queue`.
     """
 
     def __init__(
@@ -82,10 +85,11 @@ class DistributedDatabase:
         policy: AllocationPolicy,
         seed: int = 0,
         faults: Optional["FaultPlan"] = None,
+        queue: str = "heap",
     ) -> None:
         self.config = config
         self.policy = policy
-        self.sim = Simulator(seed=seed)
+        self.sim = Simulator(seed=seed, queue=queue)
         #: The active fault injector, or ``None`` for faultless runs.
         self.fault_injector: Optional["FaultInjector"] = None
         self.sites: List[DBSite] = [

@@ -15,18 +15,36 @@ Typical use::
 
     sim.launch(job(1.5))
     sim.run(until=100.0)
+
+Hot-path layout (see ``docs/performance.md``): the unbounded
+:meth:`Simulator.run` loop is *subscription-swapped* — it runs a tight
+fast loop (pop, advance clock, call) while nobody subscribes to
+:class:`~repro.telemetry.events.TraceMessage`, and switches to a tracing
+loop only while an explicit subscriber exists.  Both loops drive the
+queue through :meth:`~repro.sim.events.EventQueue.pop_due`, which fuses
+the peek / horizon-check / pop triple of the pre-overhaul loop into one
+call.  The golden suite (``tests/golden/``) pins that every layout
+replays recorded runs byte-identically.
 """
 
 from __future__ import annotations
 
+import math
 import warnings
 from typing import Any, Callable, Generator, Optional
 
 from repro.sim.errors import ProcessError, SchedulingError
-from repro.sim.events import DEFAULT_PRIORITY, Event, EventQueue, validate_delay
+from repro.sim.events import (
+    DEFAULT_PRIORITY,
+    Event,
+    make_event_queue,
+    validate_delay,
+)
 from repro.sim.rng import RandomStreams
 from repro.telemetry.bus import EventBus
 from repro.telemetry.events import TraceMessage
+
+_INFINITY = math.inf
 
 
 class Simulator:
@@ -42,6 +60,13 @@ class Simulator:
             — but only when something subscribed to ``TraceMessage``
             specifically, so an idle bus costs one attribute test per event.
 
+    Args:
+        seed: Master seed for the run's random streams.
+        queue: Future-event-list implementation — ``"heap"`` (default,
+            a lazy-deletion binary heap) or ``"calendar"`` (a calendar
+            queue for dense horizons).  Both produce byte-identical
+            runs; see :func:`~repro.sim.events.make_event_queue`.
+
     .. deprecated:: 1.1
         The ``trace`` constructor argument (a bare ``(time, text)``
         callable) is deprecated in favor of subscribing to
@@ -51,12 +76,29 @@ class Simulator:
         :class:`DeprecationWarning`.
     """
 
-    def __init__(self, seed: int = 0, trace: Optional[Callable[[float, str], None]] = None) -> None:
+    __slots__ = (
+        "now",
+        "seed",
+        "rng",
+        "bus",
+        "_queue",
+        "_running",
+        "_process_count",
+        "_event_count",
+        "current_process",
+    )
+
+    def __init__(
+        self,
+        seed: int = 0,
+        trace: Optional[Callable[[float, str], None]] = None,
+        queue: str = "heap",
+    ) -> None:
         self.now: float = 0.0
         self.seed = seed
         self.rng = RandomStreams(seed)
         self.bus = EventBus()
-        self._queue = EventQueue()
+        self._queue = make_event_queue(queue)
         self._running = False
         self._process_count = 0
         self._event_count = 0
@@ -100,7 +142,10 @@ class Simulator:
         Returns:
             The scheduled :class:`Event`; keep it if you may need to cancel.
         """
-        validate_delay(self.now, delay)
+        if not 0.0 <= delay < _INFINITY:
+            # NaN fails the chained comparison too; validate_delay raises
+            # the precise diagnostic for all three invalid shapes.
+            validate_delay(self.now, delay)
         event = Event(self.now + delay, callback, priority=priority, label=label)
         return self._queue.push(event)
 
@@ -155,9 +200,10 @@ class Simulator:
         Returns:
             ``True`` if an event fired, ``False`` if the queue was empty.
         """
-        if not self._queue:
+        queue = self._queue
+        if not queue:
             return False
-        event = self._queue.pop()
+        event = queue.pop()
         if event.time < self.now:
             raise SchedulingError(
                 f"time went backwards: event at {event.time} < now {self.now}"
@@ -165,12 +211,59 @@ class Simulator:
         self.now = event.time
         self._event_count += 1
         # Guarded emit: TraceMessage is high-volume, so it is produced only
-        # for *explicit* subscribers (wants_type), never for catch-all ones.
-        bus = self.bus
-        if bus.active and event.label is not None and bus.wants_type(TraceMessage):
-            bus.emit(TraceMessage(time=self.now, label=event.label))
+        # for *explicit* subscribers (bus.trace_wanted), never catch-alls.
+        if self.bus.trace_wanted and event.label is not None:
+            self.bus.emit(TraceMessage(time=self.now, label=event.label))
         event.callback()
+        if event.recyclable:
+            queue.recycle(event)
         return True
+
+    def _drive(self, limit: float) -> None:
+        """The unbounded inner loop: fire every event with time <= limit.
+
+        Two hand-specialized loops with hoisted locals; control hops
+        between them only when a ``TraceMessage`` subscription appears or
+        disappears mid-run.  The fired-event tally is flushed to
+        ``self._event_count`` even when a callback raises.
+        """
+        queue = self._queue
+        pop_due = queue.pop_due
+        recycle = queue.recycle
+        bus = self.bus
+        fired = 0
+        try:
+            while True:
+                if not bus.trace_wanted:
+                    while True:
+                        event = pop_due(limit)
+                        if event is None:
+                            return
+                        self.now = event.time
+                        fired += 1
+                        event.callback()
+                        if event.recyclable:
+                            recycle(event)
+                        if bus.trace_wanted:
+                            break
+                else:
+                    emit = bus.emit
+                    while True:
+                        event = pop_due(limit)
+                        if event is None:
+                            return
+                        self.now = event.time
+                        fired += 1
+                        label = event.label
+                        if label is not None:
+                            emit(TraceMessage(time=event.time, label=label))
+                        event.callback()
+                        if event.recyclable:
+                            recycle(event)
+                        if not bus.trace_wanted:
+                            break
+        finally:
+            self._event_count += fired
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run the event loop.
@@ -188,25 +281,40 @@ class Simulator:
         if self._running:
             raise ProcessError("simulator is already running (re-entrant run())")
         self._running = True
-        fired = 0
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None:
-                    break
-                if until is not None and next_time > until:
+            if max_events is None:
+                self._drive(_INFINITY if until is None else until)
+                if until is not None and (
+                    self._queue.peek_time() is not None or self.now < until
+                ):
+                    # Timed stop (pending events beyond the horizon) or a
+                    # drained event list: pin the clock to the horizon so
+                    # callers measuring over [0, until] get consistent
+                    # denominators.
                     self.now = until
-                    break
-                self.step()
-                fired += 1
-                if max_events is not None and fired >= max_events:
-                    break
+            else:
+                # Bounded runs are a test-only safety valve; they keep the
+                # straightforward peek/step loop.  Note the clock is *not*
+                # pinned to the horizon when the event budget runs out
+                # with work still due before it.
+                fired = 0
+                while fired < max_events:
+                    next_time = self._queue.peek_time()
+                    if next_time is None:
+                        break
+                    if until is not None and next_time > until:
+                        self.now = until
+                        break
+                    self.step()
+                    fired += 1
+                if (
+                    until is not None
+                    and self.now < until
+                    and self._queue.peek_time() is None
+                ):
+                    self.now = until
         finally:
             self._running = False
-        if until is not None and self.now < until and self._queue.peek_time() is None:
-            # Event list drained before the horizon: advance the clock so
-            # callers measuring over [0, until] get consistent denominators.
-            self.now = until
         return self.now
 
     # ------------------------------------------------------------------

@@ -5,17 +5,44 @@ The kernel is event-driven at its core: every state change happens inside an
 (:mod:`repro.sim.process`) is layered on top by turning each generator resume
 into an event.
 
-The future-event list is a binary heap ordered by ``(time, priority, seq)``.
+Two future-event-list implementations share one contract — a total order by
+``(time, priority, seq)`` with lazy deletion:
+
+* :class:`EventQueue` (default): a binary heap of ``(time, priority, seq,
+  event)`` *tuples*, so every sift comparison runs at C speed instead of
+  calling :meth:`Event.__lt__`, plus a free-list that recycles the
+  :class:`Event` objects of kernel-internal resume events (see
+  :meth:`EventQueue.rent`).
+* :class:`CalendarQueue` (optional, for dense horizons): a two-level
+  calendar — per-bucket heaps keyed by ``floor(time / bucket_width)`` with
+  a lazily deduplicated heap of bucket keys — that pops in exactly the
+  same global order.
+
 The monotonically increasing sequence number guarantees deterministic FIFO
 ordering among events scheduled for the same instant, which in turn makes
-whole simulation runs exactly reproducible for a given random seed.
+whole simulation runs exactly reproducible for a given random seed.  The
+golden-trace suite (``tests/golden/``) pins this: every implementation must
+replay recorded runs byte-identically.
+
+The queues' internal structures are deliberately private: reprolint rule
+RL012 forbids ``heapq`` (and ``_heap`` access) everywhere else in
+``repro``, so the ordering/lazy-deletion invariants have exactly one home.
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from typing import Callable, Optional
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.sim.errors import SchedulingError
 
@@ -23,6 +50,12 @@ from repro.sim.errors import SchedulingError
 #: events.  Model code rarely needs to change this; the kernel uses elevated
 #: priorities internally for bookkeeping events that must precede model logic.
 DEFAULT_PRIORITY = 0
+
+_INFINITY = float("inf")
+
+
+def _discarded_callback() -> None:  # pragma: no cover - never scheduled
+    raise SchedulingError("a recycled event's callback fired")
 
 
 class Event:
@@ -43,9 +76,22 @@ class Event:
         fired: Whether the event has already been popped by the engine.
             A fired event can no longer be cancelled (cancelling it is a
             no-op, see :meth:`EventQueue.cancel`).
+        recyclable: Whether the object belongs to the queue's free-list
+            (kernel-internal resume events whose handles provably never
+            escape, see :meth:`EventQueue.rent`).  External code never
+            sees a recyclable event.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "label", "fired", "_cancelled")
+    __slots__ = (
+        "time",
+        "priority",
+        "seq",
+        "callback",
+        "label",
+        "fired",
+        "recyclable",
+        "_cancelled",
+    )
 
     def __init__(
         self,
@@ -60,6 +106,7 @@ class Event:
         self.callback = callback
         self.label = label
         self.fired = False
+        self.recyclable = False
         self._cancelled = False
 
     @property
@@ -89,17 +136,38 @@ class Event:
         return f"<Event t={self.time:.6g} p={self.priority}{tag}{state}>"
 
 
+#: One future-event-list entry.  The ``seq`` element is unique, so tuple
+#: comparison never reaches the (incomparable-by-design) ``Event`` element,
+#: and the global order is exactly ``(time, priority, seq)`` — identical to
+#: the pre-overhaul ``Event.__lt__`` heap.
+_Entry = Tuple[float, int, int, Event]
+
+
 class EventQueue:
-    """Future-event list: a binary heap of :class:`Event` with lazy deletion.
+    """Future-event list: a lazy-deletion binary heap of entry tuples.
 
     The queue never raises on cancelled events; they are skipped during
     :meth:`pop`.  ``len(queue)`` counts live (non-cancelled) events.
+
+    Hot-path design (see ``docs/performance.md``):
+
+    * entries are ``(time, priority, seq, event)`` tuples so ``heapq``
+      sift comparisons stay in C — the pre-overhaul heap called the
+      Python-level ``Event.__lt__`` O(log n) times per push/pop;
+    * :meth:`rent`/:meth:`recycle` reuse :class:`Event` objects for the
+      engine's internal resume events (one slot-write burst instead of an
+      allocation per event);
+    * :meth:`pop_due` fuses the engine loop's "peek, bounds-check, pop"
+      triple into a single call that drops cancelled entries as it goes.
     """
 
+    __slots__ = ("_heap", "_seq", "_live", "_free")
+
     def __init__(self) -> None:
-        self._heap: list[Event] = []
-        self._counter = itertools.count()
+        self._heap: List[_Entry] = []
+        self._seq = 0
         self._live = 0
+        self._free: List[Event] = []
 
     def __len__(self) -> int:
         return self._live
@@ -109,10 +177,54 @@ class EventQueue:
 
     def push(self, event: Event) -> Event:
         """Insert *event* and stamp its FIFO sequence number."""
-        event.seq = next(self._counter)
-        heapq.heappush(self._heap, event)
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        heapq.heappush(self._heap, (event.time, event.priority, seq, event))
         self._live += 1
         return event
+
+    def rent(
+        self, time: float, callback: Callable[[], None], label: Optional[str]
+    ) -> Event:
+        """Insert a *recyclable* event, reusing a free-listed object.
+
+        Only for call sites whose handle provably never escapes the
+        kernel (the process layer's resume events): the caller must drop
+        its reference once the event fires or is cancelled, because the
+        object returns to the free-list via :meth:`recycle` and will be
+        reincarnated with a fresh ``seq``.  Stale heap entries of a
+        recycled event are impossible — recycling happens only when the
+        event's entry leaves the heap.  Rented events always carry
+        :data:`DEFAULT_PRIORITY`.
+        """
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.callback = callback
+            event.label = label
+            event.fired = False
+            event._cancelled = False
+        else:
+            event = Event(time, callback, label=label)
+            event.recyclable = True
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        heapq.heappush(self._heap, (time, DEFAULT_PRIORITY, seq, event))
+        self._live += 1
+        return event
+
+    def recycle(self, event: Event) -> None:
+        """Return a fired-or-skipped recyclable event to the free-list.
+
+        Called by the engine after the callback ran, and internally when a
+        cancelled recyclable entry is dropped; never call it while the
+        event still has a heap entry.
+        """
+        event.callback = _discarded_callback
+        self._free.append(event)
 
     def cancel(self, event: Event) -> None:
         """Retract *event* (lazy deletion).
@@ -126,15 +238,21 @@ class EventQueue:
         """
         if event._cancelled or event.fired:
             return
-        event.cancel()
+        event._cancelled = True
         self._live -= 1
 
     def peek_time(self) -> Optional[float]:
         """Return the time of the next live event, or ``None`` if empty."""
-        self._drop_cancelled()
-        if not self._heap:
-            return None
-        return self._heap[0].time
+        heap = self._heap
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if not event._cancelled:
+                return entry[0]
+            heapq.heappop(heap)
+            if event.recyclable:
+                self.recycle(event)
+        return None
 
     def pop(self) -> Event:
         """Remove and return the next live event.
@@ -142,23 +260,254 @@ class EventQueue:
         Raises:
             SchedulingError: If the queue holds no live events.
         """
-        self._drop_cancelled()
-        if not self._heap:
-            raise SchedulingError("event queue is empty")
-        event = heapq.heappop(self._heap)
-        event.fired = True
-        self._live -= 1
-        return event
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)[3]
+            if event._cancelled:
+                if event.recyclable:
+                    self.recycle(event)
+                continue
+            event.fired = True
+            self._live -= 1
+            return event
+        raise SchedulingError("event queue is empty")
+
+    def pop_due(self, until: float) -> Optional[Event]:
+        """Pop the next live event with ``time <= until``, else ``None``.
+
+        The engine's inner loop runs on this: it fuses ``peek_time`` +
+        horizon check + ``pop`` into one call (pass ``math.inf`` for an
+        unbounded run).  Cancelled entries encountered on the way are
+        dropped and their recyclable events free-listed.
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        while heap:
+            entry = heap[0]
+            event = entry[3]
+            if event._cancelled:
+                heappop(heap)
+                if event.recyclable:
+                    self.recycle(event)
+                continue
+            if entry[0] > until:
+                return None
+            heappop(heap)
+            event.fired = True
+            self._live -= 1
+            return event
+        return None
 
     def clear(self) -> None:
         """Discard every pending event."""
         self._heap.clear()
         self._live = 0
 
-    def _drop_cancelled(self) -> None:
-        heap = self._heap
-        while heap and heap[0]._cancelled:
-            heapq.heappop(heap)
+
+class CalendarQueue:
+    """A calendar future-event list for dense event horizons.
+
+    Events land in buckets keyed by ``floor(time / bucket_width)``; each
+    bucket is itself a small heap of the same ``(time, priority, seq,
+    event)`` entries as :class:`EventQueue`, and a lazily deduplicated
+    heap of bucket keys finds the active bucket.  Because every event in
+    bucket *k* fires before every event in bucket *k + 1*, popping the
+    minimum of the minimal non-empty bucket yields exactly the global
+    ``(time, priority, seq)`` order — the golden suite holds this
+    implementation to byte-identical replays of heap-kernel recordings.
+
+    Compared to one big heap, sift depth is bounded by the (small) bucket
+    population instead of the total event count, which wins when many
+    events share a narrow time window (open-system arrival storms).
+    Select it with ``Simulator(queue="calendar")``.
+    """
+
+    __slots__ = ("_width", "_buckets", "_keys", "_seq", "_live", "_free")
+
+    def __init__(self, bucket_width: float = 1.0) -> None:
+        if not bucket_width > 0:
+            raise SchedulingError(
+                f"bucket_width must be > 0, got {bucket_width!r}"
+            )
+        self._width = bucket_width
+        self._buckets: Dict[int, List[_Entry]] = {}
+        self._keys: List[int] = []
+        self._seq = 0
+        self._live = 0
+        self._free: List[Event] = []
+
+    def __len__(self) -> int:
+        return self._live
+
+    def __bool__(self) -> bool:
+        return self._live > 0
+
+    def _insert(self, entry: _Entry) -> None:
+        key = int(entry[0] / self._width)
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            # The key enters the key-heap exactly when its bucket is
+            # created and leaves when the bucket is deleted, so the
+            # key-heap never holds duplicates.
+            self._buckets[key] = [entry]
+            heapq.heappush(self._keys, key)
+        else:
+            heapq.heappush(bucket, entry)
+
+    def push(self, event: Event) -> Event:
+        """Insert *event* and stamp its FIFO sequence number."""
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        self._insert((event.time, event.priority, seq, event))
+        self._live += 1
+        return event
+
+    def rent(
+        self, time: float, callback: Callable[[], None], label: Optional[str]
+    ) -> Event:
+        """Insert a recyclable event (see :meth:`EventQueue.rent`)."""
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time
+            event.callback = callback
+            event.label = label
+            event.fired = False
+            event._cancelled = False
+        else:
+            event = Event(time, callback, label=label)
+            event.recyclable = True
+        seq = self._seq
+        self._seq = seq + 1
+        event.seq = seq
+        self._insert((time, DEFAULT_PRIORITY, seq, event))
+        self._live += 1
+        return event
+
+    def recycle(self, event: Event) -> None:
+        """Return a recyclable event to the free-list (engine-internal)."""
+        event.callback = _discarded_callback
+        self._free.append(event)
+
+    def cancel(self, event: Event) -> None:
+        """Retract *event* (lazy deletion; same contract as EventQueue)."""
+        if event._cancelled or event.fired:
+            return
+        event._cancelled = True
+        self._live -= 1
+
+    def _active_bucket(self) -> Optional[List[_Entry]]:
+        """The bucket holding the globally next live entry (pruned)."""
+        keys = self._keys
+        buckets = self._buckets
+        while keys:
+            bucket = buckets[keys[0]]
+            while bucket:
+                event = bucket[0][3]
+                if not event._cancelled:
+                    return bucket
+                heapq.heappop(bucket)
+                if event.recyclable:
+                    self.recycle(event)
+            del buckets[keys[0]]
+            heapq.heappop(keys)
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the time of the next live event, or ``None`` if empty."""
+        bucket = self._active_bucket()
+        if bucket is None:
+            return None
+        return bucket[0][0]
+
+    def pop(self) -> Event:
+        """Remove and return the next live event (raises when empty)."""
+        event = self.pop_due(_INFINITY)
+        if event is None:
+            raise SchedulingError("event queue is empty")
+        return event
+
+    def pop_due(self, until: float) -> Optional[Event]:
+        """Pop the next live event with ``time <= until``, else ``None``."""
+        bucket = self._active_bucket()
+        if bucket is None:
+            return None
+        entry = bucket[0]
+        if entry[0] > until:
+            return None
+        heapq.heappop(bucket)
+        event = entry[3]
+        event.fired = True
+        self._live -= 1
+        return event
+
+    def clear(self) -> None:
+        """Discard every pending event."""
+        self._buckets.clear()
+        self._keys.clear()
+        self._live = 0
+
+
+#: The event-queue implementations selectable on the engine.
+EVENT_QUEUE_KINDS: Tuple[str, ...] = ("heap", "calendar")
+
+#: Either future-event-list implementation (they share one contract).
+FutureEventList = Union["EventQueue", "CalendarQueue"]
+
+
+def make_event_queue(kind: str) -> FutureEventList:
+    """Build the future-event list selected by *kind* ("heap"/"calendar")."""
+    if kind == "heap":
+        return EventQueue()
+    if kind == "calendar":
+        return CalendarQueue()
+    raise SchedulingError(
+        f"unknown event queue kind {kind!r}; expected one of {EVENT_QUEUE_KINDS}"
+    )
+
+
+class _SupportsLessThan(Protocol):
+    def __lt__(self, other: Any) -> bool: ...  # pragma: no cover - protocol
+
+
+_Item = TypeVar("_Item", bound=_SupportsLessThan)
+
+
+class MinHeap:
+    """A slim kernel-internal min-heap over totally ordered entries.
+
+    Resource implementations (e.g. the PS server's virtual-finish order)
+    use this instead of touching :mod:`heapq` themselves, keeping every
+    heap invariant in this module (enforced by reprolint RL012).
+    Entries must be tuples whose comparable prefix is unique, exactly
+    like the future-event list's.
+    """
+
+    __slots__ = ("_items",)
+
+    def __init__(self) -> None:
+        self._items: List[Any] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def push(self, item: _SupportsLessThan) -> None:
+        heapq.heappush(self._items, item)
+
+    def pop(self) -> Any:
+        """Remove and return the smallest entry (raises IndexError if empty)."""
+        return heapq.heappop(self._items)
+
+    def peek(self) -> Any:
+        """The smallest entry without removing it (raises IndexError if empty)."""
+        return self._items[0]
+
+    def clear(self) -> None:
+        self._items.clear()
 
 
 def validate_delay(now: float, delay: float, what: str = "delay") -> float:
@@ -181,7 +530,12 @@ def validate_delay(now: float, delay: float, what: str = "delay") -> float:
 
 __all__ = [
     "DEFAULT_PRIORITY",
+    "EVENT_QUEUE_KINDS",
+    "CalendarQueue",
     "Event",
     "EventQueue",
+    "FutureEventList",
+    "MinHeap",
+    "make_event_queue",
     "validate_delay",
 ]

@@ -29,6 +29,18 @@ class Tally:
     confidence intervals, see :mod:`repro.sim.stats`).
     """
 
+    __slots__ = (
+        "name",
+        "keep",
+        "observations",
+        "_count",
+        "_mean",
+        "_m2",
+        "_min",
+        "_max",
+        "_total",
+    )
+
     def __init__(self, name: str = "", keep: bool = False) -> None:
         self.name = name
         self.keep = keep
@@ -114,6 +126,8 @@ class TimeWeighted:
     ``integral / elapsed-time``.
     """
 
+    __slots__ = ("sim", "name", "_value", "_area", "_start", "_last", "_max")
+
     def __init__(self, sim, name: str = "", initial: float = 0.0) -> None:
         self.sim = sim
         self.name = name
@@ -136,8 +150,27 @@ class TimeWeighted:
             self._max = value
 
     def add(self, delta: float) -> None:
-        """Increment the tracked value (e.g. queue length +1/-1)."""
-        self.set(self._value + delta)
+        """Increment the tracked value (e.g. queue length +1/-1).
+
+        Inlined ``set(value + delta)`` — this is the kernel's hottest
+        monitor call (every server arrival/departure), and the float
+        operations run in exactly :meth:`set`'s order so time-weighted
+        integrals stay bit-identical.
+        """
+        now = self.sim.now
+        last = self._last
+        if now < last:
+            raise MonitorError(
+                f"TimeWeighted {self.name!r}: clock moved backwards "
+                f"({now} < {last})"
+            )
+        value = self._value
+        self._area += value * (now - last)
+        self._last = now
+        value = value + delta
+        self._value = value
+        if value > self._max:
+            self._max = value
 
     def reset(self) -> None:
         """Restart the observation window at the current time.

@@ -18,19 +18,33 @@ This mirrors the process-interaction worldview of the DISS simulation
 methodology used by the paper [Melm84], where model entities are active
 processes that alternate between holding, queueing for service, and
 passivating.
+
+Hot-path layout (see ``docs/performance.md``): every generator resume is
+one kernel event, so :meth:`Process._schedule_resume` is among the
+hottest call sites in a run.  It rents a recyclable event from the
+future-event list (no per-resume ``Event``/lambda allocation), reuses a
+cached bound resume callback with the pending value parked in a slot,
+and a precomputed trace label.  The rented event's handle never leaves
+the process (``_resume_event`` is cleared before the generator runs),
+which is what makes the queue's free-list reuse safe.
 """
 
 from __future__ import annotations
 
 import enum
+import math
 from typing import Any, Callable, Generator, List, Optional
 
 from repro.sim.errors import ProcessError
 from repro.sim.events import Event, validate_delay
 
+_INFINITY = math.inf
+
 
 class Command:
     """Base class for objects a process may yield to the kernel."""
+
+    __slots__ = ()
 
     def execute(self, process: "Process") -> None:
         """Arrange for *process* to be resumed when the command completes."""
@@ -46,12 +60,18 @@ class Hold(Command):
         self.delay = delay
 
     def execute(self, process: "Process") -> None:
-        validate_delay(process.sim.now, self.delay, "hold delay")
-        process._schedule_resume(self.delay, None)
+        delay = self.delay
+        if not 0.0 <= delay < _INFINITY:
+            # NaN fails the chained comparison too; validate_delay raises
+            # the precise diagnostic.
+            validate_delay(process.sim.now, delay, "hold delay")
+        process._schedule_resume(delay, None)
 
 
 class Passivate(Command):
     """Suspend until :meth:`Process.reactivate` is called by someone else."""
+
+    __slots__ = ()
 
     def execute(self, process: "Process") -> None:
         process._state = ProcessState.PASSIVE
@@ -102,6 +122,21 @@ class Process:
         state: Current :class:`ProcessState`.
     """
 
+    __slots__ = (
+        "sim",
+        "pid",
+        "name",
+        "result",
+        "_generator",
+        "_state",
+        "_resume_event",
+        "_resume_value",
+        "_resume_label",
+        "_resume_bound",
+        "_on_terminate",
+        "_queue",
+    )
+
     _ids = iter(range(1, 1 << 62))
 
     def __init__(self, sim, generator: Generator[Any, Any, Any], name: Optional[str] = None) -> None:
@@ -111,7 +146,11 @@ class Process:
         self._generator = generator
         self._state = ProcessState.CREATED
         self._resume_event: Optional[Event] = None
+        self._resume_value: Any = None
+        self._resume_label = self.name + ":resume"
+        self._resume_bound = self._resume
         self._on_terminate: List[Callable[["Process"], None]] = []
+        self._queue = sim._queue
         self.result: Any = None
 
     # ------------------------------------------------------------------
@@ -129,6 +168,8 @@ class Process:
         """Schedule the process's first step ``delay`` units from now."""
         if self._state is not ProcessState.CREATED:
             raise ProcessError(f"{self.name}: activate() on a {self._state.value} process")
+        if not 0.0 <= delay < _INFINITY:
+            validate_delay(self.sim.now, delay, "resume delay")
         self._schedule_resume(delay, None)
 
     def reactivate(self, value: Any = None, delay: float = 0.0) -> None:
@@ -137,6 +178,8 @@ class Process:
             raise ProcessError(
                 f"{self.name}: reactivate() on a {self._state.value} process"
             )
+        if not 0.0 <= delay < _INFINITY:
+            validate_delay(self.sim.now, delay, "resume delay")
         self._schedule_resume(delay, value)
 
     def interrupt(self, exception: BaseException) -> None:
@@ -169,11 +212,18 @@ class Process:
     # Kernel-side driving machinery
     # ------------------------------------------------------------------
     def _schedule_resume(self, delay: float, value: Any) -> None:
-        validate_delay(self.sim.now, delay, "resume delay")
+        # Delay validation happens at the public entry points (activate,
+        # reactivate, Hold.execute); kernel-internal resumes are always 0.
         self._state = ProcessState.SCHEDULED
-        self._resume_event = self.sim.schedule(
-            delay, lambda: self._step(value), label=f"{self.name}:resume"
+        self._resume_value = value
+        self._resume_event = self._queue.rent(
+            self.sim.now + delay, self._resume_bound, self._resume_label
         )
+
+    def _resume(self) -> None:
+        value = self._resume_value
+        self._resume_value = None
+        self._step(value)
 
     def resume_now(self, value: Any = None) -> None:
         """Resume a WAITING process at the current instant (resource use).
@@ -190,8 +240,9 @@ class Process:
     def _step(self, value: Any) -> None:
         self._resume_event = None
         self._state = ProcessState.RUNNING
-        previous = self.sim.current_process
-        self.sim.current_process = self
+        sim = self.sim
+        previous = sim.current_process
+        sim.current_process = self
         try:
             try:
                 command = self._generator.send(value)
@@ -199,14 +250,16 @@ class Process:
                 self._finish(stop.value)
                 return
         finally:
-            self.sim.current_process = previous
+            sim.current_process = previous
         self._dispatch(command)
 
     def _throw(self, exception: BaseException) -> None:
         self._resume_event = None
+        self._resume_value = None
         self._state = ProcessState.RUNNING
-        previous = self.sim.current_process
-        self.sim.current_process = self
+        sim = self.sim
+        previous = sim.current_process
+        sim.current_process = self
         try:
             try:
                 command = self._generator.throw(exception)
@@ -214,7 +267,7 @@ class Process:
                 self._finish(stop.value)
                 return
         finally:
-            self.sim.current_process = previous
+            sim.current_process = previous
         self._dispatch(command)
 
     def _dispatch(self, command: Any) -> None:

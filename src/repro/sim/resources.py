@@ -22,15 +22,17 @@ instrumenting model code.
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import math
 from collections import deque
 from typing import Deque, List, Optional, Tuple
 
 from repro.sim.errors import ResourceError
-from repro.sim.events import Event
+from repro.sim.events import Event, MinHeap, validate_delay
 from repro.sim.monitor import Tally, TimeWeighted
 from repro.sim.process import Command, Process
+
+_INFINITY = math.inf
 
 
 class ServiceRequest(Command):
@@ -61,6 +63,12 @@ class Server:
         #: Total time at the station (queueing + service).
         self.responses = Tally(name=f"{name}.response")
         self.completions = 0
+        # Completion events are the hottest schedule() call sites of the
+        # model layer: the trace label is precomputed once per station and
+        # the events are *rented* from the future-event list's free-list
+        # (their handles never escape the station, see EventQueue.rent).
+        self._done_label = name + ":done"
+        self._equeue = sim._queue
 
     def service(self, demand: float) -> ServiceRequest:
         """Build the command a process yields to obtain service."""
@@ -152,14 +160,15 @@ class FCFSServer(Server):
         self.busy.add(1)
         self.waits.record(now - arrived)
         job = _FCFSJob(process, arrived)
-        job.event = self.sim.schedule(
-            demand,
-            lambda: self._complete(job),
-            label=f"{self.name}:done",
+        if not 0.0 <= demand < _INFINITY:
+            validate_delay(now, demand)
+        job.event = self._equeue.rent(
+            now + demand, lambda: self._complete(job), self._done_label
         )
         self._active.append(job)
 
     def _complete(self, job: _FCFSJob) -> None:
+        job.event = None  # the rented event is returning to the free-list
         now = self.sim.now
         self._active.remove(job)
         self.busy.add(-1)
@@ -214,17 +223,18 @@ class PSServer(Server):
         super().__init__(sim, name)
         self._virtual = 0.0
         self._last_update = sim.now
-        self._heap: List[Tuple[float, int, _PSJob]] = []
+        self._jobs: MinHeap = MinHeap()
         self._seq = itertools.count()
         self._completion_event: Optional[Event] = None
+        self._complete_bound = self._complete_front
 
     @property
     def job_count(self) -> int:
-        return len(self._heap)
+        return len(self._jobs)
 
     def _advance_virtual(self) -> None:
         now = self.sim.now
-        n = len(self._heap)
+        n = len(self._jobs)
         if n:
             self._virtual += (now - self._last_update) / n
         self._last_update = now
@@ -233,9 +243,9 @@ class PSServer(Server):
         now = self.sim.now
         self._advance_virtual()
         job = _PSJob(process, self._virtual + demand, now, next(self._seq))
-        heapq.heappush(self._heap, (job.finish_virtual, job.seq, job))
+        self._jobs.push((job.finish_virtual, job.seq, job))
         self.population.add(1)
-        if len(self._heap) == 1:
+        if len(self._jobs) == 1:
             self.busy.set(1)
         # PS has no queueing phase: service starts immediately at reduced rate.
         self.waits.record(0.0)
@@ -245,28 +255,30 @@ class PSServer(Server):
         if self._completion_event is not None:
             self.sim.cancel(self._completion_event)
             self._completion_event = None
-        if not self._heap:
+        if not self._jobs:
             return
-        n = len(self._heap)
-        finish_virtual = self._heap[0][0]
+        n = len(self._jobs)
+        finish_virtual = self._jobs.peek()[0]
         remaining_virtual = finish_virtual - self._virtual
         if remaining_virtual < 0:  # floating-point drift guard
             remaining_virtual = 0.0
-        self._completion_event = self.sim.schedule(
-            remaining_virtual * n,
-            self._complete_front,
-            label=f"{self.name}:done",
+        delay = remaining_virtual * n
+        now = self.sim.now
+        if not 0.0 <= delay < _INFINITY:
+            validate_delay(now, delay)
+        self._completion_event = self._equeue.rent(
+            now + delay, self._complete_bound, self._done_label
         )
 
     def _complete_front(self) -> None:
         self._completion_event = None
         self._advance_virtual()
-        finish_virtual, _seq, job = heapq.heappop(self._heap)
+        finish_virtual, _seq, job = self._jobs.pop()
         # Pin the virtual clock to the finish value to stop drift compounding.
         self._virtual = max(self._virtual, finish_virtual)
         now = self.sim.now
         self.population.add(-1)
-        if not self._heap:
+        if not self._jobs:
             self.busy.set(0)
         self.responses.record(now - job.arrived)
         self.completions += 1
@@ -274,12 +286,12 @@ class PSServer(Server):
         job.process.resume_now()
 
     def abort_all(self) -> int:
-        flushed = len(self._heap)
+        flushed = len(self._jobs)
         if self._completion_event is not None:
             self.sim.cancel(self._completion_event)
             self._completion_event = None
         self._advance_virtual()
-        self._heap.clear()
+        self._jobs.clear()
         if flushed:
             self.population.add(-flushed)
         self.busy.set(0)
@@ -303,8 +315,10 @@ class DelayStation(Server):
         self.population.add(1)
         self.busy.add(1)
         self.waits.record(0.0)
-        self.sim.schedule(
-            demand, lambda: self._complete(process, now), label=f"{self.name}:done"
+        if not 0.0 <= demand < _INFINITY:
+            validate_delay(now, demand)
+        self._equeue.rent(
+            now + demand, lambda: self._complete(process, now), self._done_label
         )
 
     def _complete(self, process: Process, arrived: float) -> None:

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple, Type
 
-from repro.telemetry.events import TelemetryEvent
+from repro.telemetry.events import TelemetryEvent, TraceMessage
 
 #: A subscriber callable.  Handlers for a specific type may annotate the
 #: concrete event class; the bus stores them type-erased.
@@ -66,11 +66,17 @@ class EventBus:
         active: ``True`` while at least one subscription exists.  A plain
             attribute (not a property) so hot kernel paths can test it at
             attribute-load cost.
+        trace_wanted: ``True`` while an *explicit*
+            :class:`~repro.telemetry.events.TraceMessage` subscriber
+            exists (``wants_type(TraceMessage)`` as a plain attribute).
+            The engine's event loop keys its fast/slow path off this, so
+            an un-traced run never tests the subscription tables at all.
         emitted: Total events dispatched so far.
     """
 
     def __init__(self) -> None:
         self.active: bool = False
+        self.trace_wanted: bool = False
         self.emitted: int = 0
         # type -> immutable handler snapshot (rebuilt on (un)subscribe so
         # emit() can iterate without copying).
@@ -125,6 +131,7 @@ class EventBus:
         self._by_type = {kind: tuple(handlers) for kind, handlers in by_type.items()}
         self._all = tuple(catch_all)
         self.active = bool(self._by_type or self._all)
+        self.trace_wanted = TraceMessage in self._by_type
 
     # ------------------------------------------------------------------
     # Emission

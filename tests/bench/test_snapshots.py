@@ -1,0 +1,150 @@
+"""The committed ``BENCH_*.json`` snapshots and the compare gate.
+
+These are pure unit tests — no benchmark actually runs.  The committed
+snapshots must stay schema-valid (the perf CI job loads them on every
+push), and ``compare_reports`` must match cases on ``(name, scale)`` so
+a smoke-scale run never gates against full-scale recorded rates.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.core import (
+    CaseResult,
+    compare_reports,
+    load_payload,
+    report_from_payload,
+)
+from repro.bench.schema import BenchSchemaError, validate_bench_payload
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+PERF_DIR = REPO_ROOT / "benchmarks" / "perf"
+SNAPSHOTS = sorted(PERF_DIR.glob("BENCH_*.json"))
+
+
+def _case_dict(name: str, scale: str, rate: float) -> dict:
+    return {
+        "name": name,
+        "kind": "stress",
+        "scale": scale,
+        "description": "synthetic",
+        "events": 1000,
+        "wall_s": round(1000 / rate, 6),
+        "events_per_sec": rate,
+        "peak_rss_kb": 1,
+        "repeats": 1,
+    }
+
+
+def _payload(cases: list) -> dict:
+    return {
+        "format": 1,
+        "bench": "BENCH_6",
+        "kernel": "synthetic",
+        "python": "3.x",
+        "platform": "test",
+        "cases": cases,
+    }
+
+
+def _report(cases: list) -> "object":
+    return report_from_payload(_payload(cases))
+
+
+class TestCommittedSnapshots:
+    def test_snapshots_exist(self):
+        names = [path.name for path in SNAPSHOTS]
+        assert "BENCH_6.json" in names
+        assert "BENCH_6_smoke.json" in names
+
+    @pytest.mark.parametrize("path", SNAPSHOTS, ids=lambda p: p.name)
+    def test_committed_snapshot_is_schema_valid(self, path):
+        load_payload(path)  # validates on read
+
+    def test_full_snapshot_records_required_speedup(self):
+        payload = load_payload(PERF_DIR / "BENCH_6.json")
+        speedups = payload["speedup_vs_baseline"]
+        assert speedups, "full snapshot must embed the seed baseline"
+        # The acceptance bar for the overhaul: >= 1.5x on the stress
+        # config, measured by the same harness against both kernels.
+        assert speedups["stress_mix"] >= 1.5
+        assert all(ratio > 1.0 for ratio in speedups.values())
+
+    def test_smoke_snapshot_covers_smoke_scale_of_every_case(self):
+        full = load_payload(PERF_DIR / "BENCH_6.json")
+        smoke = load_payload(PERF_DIR / "BENCH_6_smoke.json")
+        assert {c["name"] for c in smoke["cases"]} == {
+            c["name"] for c in full["cases"]
+        }
+        assert all(c["scale"] == "smoke" for c in smoke["cases"])
+        assert all(c["scale"] == "full" for c in full["cases"])
+
+
+class TestSchemaValidation:
+    def test_rejects_unknown_case_field(self):
+        case = _case_dict("a", "full", 100.0)
+        case["surprise"] = True
+        with pytest.raises(BenchSchemaError):
+            validate_bench_payload(_payload([case]))
+
+    def test_rejects_bad_scale(self):
+        case = _case_dict("a", "full", 100.0)
+        case["scale"] = "huge"
+        with pytest.raises(BenchSchemaError):
+            validate_bench_payload(_payload([case]))
+
+    def test_rejects_format_mismatch(self):
+        payload = _payload([_case_dict("a", "full", 100.0)])
+        payload["format"] = 999
+        with pytest.raises(BenchSchemaError):
+            validate_bench_payload(payload)
+
+
+class TestCompareGate:
+    def test_healthy_within_tolerance(self):
+        current = _report([_case_dict("a", "smoke", 90.0)])
+        reference = _payload([_case_dict("a", "smoke", 100.0)])
+        assert compare_reports(current, reference, max_regression=0.15) == []
+
+    def test_flags_regression_beyond_tolerance(self):
+        current = _report([_case_dict("a", "smoke", 80.0)])
+        reference = _payload([_case_dict("a", "smoke", 100.0)])
+        regressions = compare_reports(current, reference, max_regression=0.15)
+        assert [r.name for r in regressions] == ["a"]
+        assert regressions[0].current == pytest.approx(80.0)
+        assert regressions[0].reference == pytest.approx(100.0)
+
+    def test_never_compares_across_scales(self):
+        # A smoke run is slower per event than the full-scale recording
+        # (fixed overhead amortizes worse); it must match nothing rather
+        # than report a phantom regression.
+        current = _report([_case_dict("a", "smoke", 50.0)])
+        reference = _payload([_case_dict("a", "full", 100.0)])
+        assert compare_reports(current, reference, max_regression=0.15) == []
+
+    def test_cases_present_on_one_side_only_are_ignored(self):
+        current = _report([_case_dict("new_case", "smoke", 10.0)])
+        reference = _payload([_case_dict("old_case", "smoke", 100.0)])
+        assert compare_reports(current, reference, max_regression=0.15) == []
+
+    def test_events_per_sec_derived_from_best_wall(self):
+        result = CaseResult(
+            name="a",
+            kind="stress",
+            scale="full",
+            description="",
+            events=2000,
+            wall_s=0.5,
+            peak_rss_kb=1,
+            repeats=3,
+        )
+        assert result.events_per_sec == pytest.approx(4000.0)
+
+    def test_committed_smoke_snapshot_gates_itself(self):
+        payload = load_payload(PERF_DIR / "BENCH_6_smoke.json")
+        current = report_from_payload(payload)
+        assert compare_reports(current, payload, max_regression=0.15) == []

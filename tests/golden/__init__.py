@@ -1,0 +1,1 @@
+"""The golden-trace corpus: recorded digests that license kernel refactors."""

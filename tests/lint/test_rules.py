@@ -384,6 +384,71 @@ def test_rl011_clean(tmp_path, relative, source):
 
 
 # ----------------------------------------------------------------------
+# RL012 — event-list internals stay inside repro.sim.events
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "relative, source",
+    [
+        (
+            "repro/sim/scheduler2.py",
+            "import heapq\n\ndef pick(entries):\n    return heapq.heappop(entries)\n",
+        ),
+        (
+            "repro/sim/scheduler3.py",
+            "from heapq import heappush\n\ndef add(h, e):\n    heappush(h, e)\n",
+        ),
+        (
+            "repro/model/peek.py",
+            "def next_time(sim):\n    return sim._queue._heap[0][0]\n",
+        ),
+        (
+            "repro/faults/drain.py",
+            "def drain(queue):\n    queue._buckets.clear()\n    queue._keys.clear()\n",
+        ),
+        (
+            "repro/sim/pool.py",
+            "def reuse(queue):\n    return queue._free.pop()\n",
+        ),
+    ],
+)
+def test_rl012_fires(tmp_path, relative, source):
+    result = lint_snippet(tmp_path, relative, source, select=["RL012"])
+    assert "RL012" in codes(result)
+
+
+@pytest.mark.parametrize(
+    "relative, source",
+    [
+        # The one implementation home is exempt.
+        (
+            "repro/sim/events.py",
+            "import heapq\n\ndef pick(h):\n    return heapq.heappop(h)\n",
+        ),
+        # The public queue API is the blessed spelling everywhere else.
+        (
+            "repro/sim/resources2.py",
+            "from repro.sim.events import MinHeap\n\n"
+            "def build():\n"
+            "    heap = MinHeap()\n"
+            "    heap.push((1.0, 0))\n"
+            "    return heap.peek()\n",
+        ),
+        (
+            "repro/sim/engine2.py",
+            "def drive(sim):\n"
+            "    event = sim._queue.pop_due(10.0)\n"
+            "    return event\n",
+        ),
+    ],
+)
+def test_rl012_clean(tmp_path, relative, source):
+    result = lint_snippet(tmp_path, relative, source, select=["RL012"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour around rule selection
 # ----------------------------------------------------------------------
 

@@ -1,0 +1,220 @@
+"""Property-based tests: every future-event list vs a naive reference.
+
+Hypothesis drives randomized operation sequences against
+:class:`~repro.sim.events.EventQueue` and
+:class:`~repro.sim.events.CalendarQueue` (several bucket widths) and
+checks them against an obviously-correct sorted-list model.  The pinned
+contract:
+
+* total order by ``(time, priority, insertion order)``;
+* ``cancel`` after fire (or double-cancel) is a no-op;
+* ``peek_time`` always names the time of the next live pop, ``None``
+  exactly when no live events remain;
+* FIFO among simultaneous equal-priority events.
+
+Times are drawn from a small grid *and* a continuous range so that ties
+(the interesting case for the heap's comparison path) occur constantly.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.sim.errors import SchedulingError  # noqa: E402
+from repro.sim.events import (  # noqa: E402
+    CalendarQueue,
+    Event,
+    EventQueue,
+    make_event_queue,
+)
+
+QUEUE_FACTORIES = [
+    pytest.param(EventQueue, id="heap"),
+    pytest.param(lambda: CalendarQueue(bucket_width=1.0), id="calendar-1.0"),
+    pytest.param(lambda: CalendarQueue(bucket_width=0.75), id="calendar-0.75"),
+    pytest.param(lambda: CalendarQueue(bucket_width=16.0), id="calendar-16"),
+]
+
+#: Mostly grid times (maximal tie pressure) with some continuous spice.
+times = st.one_of(
+    st.sampled_from([0.0, 0.5, 1.0, 1.5, 2.0, 3.0, 10.0]),
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False, allow_infinity=False),
+)
+priorities = st.sampled_from([-2, -1, 0, 1, 5])
+
+
+class ReferenceQueue:
+    """The obviously-correct model: a list scanned for the minimum key."""
+
+    def __init__(self):
+        self._entries = []  # (time, priority, seq, tag, cancelled-flag list)
+        self._seq = 0
+
+    def push(self, time, priority, tag):
+        self._entries.append([time, priority, self._seq, tag, False])
+        self._seq += 1
+
+    def cancel(self, tag):
+        for entry in self._entries:
+            if entry[3] == tag:
+                entry[4] = True
+                return
+
+    def _live(self):
+        return [entry for entry in self._entries if not entry[4]]
+
+    def __len__(self):
+        return len(self._live())
+
+    def peek_time(self):
+        live = self._live()
+        if not live:
+            return None
+        return min(live, key=lambda entry: entry[:3])[0]
+
+    def pop(self):
+        live = self._live()
+        entry = min(live, key=lambda entry: entry[:3])
+        self._entries.remove(entry)
+        return entry[3]
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+@given(items=st.lists(st.tuples(times, priorities), max_size=40))
+@settings(max_examples=60, deadline=None)
+def test_drain_order_matches_reference(factory, items):
+    queue = factory()
+    model = ReferenceQueue()
+    events = []
+    for tag, (time, priority) in enumerate(items):
+        event = Event(time, lambda: None, priority=priority, label=str(tag))
+        queue.push(event)
+        events.append(event)
+        model.push(time, priority, tag)
+    while queue:
+        assert queue.peek_time() == model.peek_time()
+        assert int(queue.pop().label) == model.pop()
+    assert queue.peek_time() is None
+    assert len(model) == 0
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+@given(
+    items=st.lists(st.tuples(times, priorities), min_size=1, max_size=30),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_interleaved_cancel_matches_reference(factory, items, data):
+    queue = factory()
+    model = ReferenceQueue()
+    events = {}
+    for tag, (time, priority) in enumerate(items):
+        event = Event(time, lambda: None, priority=priority, label=str(tag))
+        queue.push(event)
+        events[tag] = event
+        model.push(time, priority, tag)
+    cancelled = data.draw(
+        st.lists(st.sampled_from(sorted(events)), unique=True, max_size=len(events))
+    )
+    for tag in cancelled:
+        queue.cancel(events[tag])
+        model.cancel(tag)
+    assert len(queue) == len(model)
+    while queue:
+        assert queue.peek_time() == model.peek_time()
+        assert int(queue.pop().label) == model.pop()
+    assert len(model) == 0
+    with pytest.raises(SchedulingError):
+        queue.pop()
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+@given(items=st.lists(st.tuples(times, priorities), min_size=1, max_size=20))
+@settings(max_examples=40, deadline=None)
+def test_cancel_after_fire_is_noop(factory, items):
+    queue = factory()
+    for tag, (time, priority) in enumerate(items):
+        queue.push(Event(time, lambda: None, priority=priority, label=str(tag)))
+    size_before = len(queue)
+    fired = queue.pop()
+    assert fired.fired
+    queue.cancel(fired)  # documented no-op
+    assert not fired.cancelled
+    assert len(queue) == size_before - 1
+    # Double-cancel of a live event is also a no-op for the live count.
+    if queue:
+        victim_time = queue.peek_time()
+        victim = queue.pop()
+        requeued = Event(victim.time, lambda: None, priority=victim.priority)
+        queue.push(requeued)
+        assert queue.peek_time() is not None
+        queue.cancel(requeued)
+        queue.cancel(requeued)
+        assert len(queue) == size_before - 2
+        assert victim.time == victim_time
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+@given(count=st.integers(min_value=2, max_value=50), time=times)
+@settings(max_examples=40, deadline=None)
+def test_fifo_among_simultaneous(factory, count, time):
+    queue = factory()
+    for tag in range(count):
+        queue.push(Event(time, lambda: None, label=str(tag)))
+    drained = [int(queue.pop().label) for _ in range(count)]
+    assert drained == list(range(count))
+
+
+@pytest.mark.parametrize("kind", ["heap", "calendar"])
+@given(items=st.lists(times, min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_rent_orders_like_push_and_reuses_objects(kind, items):
+    """Rented events drain in (time, insertion) order; recycling reuses."""
+    queue = make_event_queue(kind)
+    for tag, time in enumerate(items):
+        queue.rent(time, lambda: None, str(tag))
+    model = sorted(range(len(items)), key=lambda tag: (items[tag], tag))
+    seen = []
+    drained = []
+    while queue:
+        event = queue.pop()
+        drained.append(int(event.label))
+        seen.append(event)
+        queue.recycle(event)
+    assert drained == model
+    # The free-list hands back the recycled objects rather than allocating.
+    reused = queue.rent(0.0, lambda: None, "reused")
+    assert reused in seen
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+def test_pop_empty_raises(factory):
+    queue = factory()
+    assert queue.peek_time() is None
+    with pytest.raises(SchedulingError):
+        queue.pop()
+
+
+@pytest.mark.parametrize("factory", QUEUE_FACTORIES)
+@given(
+    items=st.lists(st.tuples(times, priorities), min_size=1, max_size=25),
+    horizon=times,
+)
+@settings(max_examples=60, deadline=None)
+def test_pop_due_respects_horizon(factory, items, horizon):
+    queue = factory()
+    model = ReferenceQueue()
+    for tag, (time, priority) in enumerate(items):
+        queue.push(Event(time, lambda: None, priority=priority, label=str(tag)))
+        model.push(time, priority, tag)
+    while True:
+        due = queue.pop_due(horizon)
+        if due is None:
+            break
+        assert due.time <= horizon
+        assert int(due.label) == model.pop()
+    remaining = model.peek_time()
+    assert remaining is None or remaining > horizon
+    assert queue.peek_time() == remaining

@@ -1,4 +1,18 @@
-"""Stress tests: the kernel under pathological event patterns."""
+"""Stress tests: the kernel under pathological event patterns.
+
+Every scenario pins an exact *event-count budget* alongside its
+behavioural assertion.  The kernel is deterministic, so the number of
+events a workload fires is a pure function of the workload — a budget
+mismatch means the kernel started firing extra bookkeeping events (or
+skipping real ones), which perf work can otherwise introduce silently.
+
+The ``perf``-marked smoke test asserts a deliberately conservative
+events/sec floor (the overhauled kernel clears it by an order of
+magnitude even on loaded CI runners); the real trajectory lives in
+``benchmarks/perf/BENCH_6.json``.
+"""
+
+import time
 
 import pytest
 
@@ -16,6 +30,8 @@ class TestEventStorms:
             sim.schedule(1.0, lambda i=i: order.append(i))
         sim.run()
         assert order == list(range(count))
+        assert sim.events_fired == count
+        assert sim.pending_events == 0
 
     def test_heavy_cancellation_does_not_leak(self):
         sim = Simulator()
@@ -40,6 +56,7 @@ class TestEventStorms:
         sim.run()
         assert len(fired) == 2001
         assert sim.now == 0.0
+        assert sim.events_fired == 2001
 
 
 class TestProcessStorms:
@@ -56,6 +73,8 @@ class TestProcessStorms:
             sim.launch(worker(i))
         sim.run()
         assert len(done) == 1000
+        # Budget: one activation + three hold resumes per process.
+        assert sim.events_fired == 1000 * 4
 
     def test_ps_server_with_hundreds_of_concurrent_jobs(self):
         sim = Simulator()
@@ -72,6 +91,9 @@ class TestProcessStorms:
         # count * demand.
         assert sim.now == pytest.approx(count * 1.0, rel=1e-9)
         assert cpu.completions == count
+        # Budget: activation + one *fired* completion + one resume per
+        # job; the PS server's cancelled reschedules must never fire.
+        assert sim.events_fired == count * 3
 
     def test_fcfs_long_queue_drains_in_order(self):
         sim = Simulator()
@@ -86,6 +108,8 @@ class TestProcessStorms:
             sim.launch(job(i))
         sim.run()
         assert finished == list(range(2000))
+        # Budget: activation + completion + resume per job.
+        assert sim.events_fired == 2000 * 3
 
     def test_passivate_reactivate_waves(self):
         sim = Simulator()
@@ -106,6 +130,9 @@ class TestProcessStorms:
         sim.schedule(10.0, wake_all)
         sim.run()
         assert sorted(woken) == list(range(500))
+        # Budget: activation + reactivation resume per sleeper, plus the
+        # single wake_all event.
+        assert sim.events_fired == 500 * 2 + 1
 
 
 class TestLongRuns:
@@ -120,3 +147,41 @@ class TestLongRuns:
         sim.launch(ticker())
         sim.run()
         assert sim.now == pytest.approx(10_000.0, rel=1e-9)
+        assert sim.events_fired == 100_001
+
+
+@pytest.mark.perf
+class TestThroughputFloor:
+    """A conservative events/sec floor for the kernel hot path.
+
+    The floor is ~10x below what the overhauled kernel sustains on a
+    developer machine, so it only trips on genuine order-of-magnitude
+    regressions (e.g. an accidental O(n) scan per pop), never on CI
+    noise.  Trajectory-grade comparison happens in the ``perf`` CI job
+    against ``benchmarks/perf/BENCH_6.json``.
+    """
+
+    FLOOR_EVENTS_PER_SEC = 25_000.0
+
+    def test_mixed_workload_meets_floor(self):
+        sim = Simulator(seed=7)
+        cpu = PSServer(sim, name="cpu")
+        disk = FCFSServer(sim, name="disk", servers=2)
+
+        def worker(i):
+            for _ in range(60):
+                yield Hold(0.1 + (i % 13) * 0.01)
+                yield cpu.service(0.05 + (i % 7) * 0.01)
+                yield disk.service(0.02 + (i % 5) * 0.005)
+
+        for i in range(100):
+            sim.launch(worker(i), name=f"w{i}")
+        start = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - start
+        assert sim.events_fired == 100 * (1 + 60 * 5)
+        rate = sim.events_fired / wall
+        assert rate > self.FLOOR_EVENTS_PER_SEC, (
+            f"kernel throughput collapsed: {rate:,.0f} ev/s "
+            f"(floor {self.FLOOR_EVENTS_PER_SEC:,.0f})"
+        )
