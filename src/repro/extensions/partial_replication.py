@@ -79,7 +79,10 @@ class ReplicationMap:
         """Each item on ``copies`` sites chosen uniformly at random."""
         if not 1 <= copies <= num_sites:
             raise ValueError(f"copies must be in [1, {num_sites}], got {copies}")
-        rng = random.Random(seed)
+        # Placement happens before the simulation starts and is a pure
+        # function of the explicit seed argument — it never touches the
+        # run's stream registry, so replay cannot be perturbed by it.
+        rng = random.Random(seed)  # reprolint: disable=RL014
         placement = tuple(
             tuple(sorted(rng.sample(range(num_sites), copies)))
             for _ in range(num_items)

@@ -96,9 +96,14 @@ class ModuleContext:
         return resolve_imported(node, self.imports)
 
 
-@dataclass
+@dataclass(eq=False)
 class ProjectContext:
-    """Every module parsed in this lint run, keyed by dotted module name."""
+    """Every module parsed in this lint run, keyed by dotted module name.
+
+    Identity semantics (``eq=False``): two contexts are never "the same
+    run", and the flow layer keys its per-run analysis cache on context
+    identity (see :func:`repro.lint.flow.flow_program`).
+    """
 
     modules: Dict[str, ModuleContext] = field(default_factory=dict)
 
@@ -117,6 +122,10 @@ class Rule:
     summary: str = ""
     #: Dotted-module prefixes :meth:`check_module` applies to.
     scope: Tuple[str, ...] = ("repro",)
+    #: Whole-program rules (RL013+) are more expensive — they build a
+    #: project-wide symbol table and call graph — so the engine only runs
+    #: them when ``--flow`` is passed or the code is named in ``--select``.
+    flow: bool = False
 
     def applies_to(self, module: str) -> bool:
         """Whether *module* falls under this rule's scope prefixes."""
@@ -170,7 +179,8 @@ def register(cls: RuleT) -> RuleT:
 
 def iter_rules() -> List[Rule]:
     """One instance of every registered rule, sorted by code."""
-    # Importing the rules module populates the registry on first use.
+    # Importing the rule modules populates the registry on first use.
+    import repro.lint.flow.rules  # noqa: F401  (import for side effect)
     import repro.lint.rules  # noqa: F401  (import for side effect)
 
     return [_REGISTRY[code]() for code in sorted(_REGISTRY)]
@@ -178,6 +188,7 @@ def iter_rules() -> List[Rule]:
 
 def rule_codes() -> List[str]:
     """All registered rule codes, sorted."""
+    import repro.lint.flow.rules  # noqa: F401  (import for side effect)
     import repro.lint.rules  # noqa: F401  (import for side effect)
 
     return sorted(_REGISTRY)

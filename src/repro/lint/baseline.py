@@ -1,0 +1,179 @@
+"""Baseline / ratchet support for accepted findings.
+
+A baseline is a committed JSON file listing findings that are *known and
+accepted* — typically flow findings whose fix is a judgment call that
+was made explicitly (see ``docs/linting.md``).  Applying a baseline
+subtracts those findings from a run, so CI stays green on the accepted
+set while any **new** finding still fails.  The ratchet works in both
+directions: a baseline entry that no longer matches anything is *stale*
+and also fails the run, so the accepted set can only shrink.
+
+Findings are matched by fingerprint — ``(code, path, message)``, with
+the path normalized to a ``/``-separated form relative to the current
+working directory when possible.  Line numbers are deliberately **not**
+part of the fingerprint: unrelated edits move code around, and a
+baseline that churns on every edit trains people to regenerate it
+blindly, which defeats the ratchet.
+
+File format (schema version 1, stable key order)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"code": "RL017", "path": "src/repro/telemetry/session.py",
+         "message": "subscriber _on_warmup_ended() can schedule ..."}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set, Tuple
+
+from repro.lint.base import Violation
+from repro.lint.engine import LintResult
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+#: Default baseline filename, auto-detected in the working directory.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def _normalize_path(path: str) -> str:
+    """Repo-relative ``/``-separated form of *path* when possible."""
+    candidate = pathlib.Path(path)
+    if candidate.is_absolute():
+        try:
+            candidate = candidate.relative_to(pathlib.Path.cwd())
+        except ValueError:
+            pass
+    return candidate.as_posix()
+
+
+def fingerprint(violation: Violation) -> Fingerprint:
+    """The baseline identity of *violation* (line numbers excluded)."""
+    return (violation.code, _normalize_path(violation.path), violation.message)
+
+
+@dataclass
+class Baseline:
+    """The accepted-findings set loaded from (or written to) disk."""
+
+    entries: List[Fingerprint] = field(default_factory=list)
+
+    @classmethod
+    def load(cls, path: pathlib.Path) -> "Baseline":
+        """Read a baseline file.
+
+        Raises:
+            ValueError: On malformed JSON or an unsupported schema.
+            OSError: When the file cannot be read.
+        """
+        try:
+            document = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as error:
+            raise ValueError(f"{path}: not valid JSON ({error})") from error
+        if not isinstance(document, dict) or document.get("version") != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline schema "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        entries: List[Fingerprint] = []
+        raw_entries = document.get("entries", [])
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"{path}: 'entries' must be a list")
+        for raw in raw_entries:
+            if (
+                not isinstance(raw, dict)
+                or not isinstance(raw.get("code"), str)
+                or not isinstance(raw.get("path"), str)
+                or not isinstance(raw.get("message"), str)
+            ):
+                raise ValueError(
+                    f"{path}: each entry needs string 'code', 'path', "
+                    "and 'message' fields"
+                )
+            entries.append((raw["code"], raw["path"], raw["message"]))
+        return cls(entries=entries)
+
+    @classmethod
+    def from_result(cls, result: LintResult) -> "Baseline":
+        """A baseline accepting every violation in *result*."""
+        return cls(entries=sorted(fingerprint(v) for v in result.violations))
+
+    def write(self, path: pathlib.Path) -> None:
+        """Write the baseline file (sorted entries, stable key order)."""
+        document = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                {"code": code, "path": rel_path, "message": message}
+                for code, rel_path, message in sorted(self.entries)
+            ],
+        }
+        path.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+@dataclass
+class BaselineOutcome:
+    """Result of subtracting a baseline from a lint run."""
+
+    #: Violations not covered by the baseline — still fail the run.
+    new_violations: List[Violation]
+    #: Baseline entries that matched nothing (ratchet: must be removed).
+    stale_entries: List[Fingerprint]
+    #: How many findings the baseline absorbed.
+    matched: int
+
+
+def apply_baseline(
+    result: LintResult,
+    baseline: Baseline,
+    active_codes: Iterable[str],
+) -> BaselineOutcome:
+    """Subtract *baseline* from *result*.
+
+    Matching is multiset-aware: two identical findings need two baseline
+    entries.  Staleness is only judged for *active_codes* — an entry for
+    a rule that did not run this time (e.g. a flow code in a non-flow
+    run) is neither matched nor stale.
+    """
+    budget: Dict[Fingerprint, int] = Counter(baseline.entries)
+    active: Set[str] = set(active_codes)
+    new_violations: List[Violation] = []
+    matched = 0
+    for violation in result.violations:
+        key = fingerprint(violation)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            matched += 1
+        else:
+            new_violations.append(violation)
+    stale: List[Fingerprint] = []
+    for key in sorted(budget):
+        if key[0] not in active:
+            continue
+        stale.extend([key] * budget[key])
+    return BaselineOutcome(
+        new_violations=new_violations, stale_entries=stale, matched=matched
+    )
+
+
+__all__ = [
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE",
+    "Fingerprint",
+    "fingerprint",
+    "Baseline",
+    "BaselineOutcome",
+    "apply_baseline",
+]

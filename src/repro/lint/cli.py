@@ -3,13 +3,25 @@
 Usage::
 
     repro-lint [paths ...]              # default: src/repro (or ./repro)
+    repro-lint --flow src/repro         # + whole-program rules RL013-RL018
     repro-lint --format json src/repro
+    repro-lint --format sarif src/repro > lint.sarif
     repro-lint --select RL001,RL004 src/repro
     repro-lint --ignore RL009 src/repro
+    repro-lint --flow --update-baseline src/repro
     repro-lint --list-rules
 
 Also runnable as ``python -m repro.lint``.  Exit codes: 0 = clean,
-1 = violations found, 2 = usage error or unparseable input files.
+1 = violations found, 2 = usage error, unparseable input files, or a
+stale baseline entry.
+
+Baselines: ``--baseline FILE`` subtracts a committed accepted-findings
+file from the run (new findings still fail; stale entries fail the
+ratchet).  With ``--flow`` and no explicit ``--baseline``, a
+``lint-baseline.json`` in the working directory is applied
+automatically, so ``repro-lint --flow src/repro`` in CI needs no extra
+flags.  ``--update-baseline`` rewrites the file from the current
+findings instead of failing on them.
 """
 
 from __future__ import annotations
@@ -19,8 +31,14 @@ import pathlib
 import sys
 from typing import List, Optional, Sequence
 
+from repro.lint.baseline import DEFAULT_BASELINE, Baseline, apply_baseline
 from repro.lint.engine import lint_paths
-from repro.lint.report import render_json, render_rule_list, render_text
+from repro.lint.report import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 
 
 def _split_codes(raw: Optional[str]) -> Optional[List[str]]:
@@ -53,9 +71,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     parser.add_argument(
+        "--flow",
+        action="store_true",
+        help=(
+            "also run the whole-program flow rules (RL013-RL018): "
+            "symbol table + call graph analysis across every linted file"
+        ),
+    )
+    parser.add_argument(
         "--format",
         "-f",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
     )
@@ -70,11 +96,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule codes to skip",
     )
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=pathlib.Path,
+        help=(
+            "accepted-findings file to subtract from the run "
+            f"(default with --flow: ./{DEFAULT_BASELINE} if present)"
+        ),
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current findings and exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every registered rule and exit",
     )
     return parser
+
+
+def _baseline_path(args: argparse.Namespace) -> Optional[pathlib.Path]:
+    """The baseline file to use, or ``None`` when baselining is off."""
+    if args.baseline is not None:
+        return pathlib.Path(args.baseline)
+    if args.flow:
+        candidate = pathlib.Path(DEFAULT_BASELINE)
+        if candidate.is_file() or args.update_baseline:
+            return candidate
+    return None
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -100,16 +151,71 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             paths,
             select=_split_codes(args.select),
             ignore=_split_codes(args.ignore),
+            flow=args.flow,
         )
     except (FileNotFoundError, ValueError) as error:
         print(f"repro-lint: {error}", file=sys.stderr)
         return 2
 
+    baseline_file = _baseline_path(args)
+    if args.update_baseline:
+        if baseline_file is None:
+            print(
+                "repro-lint: --update-baseline needs --baseline FILE "
+                "(or --flow for the default)",
+                file=sys.stderr,
+            )
+            return 2
+        Baseline.from_result(result).write(baseline_file)
+        print(
+            f"repro-lint: wrote {len(result.violations)} accepted "
+            f"finding(s) to {baseline_file}"
+        )
+        return 0
+
+    stale_failure = False
+    if baseline_file is not None and baseline_file.is_file():
+        try:
+            baseline = Baseline.load(baseline_file)
+        except (OSError, ValueError) as error:
+            print(f"repro-lint: {error}", file=sys.stderr)
+            return 2
+        outcome = apply_baseline(result, baseline, _active_codes(args))
+        result.violations = outcome.new_violations
+        for code, rel_path, message in outcome.stale_entries:
+            print(
+                f"repro-lint: stale baseline entry in {baseline_file}: "
+                f"{code} {rel_path}: {message!r} no longer matches any "
+                "finding — remove it (the accepted set only shrinks)",
+                file=sys.stderr,
+            )
+            stale_failure = True
+
     if args.format == "json":
         print(render_json(result))
+    elif args.format == "sarif":
+        print(render_sarif(result))
     else:
         print(render_text(result))
+    if stale_failure:
+        return 2
     return result.exit_code
+
+
+def _active_codes(args: argparse.Namespace) -> List[str]:
+    """Codes of the rules that actually ran, for staleness judgment."""
+    from repro.lint.base import iter_rules
+
+    selected = _split_codes(args.select)
+    ignored = set(_split_codes(args.ignore) or [])
+    codes: List[str] = []
+    for rule in iter_rules():
+        if selected is not None:
+            if rule.code in selected and rule.code not in ignored:
+                codes.append(rule.code)
+        elif rule.code not in ignored and (args.flow or not rule.flow):
+            codes.append(rule.code)
+    return codes
 
 
 __all__ = ["build_parser", "default_paths", "main"]

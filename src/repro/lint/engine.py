@@ -56,6 +56,10 @@ class Suppressions:
     file_level: Set[str] = field(default_factory=set)
     #: (line, column, bad_code) for pragma codes naming no known rule.
     unknown: List[Tuple[int, int, str]] = field(default_factory=list)
+    #: Tokenizer failure message when the pragma scan could not run; the
+    #: file's pragmas are unknown, so the engine must surface this rather
+    #: than silently lint the file as if it had none.
+    failure: Optional[str] = None
 
     def silences(self, code: str, line: int) -> bool:
         for codes in (self.file_level, self.by_line.get(line, set())):
@@ -68,15 +72,18 @@ def parse_suppressions(source: str, known_codes: Iterable[str]) -> Suppressions:
     """Extract ``# reprolint: disable=...`` pragmas from comment tokens.
 
     Uses the tokenizer (not a regex over raw lines) so pragma-shaped text
-    inside string literals is never misread as a pragma.  Unreadable
-    files (tokenizer errors) simply yield no suppressions — the parser
-    will report the real problem.
+    inside string literals is never misread as a pragma.  When the
+    tokenizer fails on a file the parser accepted, the returned object
+    carries a :attr:`Suppressions.failure` message — the engine reports
+    it as an ``RL000`` finding, because a file whose pragmas cannot be
+    read must not be linted as if it simply had none.
     """
     known = set(known_codes)
     result = Suppressions()
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
-    except (tokenize.TokenError, IndentationError, SyntaxError):
+    except (tokenize.TokenError, IndentationError, SyntaxError) as error:
+        result.failure = f"{type(error).__name__}: {error}"
         return result
     for token in tokens:
         if token.type != tokenize.COMMENT:
@@ -149,15 +156,27 @@ class LintResult:
 
 
 def _selected_rules(
-    select: Optional[Iterable[str]], ignore: Optional[Iterable[str]]
+    select: Optional[Iterable[str]],
+    ignore: Optional[Iterable[str]],
+    flow: bool = False,
 ) -> List[Rule]:
     """Registry rules filtered by ``--select`` / ``--ignore`` code lists.
+
+    Flow rules (whole-program analysis, RL013+) are skipped by default —
+    they run when *flow* is true or when their code is explicitly named
+    in *select*.
 
     Raises:
         ValueError: When a requested code names no registered rule.
     """
-    known = set(rule_codes())
-    wanted = set(select) if select is not None else set(known)
+    rules = iter_rules()
+    known = {rule.code for rule in rules}
+    if select is not None:
+        wanted = set(select)
+    elif flow:
+        wanted = set(known)
+    else:
+        wanted = {rule.code for rule in rules if not rule.flow}
     dropped = set(ignore) if ignore is not None else set()
     unknown = sorted((wanted | dropped) - known)
     if unknown:
@@ -167,7 +186,7 @@ def _selected_rules(
         )
     return [
         rule
-        for rule in iter_rules()
+        for rule in rules
         if rule.code in wanted and rule.code not in dropped
     ]
 
@@ -177,15 +196,17 @@ def lint_paths(
     *,
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    flow: bool = False,
 ) -> LintResult:
     """Run the selected rules over every Python file under *paths*.
 
     Returns a :class:`LintResult`; violations are sorted by
     ``(path, line, column, code)`` and already filtered through the
     suppression pragmas.  Unknown pragma codes surface as ``RL000``
-    violations so typos cannot silently disable nothing.
+    violations so typos cannot silently disable nothing.  Pass
+    ``flow=True`` to also run the whole-program flow rules (RL013+).
     """
-    rules = _selected_rules(select, ignore)
+    rules = _selected_rules(select, ignore, flow)
     known = rule_codes()
     result = LintResult()
 
@@ -240,6 +261,21 @@ def lint_paths(
                     column=column,
                 )
             )
+        if pragmas.failure is not None:
+            kept.append(
+                Violation(
+                    code="RL000",
+                    message=(
+                        "suppression pragmas could not be scanned "
+                        f"(tokenizer failed: {pragmas.failure}); pragmas "
+                        "in this file are being ignored"
+                    ),
+                    path=path_str,
+                    line=1,
+                    column=0,
+                )
+            )
+    result.errors.sort()
     result.violations = sorted(kept, key=lambda v: v.sort_key)
     return result
 

@@ -1,0 +1,36 @@
+"""Whole-program determinism analysis (the ``--flow`` pass).
+
+The per-file rules (RL001–RL012) cannot see across module boundaries: a
+policy that mutates :class:`~repro.model.view.SystemView` state through a
+helper defined two modules away, a telemetry subscriber that schedules
+events back into the simulation, or one named RNG stream consumed from
+two unrelated call paths all look locally innocent.  This subpackage
+layers a project-wide analysis on top of the existing engine:
+
+1. :mod:`repro.lint.flow.symbols` — a symbol table of every function,
+   method, and class (with resolved base classes) in the linted tree;
+2. :mod:`repro.lint.flow.callgraph` — a conservative call graph over
+   those symbols (direct calls, imported calls, ``self.m()`` virtual
+   dispatch through the class hierarchy, and name-based method
+   resolution as a fallback);
+3. :mod:`repro.lint.flow.dataflow` — named-RNG-stream provenance:
+   where each ``rng("...")`` / ``stream("...")`` is fetched, which
+   local variables hold streams, and which functions draw from them;
+4. :mod:`repro.lint.flow.purity` — per-function side-effect summaries
+   (which parameter or ``self.<attr>`` roots are mutated, whether the
+   function schedules simulation events or draws randomness),
+   propagated to a fixpoint over the call graph;
+5. :mod:`repro.lint.flow.rules` — the flow rules themselves
+   (RL013–RL018), registered in the ordinary rule registry but gated
+   behind ``repro-lint --flow``.
+
+Everything is still pure syntax analysis: no linted code is imported or
+executed.  :func:`flow_program` builds (and caches per lint run) the
+shared :class:`FlowProgram` bundle the rules consume.
+"""
+
+from __future__ import annotations
+
+from repro.lint.flow.program import FlowProgram, flow_program
+
+__all__ = ["FlowProgram", "flow_program"]

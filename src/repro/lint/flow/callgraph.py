@@ -1,0 +1,230 @@
+"""A conservative project-wide call graph over the symbol table.
+
+Resolution is purely syntactic, in decreasing order of confidence:
+
+1. direct calls to module-level functions — local (``helper()``) or
+   imported (``from repro.sim.rng import bernoulli; bernoulli(...)``),
+   with aliases resolved through the import table;
+2. class instantiation (``SystemView(...)``) → the class ``__init__``;
+3. ``self.method()`` → *virtual dispatch*: the method on the class, its
+   ancestors, and every subclass override (a template method calling
+   ``self.hook()`` may land anywhere in the hierarchy);
+4. ``obj.method()`` on anything else → *name-based dispatch*: every
+   class in the project defining ``method``.  This over-approximates,
+   which is the right direction for the purity/reachability rules — a
+   missed edge hides a violation, a spurious edge at worst asks for a
+   justification pragma.
+
+Unresolvable calls (lambdas, calls on call results, builtins) produce no
+edges; the analyses that need them (scheduling, RNG draws) match those
+patterns structurally instead (see :mod:`repro.lint.flow.purity`).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.lint.astutils import dotted
+from repro.lint.flow.symbols import FunctionSymbol, SymbolTable
+
+
+@dataclass
+class CallSite:
+    """One resolved call expression inside a function body."""
+
+    caller: str
+    node: ast.Call
+    #: Qualnames of the possible callees (sorted, deduplicated).
+    callees: Tuple[str, ...]
+    #: The receiver expression for method-style calls (``x`` in
+    #: ``x.m(...)``), ``None`` for plain function calls.
+    receiver: Optional[ast.expr]
+    #: Whether the callees are methods invoked *on* ``receiver`` (their
+    #: parameter 0 binds to the receiver object).
+    is_method_call: bool
+    #: Whether this is a class instantiation: the callee is ``__init__``,
+    #: its parameter 0 binds a *fresh* object (not any caller expression),
+    #: and positional argument *i* binds parameter ``i + 1``.
+    is_constructor: bool = False
+
+
+class CallGraph:
+    """Edges and call sites between :class:`FunctionSymbol` qualnames."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: Dict[str, Set[str]] = {}
+        self.sites: Dict[str, List[CallSite]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        graph = cls(table)
+        for symbol in table.iter_functions():
+            graph._index_function(symbol)
+        return graph
+
+    def _index_function(self, symbol: FunctionSymbol) -> None:
+        edges = self.edges.setdefault(symbol.qualname, set())
+        sites = self.sites.setdefault(symbol.qualname, [])
+        for node in ast.walk(symbol.node):
+            if not isinstance(node, ast.Call):
+                continue
+            site = self._resolve(symbol, node)
+            if site is None:
+                continue
+            edges.update(site.callees)
+            sites.append(site)
+
+    def _site(
+        self,
+        symbol: FunctionSymbol,
+        node: ast.Call,
+        callees: Set[str],
+        receiver: Optional[ast.expr],
+        is_method: bool,
+        is_constructor: bool = False,
+    ) -> Optional[CallSite]:
+        if not callees:
+            return None
+        return CallSite(
+            caller=symbol.qualname,
+            node=node,
+            callees=tuple(sorted(callees)),
+            receiver=receiver,
+            is_method_call=is_method,
+            is_constructor=is_constructor,
+        )
+
+    def _resolve(
+        self, symbol: FunctionSymbol, node: ast.Call
+    ) -> Optional[CallSite]:
+        func = node.func
+        table = self.table
+        ctx = symbol.ctx
+
+        if isinstance(func, ast.Name):
+            name = func.id
+            local = table.module_function(symbol.module, name)
+            if local is not None:
+                return self._site(symbol, node, {local.qualname}, None, False)
+            resolved = ctx.imports.get(name)
+            if resolved is not None:
+                target = table.functions.get(resolved)
+                if target is not None:
+                    return self._site(
+                        symbol, node, {target.qualname}, None, False
+                    )
+                init = self._class_init(resolved)
+                if init is not None:
+                    return self._site(
+                        symbol, node, {init}, None, True, is_constructor=True
+                    )
+            init = self._class_init(f"{symbol.module}.{name}")
+            if init is not None:
+                return self._site(
+                    symbol, node, {init}, None, True, is_constructor=True
+                )
+            return None
+
+        if isinstance(func, ast.Attribute):
+            chain = dotted(func)
+            # self.m(...) — virtual dispatch through the hierarchy.
+            if (
+                chain is not None
+                and chain == f"self.{func.attr}"
+                and symbol.class_qualname is not None
+            ):
+                targets = table.resolve_method(symbol.class_qualname, func.attr)
+                return self._site(
+                    symbol,
+                    node,
+                    {t.qualname for t in targets},
+                    func.value,
+                    True,
+                )
+            # super().m(...) — the enclosing class's ancestors.
+            if self._is_super_call(func.value) and symbol.class_qualname:
+                targets = {
+                    ancestor.methods[func.attr].qualname
+                    for ancestor in table.ancestors(symbol.class_qualname)
+                    if func.attr in ancestor.methods
+                }
+                # super() binds the *current* instance: map the implicit
+                # receiver back to the caller's own parameter 0.
+                receiver: Optional[ast.expr] = None
+                if symbol.params:
+                    receiver = ast.Name(id=symbol.params[0], ctx=ast.Load())
+                return self._site(symbol, node, targets, receiver, True)
+            # Fully resolvable dotted call (imported module attribute).
+            resolved = ctx.resolve(func)
+            if resolved is not None:
+                target = table.functions.get(resolved)
+                if target is not None:
+                    return self._site(
+                        symbol,
+                        node,
+                        {target.qualname},
+                        func.value,
+                        target.is_method,
+                    )
+                init = self._class_init(resolved)
+                if init is not None:
+                    return self._site(
+                        symbol, node, {init}, None, True, is_constructor=True
+                    )
+            # Name-based dispatch: every known method with this name.
+            # Dunders are excluded — ``__init__`` & co. appear on nearly
+            # every class, so name dispatch would weld the whole project
+            # into one blob (constructors resolve via _class_init above).
+            if not func.attr.startswith("__"):
+                methods = table.methods_by_name.get(func.attr, [])
+                if methods:
+                    return self._site(
+                        symbol,
+                        node,
+                        {m.qualname for m in methods},
+                        func.value,
+                        True,
+                    )
+        return None
+
+    @staticmethod
+    def _is_super_call(node: ast.expr) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "super"
+        )
+
+    def _class_init(self, class_qualname: str) -> Optional[str]:
+        cls_symbol = self.table.classes.get(class_qualname)
+        if cls_symbol is None:
+            return None
+        init = cls_symbol.methods.get("__init__")
+        return None if init is None else init.qualname
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def callees(self, qualname: str) -> Set[str]:
+        return self.edges.get(qualname, set())
+
+    def reachable(self, roots: List[str]) -> Set[str]:
+        """All qualnames reachable from *roots* (roots included)."""
+        seen: Set[str] = set()
+        queue = list(roots)
+        while queue:
+            current = queue.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            queue.extend(self.edges.get(current, ()))
+        return seen
+
+
+__all__ = ["CallSite", "CallGraph"]

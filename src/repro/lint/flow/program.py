@@ -1,0 +1,60 @@
+"""The shared whole-program bundle consumed by every flow rule.
+
+Building the symbol table, call graph, RNG dataflow, and purity fixpoint
+costs one pass over every module each — doing that once per *rule* would
+multiply lint time by the number of flow rules.  :func:`flow_program`
+memoizes the bundle per :class:`~repro.lint.base.ProjectContext`
+identity, so all six flow rules of a lint run share one analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import MutableMapping
+from weakref import WeakKeyDictionary
+
+from repro.lint.base import ProjectContext
+from repro.lint.flow.callgraph import CallGraph
+from repro.lint.flow.dataflow import RngFlow, build_rng_flow
+from repro.lint.flow.purity import PurityAnalysis
+from repro.lint.flow.symbols import SymbolTable
+
+
+@dataclass
+class FlowProgram:
+    """Every analysis layer for one lint run, built once and shared."""
+
+    project: ProjectContext
+    symbols: SymbolTable
+    callgraph: CallGraph
+    rng: RngFlow
+    purity: PurityAnalysis
+
+    @classmethod
+    def build(cls, project: ProjectContext) -> "FlowProgram":
+        symbols = SymbolTable.build(project)
+        callgraph = CallGraph.build(symbols)
+        rng = build_rng_flow(symbols)
+        purity = PurityAnalysis(symbols, callgraph, rng)
+        return cls(
+            project=project,
+            symbols=symbols,
+            callgraph=callgraph,
+            rng=rng,
+            purity=purity,
+        )
+
+
+_CACHE: MutableMapping[ProjectContext, FlowProgram] = WeakKeyDictionary()
+
+
+def flow_program(project: ProjectContext) -> FlowProgram:
+    """The (cached) :class:`FlowProgram` for *project*."""
+    program = _CACHE.get(project)
+    if program is None:
+        program = FlowProgram.build(project)
+        _CACHE[project] = program
+    return program
+
+
+__all__ = ["FlowProgram", "flow_program"]

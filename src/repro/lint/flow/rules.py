@@ -1,0 +1,471 @@
+"""The whole-program flow rules, RL013–RL018.
+
+All six are :class:`~repro.lint.base.Rule` subclasses registered in the
+ordinary registry, but carry ``flow = True`` so the engine only runs
+them under ``repro-lint --flow`` (or when explicitly ``--select``-ed).
+Each works off the shared :class:`~repro.lint.flow.program.FlowProgram`
+bundle; none imports or executes linted code.
+
+The rules encode the three replay invariants the per-file rules cannot
+see across module boundaries:
+
+* **stream discipline** (RL013–RL015): each named RNG stream has one
+  owning call path; RNGs are only created inside the registry; observer
+  entry points (``__repr__`` & co.) never reach a draw;
+* **context purity** (RL016–RL017): policy decisions and telemetry
+  subscribers are read-only toward the simulation;
+* **order sensitivity** (RL018): unordered iteration never feeds event
+  scheduling or RNG consumption.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.base import ProjectContext, Rule, Violation, register
+from repro.lint.flow.callgraph import CallSite
+from repro.lint.flow.dataflow import DRAW_METHODS, StreamDraw
+from repro.lint.flow.program import FlowProgram, flow_program
+from repro.lint.flow.purity import SCHEDULING_METHODS
+from repro.lint.flow.symbols import OBSERVER_DUNDERS, FunctionSymbol
+from repro.lint.rules import _is_unordered_set_expr, _unwrap_order_preserving
+
+#: The module that owns RNG construction; everything else must go through
+#: the registry it exposes.
+RNG_REGISTRY_MODULE = "repro.sim.rng"
+
+#: ``random`` entry points that mint or reseed generator state.
+RNG_CONSTRUCTORS = frozenset(
+    {"random.Random", "random.SystemRandom", "random.seed", "random.setstate"}
+)
+
+#: ``self.<attr>`` roots inside a policy that reach shared simulation
+#: state rather than private policy scratch space.
+POLICY_FORBIDDEN_SELF = frozenset(
+    {"system", "sim", "simulator", "model", "sites", "queue"}
+)
+
+#: Methods a subscriber must stay pure toward the simulation in.
+SUBSCRIBE_METHODS = frozenset({"subscribe", "subscribe_all"})
+
+
+class FlowRule(Rule):
+    """Base for whole-program rules: resolves the shared bundle once."""
+
+    flow = True
+
+    def check_project(self, project: ProjectContext) -> Iterator[Violation]:
+        return self.check_flow(flow_program(project))
+
+    def check_flow(self, program: FlowProgram) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+def _flow_violation(
+    rule: Rule, symbol: FunctionSymbol, node: ast.AST, message: str
+) -> Violation:
+    return Violation(
+        code=rule.code,
+        message=message,
+        path=str(symbol.ctx.path),
+        line=getattr(node, "lineno", symbol.node.lineno),
+        column=getattr(node, "col_offset", symbol.node.col_offset),
+    )
+
+
+@register
+class StreamSingleOwner(FlowRule):
+    """RL013 — each named RNG stream has exactly one owning call path.
+
+    The replay guarantee is compositional *because* streams are
+    partitioned by activity: adding a draw in one activity cannot shift
+    another activity's sequence.  A stream name consumed from two
+    unrelated functions silently couples them — a draw added in one
+    perturbs the other.  Route the second consumer through its own named
+    stream (or pass the stream object down explicitly from the owner).
+    """
+
+    code = "RL013"
+    name = "stream-single-owner"
+    summary = (
+        "each named RNG stream must be drawn from exactly one owning "
+        "function (single-owner stream discipline)"
+    )
+
+    def check_flow(self, program: FlowProgram) -> Iterator[Violation]:
+        by_name: Dict[str, Dict[str, List[StreamDraw]]] = {}
+        for qualname in sorted(program.rng.per_function):
+            for draw in program.rng.per_function[qualname].draws:
+                if draw.name is None:
+                    continue
+                by_name.setdefault(draw.name, {}).setdefault(
+                    qualname, []
+                ).append(draw)
+        for name in sorted(by_name):
+            owners = by_name[name]
+            if len(owners) < 2:
+                continue
+            owner = sorted(owners)[0]
+            for qualname in sorted(owners):
+                if qualname == owner:
+                    continue
+                symbol = program.symbols.functions[qualname]
+                for draw in owners[qualname]:
+                    yield _flow_violation(
+                        self,
+                        symbol,
+                        draw.node,
+                        f'RNG stream "{name}" is also drawn from '
+                        f"{owner}(); each named stream must have a "
+                        "single owning call path — give this consumer "
+                        "its own stream name",
+                    )
+
+
+@register
+class RegistryOnlyRng(FlowRule):
+    """RL014 — generators are minted only inside the stream registry.
+
+    ``random.Random(seed)`` anywhere else creates RNG state invisible to
+    the registry: it is not named, not derived from the run seed via the
+    stream-derivation hash, and not captured by the replay sanitizer.
+    Fetch a named stream (``sim.rng.stream("...")``) or ``spawn`` a
+    family instead.
+    """
+
+    code = "RL014"
+    name = "registry-only-rng"
+    summary = (
+        "random.Random/SystemRandom/seed/setstate only inside "
+        "repro.sim.rng — all other code must fetch named streams"
+    )
+
+    def check_flow(self, program: FlowProgram) -> Iterator[Violation]:
+        project = program.project
+        for module_name in sorted(project.modules):
+            if module_name == RNG_REGISTRY_MODULE:
+                continue
+            ctx = project.modules[module_name]
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                target = ctx.resolve_imported(node.func)
+                if target in RNG_CONSTRUCTORS:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"{target}() outside the stream registry "
+                        f"({RNG_REGISTRY_MODULE}); RNG state created "
+                        "here is invisible to seed derivation and "
+                        "replay — fetch a named stream instead",
+                    )
+
+
+@register
+class ObserverNoDraw(FlowRule):
+    """RL015 — observer entry points must never reach an RNG draw.
+
+    ``__repr__``, ``__eq__``, ``__hash__`` & co. run at unpredictable
+    times — debugger hovers, log formatting, set membership — so a draw
+    reachable from one makes the stream sequence depend on *observation*,
+    the exact failure mode named streams exist to prevent.  Reachability
+    is computed over the project call graph, so a draw three helpers deep
+    is still found.
+    """
+
+    code = "RL015"
+    name = "observer-entry-no-draw"
+    summary = (
+        "no RNG draw reachable from observer dunders "
+        "(__repr__/__eq__/__hash__/...) — observation must not consume "
+        "stream state"
+    )
+
+    def check_flow(self, program: FlowProgram) -> Iterator[Violation]:
+        for symbol in program.symbols.iter_functions():
+            if not symbol.is_method or symbol.name not in OBSERVER_DUNDERS:
+                continue
+            summary = program.purity.summary(symbol.qualname)
+            if summary.draws:
+                yield _flow_violation(
+                    self,
+                    symbol,
+                    symbol.node,
+                    f"{symbol.name} can reach an RNG draw; observer "
+                    "entry points run at unpredictable times and must "
+                    "never consume stream state",
+                )
+
+
+def _view_param(symbol: FunctionSymbol) -> Optional[int]:
+    """The SystemView parameter of a ``select`` override."""
+    index = symbol.param_index("view")
+    if index is not None:
+        return index
+    return 2 if len(symbol.params) >= 3 else None
+
+
+@register
+class PolicyPurity(FlowRule):
+    """RL016 — ``AllocationPolicy.select`` is read-only toward the run.
+
+    A policy may keep private state (``self._scan_offset``) — that is
+    replayed deterministically with the policy.  What it must never do,
+    directly or through any helper, is mutate the :class:`SystemView` it
+    was handed, reach through stashed ``self.system``/``self.sim``
+    references into shared model state, or schedule events: allocation
+    decisions feeding back into the world they observe breaks the
+    query/decision separation the paper's policy comparison rests on.
+    """
+
+    code = "RL016"
+    name = "policy-select-purity"
+    summary = (
+        "AllocationPolicy.select must not mutate the SystemView, reach "
+        "into simulator/model state, or schedule events"
+    )
+
+    def check_flow(self, program: FlowProgram) -> Iterator[Violation]:
+        for cls in program.symbols.subclasses_of_name("AllocationPolicy"):
+            select = cls.methods.get("select")
+            if select is None:
+                continue
+            summary = program.purity.summary(select.qualname)
+            view = _view_param(select)
+            if view is not None:
+                for mutation in program.purity.mutates_param(
+                    select.qualname, view
+                ):
+                    path = ".".join(mutation.path) or "<object>"
+                    yield _flow_violation(
+                        self,
+                        select,
+                        select.node,
+                        f"select() mutates the SystemView argument "
+                        f"(writes view.{path}, possibly via a helper); "
+                        "policies must treat the view as read-only",
+                    )
+            for mutation in program.purity.mutates_param(select.qualname, 0):
+                if (
+                    mutation.path
+                    and mutation.path[0] in POLICY_FORBIDDEN_SELF
+                ):
+                    path = ".".join(mutation.path)
+                    yield _flow_violation(
+                        self,
+                        select,
+                        select.node,
+                        f"select() mutates shared simulation state "
+                        f"(writes self.{path}, possibly via a helper); "
+                        "allocation decisions must not feed back into "
+                        "the model",
+                    )
+            if summary.schedules:
+                yield _flow_violation(
+                    self,
+                    select,
+                    select.node,
+                    "select() can schedule simulation events (directly "
+                    "or via a helper); allocation decisions must not "
+                    "inject events into the run",
+                )
+
+
+def _callback_targets(
+    program: FlowProgram, caller: FunctionSymbol, callback: ast.expr
+) -> List[FunctionSymbol]:
+    """Resolve a subscribe-callback expression to function symbols."""
+    table = program.symbols
+    if isinstance(callback, ast.Attribute):
+        value = callback.value
+        if (
+            isinstance(value, ast.Name)
+            and value.id == "self"
+            and caller.class_qualname is not None
+        ):
+            return table.resolve_method(caller.class_qualname, callback.attr)
+        return table.methods_by_name.get(callback.attr, [])
+    if isinstance(callback, ast.Name):
+        local = table.module_function(caller.module, callback.id)
+        if local is not None:
+            return [local]
+        resolved = caller.ctx.imports.get(callback.id)
+        if resolved is not None and resolved in table.functions:
+            return [table.functions[resolved]]
+    return []
+
+
+@register
+class SubscriberPurity(FlowRule):
+    """RL017 — telemetry subscribers must not feed back into the run.
+
+    The event bus is an *observation* channel: handlers may accumulate
+    into their own collectors, but a handler that schedules events, draws
+    from an RNG stream, or mutates the event it was handed turns
+    telemetry on/off into a behavioral difference — the telemetry
+    zero-overhead invariant (identical metrics with and without
+    observation) only holds if every subscriber is pure toward the
+    simulation.
+    """
+
+    code = "RL017"
+    name = "subscriber-purity"
+    summary = (
+        "EventBus subscribers must not schedule events, draw RNG "
+        "streams, or mutate the events they receive"
+    )
+
+    def check_flow(self, program: FlowProgram) -> Iterator[Violation]:
+        for caller in program.symbols.iter_functions():
+            for node in ast.walk(caller.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if (
+                    not isinstance(func, ast.Attribute)
+                    or func.attr not in SUBSCRIBE_METHODS
+                    or not node.args
+                ):
+                    continue
+                callback = node.args[-1]
+                for target in _callback_targets(program, caller, callback):
+                    yield from self._check_handler(
+                        program, caller, node, target
+                    )
+
+    def _check_handler(
+        self,
+        program: FlowProgram,
+        caller: FunctionSymbol,
+        site: ast.Call,
+        handler: FunctionSymbol,
+    ) -> Iterator[Violation]:
+        summary = program.purity.summary(handler.qualname)
+        if summary.schedules:
+            yield _flow_violation(
+                self,
+                caller,
+                site,
+                f"subscriber {handler.name}() can schedule simulation "
+                "events (directly or via a helper); telemetry must "
+                "observe the run, not steer it",
+            )
+        if summary.draws:
+            yield _flow_violation(
+                self,
+                caller,
+                site,
+                f"subscriber {handler.name}() can draw from an RNG "
+                "stream; observation must not consume stream state",
+            )
+        event_param = 1 if handler.is_method else 0
+        if len(handler.params) > event_param:
+            mutations = program.purity.mutates_param(
+                handler.qualname, event_param
+            )
+            if mutations:
+                yield _flow_violation(
+                    self,
+                    caller,
+                    site,
+                    f"subscriber {handler.name}() mutates the event it "
+                    "receives; events are shared across subscribers and "
+                    "must stay immutable",
+                )
+
+
+def _iteration_sites(node: ast.AST) -> Iterator[Tuple[ast.expr, ast.AST]]:
+    """``(iterable, owner)`` for loops and comprehension clauses."""
+    for child in ast.walk(node):
+        if isinstance(child, (ast.For, ast.AsyncFor)):
+            yield child.iter, child
+        elif isinstance(
+            child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for comp in child.generators:
+                yield comp.iter, child
+
+
+@register
+class OrderDependentEffects(FlowRule):
+    """RL018 — unordered iteration must not drive scheduling or draws.
+
+    RL003 bans set iteration inside the core simulation modules outright.
+    This rule closes the cross-module gap: *anywhere* in the tree, a loop
+    over an unordered collection whose body schedules events or consumes
+    RNG state — possibly through helpers resolved via the call graph —
+    makes event order or stream sequences depend on hash/insertion
+    history.  Sort the iterable.
+    """
+
+    code = "RL018"
+    name = "no-order-dependent-effects"
+    summary = (
+        "loops over unordered set-like collections must not (directly "
+        "or via callees) schedule events or draw RNG streams"
+    )
+
+    def check_flow(self, program: FlowProgram) -> Iterator[Violation]:
+        for symbol in program.symbols.iter_functions():
+            sites = program.callgraph.sites.get(symbol.qualname, [])
+            for iterable, owner in _iteration_sites(symbol.node):
+                unwrapped = _unwrap_order_preserving(iterable, symbol.ctx)
+                if not _is_unordered_set_expr(unwrapped, symbol.ctx):
+                    continue
+                sink = self._find_sink(program, symbol, owner, sites)
+                if sink is not None:
+                    yield _flow_violation(
+                        self,
+                        symbol,
+                        owner,
+                        "iteration over an unordered set "
+                        f"{sink}; event order and stream sequences must "
+                        "not depend on hash/insertion order — wrap the "
+                        "iterable in sorted(...)",
+                    )
+
+    def _find_sink(
+        self,
+        program: FlowProgram,
+        symbol: FunctionSymbol,
+        owner: ast.AST,
+        sites: List[CallSite],
+    ) -> Optional[str]:
+        body_nodes: Set[int] = {id(n) for n in ast.walk(owner)}
+        for node in ast.walk(owner):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in SCHEDULING_METHODS:
+                    return "schedules simulation events"
+                if func.attr in DRAW_METHODS:
+                    return "draws from an RNG stream"
+        for site in sites:
+            if id(site.node) not in body_nodes:
+                continue
+            for callee in site.callees:
+                summary = program.purity.summary(callee)
+                if summary.schedules:
+                    return (
+                        "calls a function that schedules simulation events"
+                    )
+                if summary.draws:
+                    return "calls a function that draws from an RNG stream"
+        return None
+
+
+__all__ = [
+    "RNG_REGISTRY_MODULE",
+    "RNG_CONSTRUCTORS",
+    "POLICY_FORBIDDEN_SELF",
+    "SUBSCRIBE_METHODS",
+    "FlowRule",
+    "StreamSingleOwner",
+    "RegistryOnlyRng",
+    "ObserverNoDraw",
+    "PolicyPurity",
+    "SubscriberPurity",
+    "OrderDependentEffects",
+]

@@ -1,0 +1,275 @@
+"""Project-wide symbol table: functions, methods, classes, hierarchies.
+
+The symbol table is the ground layer of the flow analysis.  It assigns
+every function and class a stable *qualified name* — the dotted module
+name plus the lexical path (``repro.policies.base.CostBasedPolicy.select``)
+— and resolves class bases through each module's import table so that the
+hierarchy can be walked across module boundaries without importing
+anything.
+
+Nested functions (closures, generators defined inside a function) are
+deliberately *not* given their own symbols: their bodies are attributed
+to the enclosing function, which keeps reachability sound (if the outer
+function is reachable, the closure may run) at the cost of a little
+precision.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.lint.base import ModuleContext, ProjectContext
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Dunders that observers (repr/debug/comparison machinery) may call at
+#: any time, in any order — they must never consume simulation randomness.
+OBSERVER_DUNDERS: Tuple[str, ...] = (
+    "__repr__",
+    "__str__",
+    "__format__",
+    "__eq__",
+    "__ne__",
+    "__lt__",
+    "__le__",
+    "__gt__",
+    "__ge__",
+    "__hash__",
+    "__len__",
+    "__bool__",
+)
+
+
+@dataclass
+class FunctionSymbol:
+    """One module-level function or method (nested defs are folded in)."""
+
+    qualname: str
+    module: str
+    name: str
+    node: FunctionNode
+    ctx: ModuleContext
+    class_qualname: Optional[str] = None
+    #: Positional parameter names, including ``self`` for methods.
+    params: Tuple[str, ...] = ()
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qualname is not None
+
+    def param_index(self, name: str) -> Optional[int]:
+        """Position of parameter *name*, or ``None``."""
+        try:
+            return self.params.index(name)
+        except ValueError:
+            return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<fn {self.qualname}>"
+
+
+@dataclass
+class ClassSymbol:
+    """One class definition with its resolved base names and methods."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    ctx: ModuleContext
+    #: Bases resolved through the import table (dotted names; a base
+    #: defined in the same module is qualified with that module).
+    base_names: Tuple[str, ...] = ()
+    methods: Dict[str, FunctionSymbol] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<class {self.qualname}>"
+
+
+def _positional_params(node: FunctionNode) -> Tuple[str, ...]:
+    args = node.args
+    return tuple(a.arg for a in args.posonlyargs) + tuple(a.arg for a in args.args)
+
+
+class SymbolTable:
+    """Every function, method, and class of one lint run, by qualname."""
+
+    def __init__(self) -> None:
+        self.functions: Dict[str, FunctionSymbol] = {}
+        self.classes: Dict[str, ClassSymbol] = {}
+        #: Method name -> definitions across all classes (sorted by
+        #: qualname so downstream analyses iterate deterministically).
+        self.methods_by_name: Dict[str, List[FunctionSymbol]] = {}
+        #: ``(module, local_name)`` -> module-level function.
+        self._module_functions: Dict[Tuple[str, str], FunctionSymbol] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, project: ProjectContext) -> "SymbolTable":
+        table = cls()
+        for module_name in sorted(project.modules):
+            table._index_module(project.modules[module_name])
+        for methods in table.methods_by_name.values():
+            methods.sort(key=lambda symbol: symbol.qualname)
+        return table
+
+    def _index_module(self, ctx: ModuleContext) -> None:
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, stmt, class_symbol=None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(ctx, stmt)
+
+    def _add_function(
+        self,
+        ctx: ModuleContext,
+        node: FunctionNode,
+        class_symbol: Optional[ClassSymbol],
+    ) -> FunctionSymbol:
+        if class_symbol is None:
+            qualname = f"{ctx.module}.{node.name}"
+        else:
+            qualname = f"{class_symbol.qualname}.{node.name}"
+        symbol = FunctionSymbol(
+            qualname=qualname,
+            module=ctx.module,
+            name=node.name,
+            node=node,
+            ctx=ctx,
+            class_qualname=None if class_symbol is None else class_symbol.qualname,
+            params=_positional_params(node),
+        )
+        self.functions[qualname] = symbol
+        if class_symbol is None:
+            self._module_functions[(ctx.module, node.name)] = symbol
+        else:
+            class_symbol.methods[node.name] = symbol
+            self.methods_by_name.setdefault(node.name, []).append(symbol)
+        return symbol
+
+    def _add_class(self, ctx: ModuleContext, node: ast.ClassDef) -> None:
+        qualname = f"{ctx.module}.{node.name}"
+        bases: List[str] = []
+        for base in node.bases:
+            resolved = ctx.resolve(base)
+            if resolved is None:
+                continue
+            if "." not in resolved:
+                # A bare name: either a class in this module or an
+                # unresolvable builtin/local; qualify optimistically.
+                resolved = f"{ctx.module}.{resolved}"
+            bases.append(resolved)
+        symbol = ClassSymbol(
+            qualname=qualname,
+            module=ctx.module,
+            name=node.name,
+            node=node,
+            ctx=ctx,
+            base_names=tuple(bases),
+        )
+        self.classes[qualname] = symbol
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(ctx, stmt, class_symbol=symbol)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def module_function(self, module: str, name: str) -> Optional[FunctionSymbol]:
+        """The module-level function *name* defined in *module*."""
+        return self._module_functions.get((module, name))
+
+    def ancestors(self, class_qualname: str) -> List[ClassSymbol]:
+        """Known base classes of *class_qualname*, transitively (BFS order)."""
+        seen = {class_qualname}
+        queue = [class_qualname]
+        found: List[ClassSymbol] = []
+        while queue:
+            symbol = self.classes.get(queue.pop(0))
+            if symbol is None:
+                continue
+            for base in symbol.base_names:
+                if base in seen:
+                    continue
+                seen.add(base)
+                base_symbol = self.classes.get(base)
+                if base_symbol is not None:
+                    found.append(base_symbol)
+                    queue.append(base)
+        return found
+
+    def descendants(self, class_qualname: str) -> List[ClassSymbol]:
+        """Known subclasses of *class_qualname*, transitively (sorted)."""
+        result: List[ClassSymbol] = []
+        for qualname in sorted(self.classes):
+            if qualname == class_qualname:
+                continue
+            ancestors = {a.qualname for a in self.ancestors(qualname)}
+            if class_qualname in ancestors:
+                result.append(self.classes[qualname])
+        return result
+
+    def subclasses_of_name(self, base_name: str) -> List[ClassSymbol]:
+        """Classes whose resolved base chain reaches a base called *base_name*.
+
+        Matches on the final dotted component, so fixture trees (where the
+        real ``repro.policies.base`` module is absent and the base resolves
+        only through the import table) still participate.  Classes *named*
+        ``base_name`` themselves are included.
+        """
+        matches: List[ClassSymbol] = []
+        for qualname in sorted(self.classes):
+            symbol = self.classes[qualname]
+            chain = [symbol.qualname]
+            chain.extend(a.qualname for a in self.ancestors(qualname))
+            # Unresolved bases (no ClassSymbol) still matter: a fixture
+            # subclassing an imported-but-unlinted AllocationPolicy has
+            # the base only as a dotted name.
+            frontier = [symbol] + self.ancestors(qualname)
+            for cls_symbol in frontier:
+                chain.extend(cls_symbol.base_names)
+            if any(name.rsplit(".", 1)[-1] == base_name for name in chain):
+                matches.append(symbol)
+        return matches
+
+    def resolve_method(
+        self, class_qualname: str, method_name: str
+    ) -> List[FunctionSymbol]:
+        """Possible targets of ``self.method_name()`` inside *class_qualname*.
+
+        Virtual dispatch: the method as defined on the class itself, on any
+        ancestor, and on any descendant override (a base-class method
+        calling ``self.hook()`` may land in a subclass).
+        """
+        targets: List[FunctionSymbol] = []
+        seen = set()
+        own = self.classes.get(class_qualname)
+        candidates: List[ClassSymbol] = []
+        if own is not None:
+            candidates.append(own)
+        candidates.extend(self.ancestors(class_qualname))
+        candidates.extend(self.descendants(class_qualname))
+        for cls_symbol in candidates:
+            method = cls_symbol.methods.get(method_name)
+            if method is not None and method.qualname not in seen:
+                seen.add(method.qualname)
+                targets.append(method)
+        return targets
+
+    def iter_functions(self) -> Iterator[FunctionSymbol]:
+        """All known functions, sorted by qualname (deterministic)."""
+        for qualname in sorted(self.functions):
+            yield self.functions[qualname]
+
+
+__all__ = [
+    "OBSERVER_DUNDERS",
+    "FunctionNode",
+    "FunctionSymbol",
+    "ClassSymbol",
+    "SymbolTable",
+]

@@ -1,0 +1,229 @@
+"""Baseline / ratchet semantics: fingerprinting, subtraction, staleness, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.base import rule_codes
+from repro.lint.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    apply_baseline,
+    fingerprint,
+)
+from repro.lint.cli import main
+from repro.lint.engine import lint_paths
+from tests.lint.util import write_tree
+
+ROGUE = {
+    "repro/model/shuffler.py": """
+        import random
+
+        def shuffled(items):
+            rng = random.Random(42)
+            out = list(items)
+            rng.shuffle(out)
+            return out
+    """,
+}
+
+
+def _flow_result(tmp_path, monkeypatch):
+    write_tree(tmp_path, ROGUE)
+    monkeypatch.chdir(tmp_path)
+    return lint_paths([tmp_path / "repro"], flow=True)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+
+def test_fingerprint_is_relative_posix_and_lineless(tmp_path, monkeypatch):
+    result = _flow_result(tmp_path, monkeypatch)
+    (violation,) = result.violations
+    code, path, message = fingerprint(violation)
+    assert code == "RL014"
+    assert path == "repro/model/shuffler.py"  # cwd-relative, /-separated
+    assert message == violation.message
+    # Line numbers are deliberately not part of the identity.
+    assert str(violation.line) not in (code, path)
+
+
+# ----------------------------------------------------------------------
+# Load / write round trip
+# ----------------------------------------------------------------------
+
+
+def test_write_load_round_trip(tmp_path, monkeypatch):
+    result = _flow_result(tmp_path, monkeypatch)
+    baseline = Baseline.from_result(result)
+    target = tmp_path / "baseline.json"
+    baseline.write(target)
+    assert Baseline.load(target).entries == baseline.entries
+    document = json.loads(target.read_text(encoding="utf-8"))
+    assert document["version"] == BASELINE_VERSION
+    assert len(document["entries"]) == 1
+
+
+def test_load_tolerates_extra_keys(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text(
+        json.dumps(
+            {
+                "version": 1,
+                "entries": [
+                    {
+                        "code": "RL014",
+                        "path": "repro/x.py",
+                        "message": "m",
+                        "reason": "annotated by a human",
+                    }
+                ],
+            }
+        ),
+        encoding="utf-8",
+    )
+    baseline = Baseline.load(target)
+    assert baseline.entries == [("RL014", "repro/x.py", "m")]
+
+
+def test_load_rejects_bad_schema(tmp_path):
+    target = tmp_path / "baseline.json"
+    target.write_text('{"version": 99, "entries": []}', encoding="utf-8")
+    with pytest.raises(ValueError, match="unsupported baseline schema"):
+        Baseline.load(target)
+    target.write_text("not json", encoding="utf-8")
+    with pytest.raises(ValueError, match="not valid JSON"):
+        Baseline.load(target)
+
+
+# ----------------------------------------------------------------------
+# apply_baseline: subtraction, multiset matching, staleness
+# ----------------------------------------------------------------------
+
+
+def test_apply_subtracts_matching_findings(tmp_path, monkeypatch):
+    result = _flow_result(tmp_path, monkeypatch)
+    baseline = Baseline.from_result(result)
+    outcome = apply_baseline(result, baseline, rule_codes())
+    assert outcome.new_violations == []
+    assert outcome.stale_entries == []
+    assert outcome.matched == 1
+
+
+def test_apply_flags_uncovered_finding(tmp_path, monkeypatch):
+    result = _flow_result(tmp_path, monkeypatch)
+    outcome = apply_baseline(result, Baseline(), rule_codes())
+    assert len(outcome.new_violations) == 1
+    assert outcome.matched == 0
+
+
+def test_apply_is_multiset_aware(tmp_path, monkeypatch):
+    # Two identical findings need two baseline entries.
+    files = dict(ROGUE)
+    files["repro/model/other.py"] = ROGUE["repro/model/shuffler.py"]
+    write_tree(tmp_path, files)
+    monkeypatch.chdir(tmp_path)
+    result = lint_paths([tmp_path / "repro"], flow=True)
+    assert len(result.violations) == 2
+    one_entry = Baseline(entries=[fingerprint(result.violations[0])])
+    outcome = apply_baseline(result, one_entry, rule_codes())
+    assert outcome.matched == 1
+    assert len(outcome.new_violations) == 1
+
+
+def test_stale_entry_is_reported(tmp_path, monkeypatch):
+    result = _flow_result(tmp_path, monkeypatch)
+    baseline = Baseline.from_result(result)
+    baseline.entries.append(("RL014", "repro/model/gone.py", "never existed"))
+    outcome = apply_baseline(result, baseline, rule_codes())
+    assert outcome.stale_entries == [
+        ("RL014", "repro/model/gone.py", "never existed")
+    ]
+
+
+def test_staleness_only_judged_for_active_codes(tmp_path, monkeypatch):
+    # A flow-rule entry is not stale in a run where flow rules did not run.
+    result = _flow_result(tmp_path, monkeypatch)
+    baseline = Baseline.from_result(result)
+    baseline.entries.append(("RL014", "repro/model/gone.py", "never existed"))
+    outcome = apply_baseline(result, baseline, active_codes=["RL001"])
+    assert outcome.stale_entries == []
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+
+
+def test_cli_update_baseline_then_clean(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, ROGUE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["--flow", "--update-baseline", "repro"]) == 0
+    out = capsys.readouterr().out
+    assert "wrote 1 accepted finding(s)" in out
+    # The default lint-baseline.json is now auto-detected under --flow...
+    assert main(["--flow", "repro"]) == 0
+    # ...but a plain (non-flow) run neither applies nor needs it.
+    assert main(["repro"]) == 0
+
+
+def test_cli_new_finding_still_fails_with_baseline(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, ROGUE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["--flow", "--update-baseline", "repro"]) == 0
+    capsys.readouterr()
+    write_tree(
+        tmp_path,
+        {
+            "repro/model/fresh.py": """
+                import random
+
+                def pick(items):
+                    return random.Random(7).choice(items)
+            """,
+        },
+    )
+    assert main(["--flow", "repro"]) == 1
+    out = capsys.readouterr().out
+    assert "fresh.py" in out
+    assert "shuffler.py" not in out  # the accepted finding stays absorbed
+
+
+def test_cli_stale_baseline_entry_exits_2(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, ROGUE)
+    monkeypatch.chdir(tmp_path)
+    assert main(["--flow", "--update-baseline", "repro"]) == 0
+    capsys.readouterr()
+    # Fix the finding; its baseline entry is now stale.
+    (tmp_path / "repro" / "model" / "shuffler.py").write_text(
+        "def shuffled(items):\n    return sorted(items)\n", encoding="utf-8"
+    )
+    assert main(["--flow", "repro"]) == 2
+    err = capsys.readouterr().err
+    assert "stale baseline entry" in err
+    assert "only shrinks" in err
+
+
+def test_cli_explicit_baseline_flag(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, ROGUE)
+    monkeypatch.chdir(tmp_path)
+    target = tmp_path / "accepted.json"
+    assert (
+        main(["--flow", "--baseline", str(target), "--update-baseline", "repro"])
+        == 0
+    )
+    assert target.is_file()
+    capsys.readouterr()
+    assert main(["--flow", "--baseline", str(target), "repro"]) == 0
+
+
+def test_cli_malformed_baseline_exits_2(tmp_path, monkeypatch, capsys):
+    write_tree(tmp_path, ROGUE)
+    (tmp_path / "lint-baseline.json").write_text("not json", encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    assert main(["--flow", "repro"]) == 2
+    assert "not valid JSON" in capsys.readouterr().err

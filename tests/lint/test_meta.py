@@ -41,11 +41,37 @@ def test_src_repro_is_clean():
 
 def test_all_advertised_rules_are_registered():
     codes = rule_codes()
-    expected = [f"RL{n:03d}" for n in range(1, 13)]
+    expected = [f"RL{n:03d}" for n in range(1, 19)]
     assert codes == expected
     for rule in iter_rules():
         assert rule.summary, f"{rule.code} has no summary"
         assert rule.scope, f"{rule.code} has no scope"
+
+
+def test_flow_rules_are_gated_behind_flow_flag():
+    flow_codes = {rule.code for rule in iter_rules() if rule.flow}
+    assert flow_codes == {f"RL{n:03d}" for n in range(13, 19)}
+
+
+def test_src_repro_is_flow_clean_modulo_baseline(monkeypatch):
+    """The whole-program rules hold on the real tree.
+
+    Findings accepted in ``lint-baseline.json`` are subtracted (each must
+    still match — a stale entry fails); anything new fails outright.
+    """
+    from repro.lint.baseline import Baseline, apply_baseline
+
+    # Fingerprints are repo-relative; anchor the cwd accordingly.
+    monkeypatch.chdir(REPO_ROOT)
+    result = lint_paths([SRC_REPRO], flow=True)
+    assert result.errors == []
+    baseline = Baseline.load(REPO_ROOT / "lint-baseline.json")
+    outcome = apply_baseline(result, baseline, rule_codes())
+    assert outcome.new_violations == [], "\n" + "\n".join(
+        violation.render() for violation in outcome.new_violations
+    )
+    assert outcome.stale_entries == []
+    assert outcome.matched == len(baseline.entries)
 
 
 def test_python_dash_m_entry_point_clean_tree():

@@ -33,10 +33,11 @@ def lint_tree(
     files: Dict[str, str],
     *,
     select: Optional[Sequence[str]] = None,
+    flow: bool = False,
 ) -> LintResult:
     """Write *files* under *root* and lint the resulting tree."""
     write_tree(root, files)
-    return lint_paths([root], select=select)
+    return lint_paths([root], select=select, flow=flow)
 
 
 def lint_snippet(
