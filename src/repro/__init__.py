@@ -44,6 +44,9 @@ Subpackages:
   metrics (see ``docs/faults.md``).
 * :mod:`repro.runner` — the :func:`run`/:func:`execute` facade shared by
   the library API and the experiment harness.
+* :mod:`repro.workloads` — pluggable workloads: the paper's closed
+  terminals (the default) plus open arrival processes with admission
+  control (see ``docs/workloads.md``).
 
 Fault-injection quick start::
 
@@ -52,6 +55,18 @@ Fault-injection quick start::
     plan = FaultPlan(random_outages=(RandomOutages(mtbf=2000.0, mttr=50.0),))
     report = run(paper_defaults(), "BNQ", RunSpec(seed=7, faults=plan))
     print(report.availability)
+
+Open-workload quick start::
+
+    from repro import AdmissionControl, PoissonOpen, RunSpec, WorkloadSpec
+    from repro import run, paper_defaults
+
+    spec = WorkloadSpec(
+        arrivals=PoissonOpen(rate=0.08),
+        admission=AdmissionControl(max_pending=32),
+    )
+    report = run(paper_defaults(), "LERT", RunSpec(seed=7, workload=spec))
+    print(report.results.workload)
 """
 
 from repro.faults.plan import (
@@ -69,16 +84,36 @@ from repro.model.config import (
     paper_classes,
     paper_defaults,
 )
-from repro.model.metrics import AvailabilitySummary, SystemResults
-from repro.model.serialization import load_fault_plan, save_fault_plan
+from repro.model.metrics import (
+    AvailabilitySummary,
+    SystemResults,
+    WorkloadSummary,
+)
+from repro.model.serialization import (
+    load_fault_plan,
+    load_workload_spec,
+    save_fault_plan,
+    save_workload_spec,
+)
 from repro.model.system import DistributedDatabase
 from repro.model.view import SystemView
 from repro.policies.base import AllocationPolicy, LegacyPolicyAdapter
 from repro.policies.registry import available_policies, make_policy
 from repro.runner import RunReport, RunSpec, execute, run
 from repro.telemetry import EventBus, EventLog, TelemetryConfig, TelemetrySession
+from repro.workloads import (
+    AdmissionControl,
+    ArrivalProcess,
+    ClosedTerminals,
+    DiurnalRate,
+    MMPP,
+    PoissonOpen,
+    TraceDriven,
+    WorkloadError,
+    WorkloadSpec,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "DistributedDatabase",
@@ -102,6 +137,18 @@ __all__ = [
     "LoadBoardOutage",
     "save_fault_plan",
     "load_fault_plan",
+    "WorkloadSpec",
+    "WorkloadSummary",
+    "WorkloadError",
+    "AdmissionControl",
+    "ArrivalProcess",
+    "ClosedTerminals",
+    "PoissonOpen",
+    "MMPP",
+    "DiurnalRate",
+    "TraceDriven",
+    "save_workload_spec",
+    "load_workload_spec",
     "RunSpec",
     "RunReport",
     "run",

@@ -1,4 +1,4 @@
-"""The benchmark matrix: synthetic kernel stress + closed-system runs.
+"""The benchmark matrix: kernel stress + closed- and open-system runs.
 
 Each case is a self-contained callable that builds its model fresh,
 runs it, and reports ``(events_fired, wall_seconds)`` with the wall
@@ -24,6 +24,8 @@ from repro.policies.registry import make_policy
 from repro.sim.engine import Simulator
 from repro.sim.process import Hold
 from repro.sim.resources import FCFSServer, PSServer
+from repro.workloads.arrivals import MMPP
+from repro.workloads.spec import AdmissionControl, WorkloadSpec
 
 #: A case runner returns (events_fired, wall_seconds).
 CaseRunner = Callable[[], Tuple[int, float]]
@@ -35,8 +37,9 @@ class BenchCase:
 
     Attributes:
         name: Stable identifier (keys the trajectory comparison).
-        kind: ``"stress"`` (synthetic kernel workload) or ``"closed"``
-            (a table-9-style closed-system simulation).
+        kind: ``"stress"`` (synthetic kernel workload), ``"closed"``
+            (a table-9-style closed-system simulation), or ``"open"``
+            (an open-arrival storm through the workload subsystem).
         description: One line of what the case exercises.
         run_full: Runner at trajectory scale.
         run_smoke: Runner at CI smoke scale.
@@ -134,6 +137,36 @@ def _closed_run(policy: str, seed: int, warmup: float, duration: float) -> Tuple
     return system.sim.events_fired, wall
 
 
+def _open_storm(
+    policy: str,
+    seed: int,
+    warmup: float,
+    duration: float,
+    rate: float,
+    max_pending: int,
+) -> Tuple[int, float]:
+    """An MMPP arrival storm: bursty overload through admission control.
+
+    Drives the paper's system with a per-site MMPP whose burst phase
+    runs well past saturation, so the run exercises the whole open
+    pipeline — thinning, phase tracking, admission, shedding — at the
+    admission limit.
+    """
+    spec = WorkloadSpec(
+        arrivals=MMPP(
+            rates=(0.2 * rate, 1.8 * rate), mean_holding=(200.0, 200.0)
+        ),
+        admission=AdmissionControl(max_pending=max_pending),
+    )
+    system = DistributedDatabase(
+        paper_defaults(), make_policy(policy), seed=seed, workload=spec
+    )
+    start = time.perf_counter()
+    system.run(warmup, duration)
+    wall = time.perf_counter() - start
+    return system.sim.events_fired, wall
+
+
 def _case(
     name: str,
     kind: str,
@@ -182,6 +215,27 @@ BENCH_CASES: Tuple[BenchCase, ...] = (
         "paper defaults, LOCAL policy (no-allocation baseline)",
         lambda: _closed_run("LOCAL", seed=42, warmup=1000.0, duration=8000.0),
         lambda: _closed_run("LOCAL", seed=42, warmup=300.0, duration=1500.0),
+    ),
+    _case(
+        "open_storm_lert",
+        "open",
+        "MMPP arrival storm past saturation under admission control (LERT)",
+        lambda: _open_storm(
+            "LERT",
+            seed=42,
+            warmup=1000.0,
+            duration=8000.0,
+            rate=0.11,
+            max_pending=32,
+        ),
+        lambda: _open_storm(
+            "LERT",
+            seed=42,
+            warmup=300.0,
+            duration=1500.0,
+            rate=0.11,
+            max_pending=32,
+        ),
     ),
 )
 

@@ -27,7 +27,7 @@ _CASE_SCHEMA: Dict[str, Any] = {
     ],
     "properties": {
         "name": {"type": "string", "minLength": 1},
-        "kind": {"enum": ["stress", "closed"]},
+        "kind": {"enum": ["stress", "closed", "open"]},
         "scale": {"enum": ["full", "smoke"]},
         "events": {"type": "integer", "minimum": 1},
         "wall_s": {"type": "number", "exclusiveMinimum": 0},
@@ -81,8 +81,8 @@ def _check_case(case: Any, where: str) -> List[str]:
     for field in case:
         if field not in _CASE_SCHEMA["properties"]:
             problems.append(f"{where}: unknown field {field!r}")
-    if case.get("kind") not in ("stress", "closed"):
-        problems.append(f"{where}: kind must be 'stress' or 'closed'")
+    if case.get("kind") not in ("stress", "closed", "open"):
+        problems.append(f"{where}: kind must be 'stress', 'closed', or 'open'")
     if case.get("scale") not in ("full", "smoke"):
         problems.append(f"{where}: scale must be 'full' or 'smoke'")
     for field in ("events", "peak_rss_kb", "repeats"):

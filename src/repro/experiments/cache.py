@@ -55,7 +55,9 @@ from repro.model.serialization import (
     fault_plan_to_dict,
     results_from_dict,
     results_to_dict,
+    workload_spec_to_dict,
 )
+from repro.workloads.spec import WorkloadSpec
 
 #: Version of the cache-entry layout *and* the key derivation.  Bumping it
 #: invalidates every existing entry (old entries become misses).
@@ -96,6 +98,7 @@ def cache_key(
     system_kind: str = "standard",
     system_kwargs: Sequence[Tuple[str, Any]] = (),
     faults: Optional[FaultPlan] = None,
+    workload: Optional[WorkloadSpec] = None,
 ) -> str:
     """Content address of one simulation run.
 
@@ -106,7 +109,9 @@ def cache_key(
     never collide with standard ones.  A non-``None`` *faults* plan is
     folded into the key (so a faulted run can never be answered from a
     faultless entry); ``None`` leaves the payload — and therefore every
-    pre-faults key — unchanged.
+    pre-faults key — unchanged.  *workload* behaves the same way: a
+    non-``None`` spec (callers normalize the closed default to ``None``
+    first) is folded in, and ``None`` preserves every pre-workload key.
     """
     payload: Dict[str, Any] = {
         "cache_version": CACHE_VERSION,
@@ -121,6 +126,9 @@ def cache_key(
     if faults is not None:
         # Added only when present: existing cache entries stay addressable.
         payload["faults"] = fault_plan_to_dict(faults)
+    if workload is not None:
+        # Same rule as faults: only open workloads alter the key.
+        payload["workload"] = workload_spec_to_dict(workload)
     return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 

@@ -30,6 +30,7 @@ from typing import Callable, Dict, Iterator, Optional
 from repro.experiments import (
     ablations,
     failure,
+    open_system,
     validation,
     msg_sensitivity,
     table5,
@@ -51,6 +52,7 @@ _SIMULATED: Dict[str, Callable] = {
     "table12": table12.main,
     "msg": msg_sensitivity.main,
     "failures": failure.main,
+    "open": open_system.main,
     "ablation-stale": ablations.main_stale,
     "ablation-disk": ablations.main_disk,
     "ablation-updates": ablations.main_updates,
@@ -126,6 +128,17 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workload",
+        default=None,
+        metavar="PLAN.json",
+        help=(
+            "drive every simulated run with a workload spec (written by "
+            "repro.save_workload_spec) instead of the paper's closed "
+            "terminals; only the standard system kind supports open "
+            "workloads, so extension experiments reject this flag"
+        ),
+    )
+    parser.add_argument(
         "--progress",
         action="store_true",
         help=(
@@ -189,6 +202,10 @@ def main(argv=None) -> int:
         from repro.model.serialization import load_fault_plan
 
         settings = settings.with_faults(load_fault_plan(args.faults))
+    if args.workload is not None:
+        from repro.model.serialization import load_workload_spec
+
+        settings = settings.with_workload(load_workload_spec(args.workload))
     if args.experiment == "report":
         from repro.experiments.report import write_report
 

@@ -43,6 +43,7 @@ from repro.experiments.runconfig import RunSettings
 from repro.faults.plan import FaultPlan
 from repro.model.config import SystemConfig
 from repro.model.metrics import SystemResults
+from repro.workloads.spec import WorkloadSpec, normalize_workload
 
 #: Registered simulation-system kinds (see :func:`system_class`).
 SYSTEM_KINDS = ("standard", "stale", "updates", "heterogeneous")
@@ -109,6 +110,12 @@ class ReplicationTask:
     faulted task can never be answered from a faultless cache entry.
     Fault plans are only supported on the "standard" system kind (the
     extension life cycles do not implement degraded mode).
+
+    ``workload`` optionally drives the run with an open workload spec.
+    The default closed spec is normalized to ``None`` at construction
+    (same run, same cache key), and non-``None`` specs are folded into
+    :meth:`key`.  Like fault plans, open workloads are only supported on
+    the "standard" system kind.
     """
 
     config: SystemConfig
@@ -119,6 +126,7 @@ class ReplicationTask:
     system_kind: str = "standard"
     system_kwargs: Tuple[Tuple[str, Any], ...] = field(default=())
     faults: Optional[FaultPlan] = None
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self) -> None:
         if self.system_kind not in SYSTEM_KINDS:
@@ -135,6 +143,12 @@ class ReplicationTask:
                 "fault plans require the 'standard' system kind; "
                 f"got {self.system_kind!r}"
             )
+        object.__setattr__(self, "workload", normalize_workload(self.workload))
+        if self.workload is not None and self.system_kind != "standard":
+            raise ValueError(
+                "open workloads require the 'standard' system kind; "
+                f"got {self.system_kind!r}"
+            )
 
     def key(self) -> str:
         """Content address of this task (see :func:`cache_key`)."""
@@ -147,6 +161,7 @@ class ReplicationTask:
             system_kind=self.system_kind,
             system_kwargs=self.system_kwargs,
             faults=self.faults,
+            workload=self.workload,
         )
 
 
@@ -160,7 +175,8 @@ def replication_tasks(
 ) -> List[ReplicationTask]:
     """One task per replication of a (config, policy, settings) cell.
 
-    ``settings.faults`` (when set) is carried onto every task.
+    ``settings.faults`` and ``settings.workload`` (when set) are carried
+    onto every task.
     """
     return [
         ReplicationTask(
@@ -172,6 +188,7 @@ def replication_tasks(
             system_kind=system_kind,
             system_kwargs=system_kwargs,
             faults=settings.faults,
+            workload=settings.workload,
         )
         for replication in range(settings.replications)
     ]
@@ -222,17 +239,23 @@ def run_task(task: ReplicationTask) -> SystemResults:
     from repro.runner import RunSpec, execute
 
     cls = system_class(task.system_kind)
+    kwargs = dict(task.system_kwargs)
+    if task.workload is not None:
+        # Workloads bind at construction (arrival processes start at
+        # time 0), unlike fault plans which execute() installs.
+        kwargs["workload"] = task.workload
     system = cls(
         task.config,
         _make_policy(task.policy),
         seed=task.seed,
-        **dict(task.system_kwargs),
+        **kwargs,
     )
     spec = RunSpec(
         warmup=task.warmup,
         duration=task.duration,
         seed=task.seed,
         faults=task.faults,
+        workload=task.workload,
     )
     return execute(system, spec).results
 

@@ -18,6 +18,7 @@ from dataclasses import dataclass, replace
 from typing import Optional
 
 from repro.faults.plan import FaultPlan
+from repro.workloads.spec import WorkloadSpec, normalize_workload
 
 
 @dataclass(frozen=True)
@@ -27,6 +28,9 @@ class RunSettings:
     ``faults`` optionally installs a fault plan in every run made from
     these settings (each replication executes the same plan under its own
     derived seed); ``None`` — and a no-op plan — keeps the runs faultless.
+    ``workload`` optionally drives the runs with an open workload spec;
+    ``None`` — and the default closed spec — keeps the paper's closed
+    terminals.
     """
 
     warmup: float = 3000.0
@@ -34,6 +38,7 @@ class RunSettings:
     replications: int = 1
     base_seed: int = 20250705
     faults: Optional[FaultPlan] = None
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or self.duration <= 0:
@@ -44,10 +49,19 @@ class RunSettings:
             # Normalize: a no-op plan is the same run as no plan, and the
             # cache key must agree.
             object.__setattr__(self, "faults", None)
+        # Same normalization for workloads: the default closed spec is the
+        # same run as no spec, and the cache key must agree.
+        object.__setattr__(self, "workload", normalize_workload(self.workload))
 
     def with_faults(self, faults: Optional[FaultPlan]) -> "RunSettings":
         """These settings with *faults* installed (``None`` to clear)."""
         return replace(self, faults=faults)
+
+    def with_workload(
+        self, workload: Optional[WorkloadSpec]
+    ) -> "RunSettings":
+        """These settings driven by *workload* (``None`` to go closed)."""
+        return replace(self, workload=workload)
 
     def seed_for(self, replication: int) -> int:
         """Master seed of one replication (stable, well separated)."""

@@ -36,6 +36,7 @@ CORE_SIM_SCOPE: Tuple[str, ...] = (
     "repro.model",
     "repro.policies",
     "repro.queueing",
+    "repro.workloads",
 )
 
 #: Modules whose job is aggregating floating-point results across
@@ -57,6 +58,8 @@ SERIALIZED_DATACLASS_SCOPE: Tuple[str, ...] = (
     "repro.model.metrics",
     "repro.sim.stats",
     "repro.experiments.common",
+    "repro.workloads.arrivals",
+    "repro.workloads.spec",
 )
 
 SERIALIZATION_MODULE = "repro.model.serialization"

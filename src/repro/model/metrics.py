@@ -179,6 +179,37 @@ class AvailabilitySummary:
 
 
 @dataclass(frozen=True)
+class WorkloadSummary:
+    """Admission accounting of one run under an open workload.
+
+    Produced by :meth:`repro.workloads.driver.WorkloadDriver.summary`
+    over the measurement window (warmup statistics are truncated,
+    exactly like every other monitor).
+
+    Attributes:
+        kind: The arrival process's kind tag (``"poisson"``, ``"mmpp"``,
+            ``"diurnal"``, ``"trace"``).
+        offered: Arrivals offered during the measurement window.
+        admitted: Offered arrivals that passed admission control.
+        shed: Offered arrivals dropped at the admission limit.
+        shed_fraction: ``shed / offered`` (0.0 when nothing was offered).
+    """
+
+    kind: str
+    offered: int
+    admitted: int
+    shed: int
+    shed_fraction: float
+
+    def __str__(self) -> str:
+        return (
+            f"kind={self.kind} offered={self.offered} "
+            f"admitted={self.admitted} shed={self.shed} "
+            f"({self.shed_fraction:.1%})"
+        )
+
+
+@dataclass(frozen=True)
 class SystemResults:
     """Immutable summary of one simulation run.
 
@@ -207,6 +238,9 @@ class SystemResults:
         availability: Availability metrics when a fault plan was
             installed; ``None`` for faultless runs (and for runs under a
             no-op plan, which are normalized to faultless).
+        workload: Admission accounting when an open workload drove the
+            run; ``None`` for closed runs (and for runs under the
+            default closed spec, which are normalized to closed).
     """
 
     policy: str
@@ -224,6 +258,7 @@ class SystemResults:
     waiting_ci: Optional[IntervalEstimate] = None
     telemetry: Optional[Tuple[Tuple[str, float], ...]] = None
     availability: Optional[AvailabilitySummary] = None
+    workload: Optional[WorkloadSummary] = None
 
     def __str__(self) -> str:
         fair = f"{self.fairness:+.4f}" if self.fairness is not None else "n/a"
@@ -244,6 +279,7 @@ def summarize(
     measured_time: float,
     ci_batches: int = 20,
     availability: Optional[AvailabilitySummary] = None,
+    workload: Optional[WorkloadSummary] = None,
 ) -> SystemResults:
     """Package a collector into a :class:`SystemResults`."""
     fairness: Optional[float]
@@ -269,7 +305,14 @@ def summarize(
         measured_time=measured_time,
         waiting_ci=waiting_ci,
         availability=availability,
+        workload=workload,
     )
 
 
-__all__ = ["MetricsCollector", "AvailabilitySummary", "SystemResults", "summarize"]
+__all__ = [
+    "MetricsCollector",
+    "AvailabilitySummary",
+    "WorkloadSummary",
+    "SystemResults",
+    "summarize",
+]

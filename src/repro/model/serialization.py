@@ -24,6 +24,13 @@ Fault plans round-trip with :func:`fault_plan_to_dict` /
 :func:`fault_plan_from_dict` (and :func:`save_fault_plan` /
 :func:`load_fault_plan` for files) — this is the on-disk format the CLI's
 ``--faults plan.json`` flag reads.
+
+Workload specs round-trip with :func:`workload_spec_to_dict` /
+:func:`workload_spec_from_dict` (and :func:`save_workload_spec` /
+:func:`load_workload_spec` for files) — the on-disk format of the CLI's
+``--workload plan.json`` flag.  Only the built-in arrival processes
+serialize; a custom :class:`~repro.workloads.arrivals.ArrivalProcess`
+works at run time but cannot enter cache keys or files.
 """
 
 from __future__ import annotations
@@ -46,8 +53,21 @@ from repro.model.config import (
     SiteSpec,
     SystemConfig,
 )
-from repro.model.metrics import AvailabilitySummary, SystemResults
+from repro.model.metrics import (
+    AvailabilitySummary,
+    SystemResults,
+    WorkloadSummary,
+)
 from repro.sim.stats import IntervalEstimate
+from repro.workloads.arrivals import (
+    ArrivalSpec,
+    ClosedTerminals,
+    DiurnalRate,
+    MMPP,
+    PoissonOpen,
+    TraceDriven,
+)
+from repro.workloads.spec import AdmissionControl, WorkloadSpec
 
 FORMAT_VERSION = 1
 
@@ -56,6 +76,9 @@ RESULTS_FORMAT_VERSION = 1
 
 #: Version tag of the serialized fault-plan format.
 FAULT_PLAN_FORMAT_VERSION = 1
+
+#: Version tag of the serialized workload-spec format.
+WORKLOAD_FORMAT_VERSION = 1
 
 
 def config_to_dict(config: SystemConfig) -> Dict[str, Any]:
@@ -230,8 +253,180 @@ def load_fault_plan(path: Union[str, pathlib.Path]) -> FaultPlan:
 
 
 # ----------------------------------------------------------------------
+# Workload specs
+# ----------------------------------------------------------------------
+
+
+def _arrivals_to_dict(arrivals: ArrivalSpec) -> Dict[str, Any]:
+    if isinstance(arrivals, ClosedTerminals):
+        return {"kind": "closed"}
+    if isinstance(arrivals, PoissonOpen):
+        return {
+            "kind": "poisson",
+            "rate": arrivals.rate,
+            "per_site": arrivals.per_site,
+        }
+    if isinstance(arrivals, MMPP):
+        return {
+            "kind": "mmpp",
+            "rates": list(arrivals.rates),
+            "mean_holding": list(arrivals.mean_holding),
+            "per_site": arrivals.per_site,
+        }
+    if isinstance(arrivals, DiurnalRate):
+        return {
+            "kind": "diurnal",
+            "base_rate": arrivals.base_rate,
+            "amplitude": arrivals.amplitude,
+            "period": arrivals.period,
+            "per_site": arrivals.per_site,
+        }
+    if isinstance(arrivals, TraceDriven):
+        return {
+            "kind": "trace",
+            "arrivals": [[time, site] for time, site in arrivals.arrivals],
+        }
+    raise ConfigError(
+        f"arrival process {type(arrivals).__name__} is not serializable "
+        "(only the built-in processes round-trip)"
+    )
+
+
+def _arrivals_from_dict(data: Dict[str, Any]) -> ArrivalSpec:
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    kind = data.get("kind")
+    try:
+        if kind == "closed":
+            return ClosedTerminals()
+        if kind == "poisson":
+            return PoissonOpen(
+                rate=data["rate"], per_site=data.get("per_site", True)
+            )
+        if kind == "mmpp":
+            return MMPP(
+                rates=tuple(data["rates"]),
+                mean_holding=tuple(data["mean_holding"]),
+                per_site=data.get("per_site", True),
+            )
+        if kind == "diurnal":
+            return DiurnalRate(
+                base_rate=data["base_rate"],
+                amplitude=data["amplitude"],
+                period=data["period"],
+                per_site=data.get("per_site", True),
+            )
+        if kind == "trace":
+            return TraceDriven(
+                arrivals=tuple(
+                    (time, site) for time, site in data["arrivals"]
+                )
+            )
+    except KeyError as missing:
+        raise ConfigError(
+            f"{kind} arrival dict is missing key {missing}"
+        ) from None
+    except TypeError as bad:
+        raise ConfigError(f"malformed arrival dict: {bad}") from None
+    raise ConfigError(f"unknown arrival-process kind {kind!r}")
+
+
+def workload_spec_to_dict(spec: WorkloadSpec) -> Dict[str, Any]:
+    """Flatten a :class:`~repro.workloads.spec.WorkloadSpec` into primitives."""
+    return {
+        "format_version": WORKLOAD_FORMAT_VERSION,
+        "arrivals": _arrivals_to_dict(spec.arrivals),
+        "admission": (
+            None
+            if spec.admission is None
+            else {"max_pending": spec.admission.max_pending}
+        ),
+    }
+
+
+def workload_spec_from_dict(data: Dict[str, Any]) -> WorkloadSpec:
+    """Rebuild a :class:`~repro.workloads.spec.WorkloadSpec`.
+
+    Raises:
+        ConfigError: On missing keys, unknown versions, or unknown
+            arrival kinds (value validation happens in the spec
+            dataclasses themselves).
+    """
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    version = data.get("format_version", WORKLOAD_FORMAT_VERSION)
+    if version != WORKLOAD_FORMAT_VERSION:
+        raise ConfigError(f"unsupported workload format version {version}")
+    try:
+        arrivals_data = data["arrivals"]
+    except KeyError as missing:
+        raise ConfigError(
+            f"workload dict is missing key {missing}"
+        ) from None
+    admission_data = data.get("admission")
+    try:
+        admission = (
+            None
+            if admission_data is None
+            else AdmissionControl(max_pending=admission_data["max_pending"])
+        )
+    except (KeyError, TypeError) as bad:
+        raise ConfigError(f"malformed admission dict: {bad}") from None
+    return WorkloadSpec(
+        arrivals=_arrivals_from_dict(arrivals_data), admission=admission
+    )
+
+
+def save_workload_spec(
+    spec: WorkloadSpec, path: Union[str, pathlib.Path]
+) -> None:
+    """Write *spec* as pretty-printed JSON (the ``--workload`` file format)."""
+    payload = json.dumps(workload_spec_to_dict(spec), indent=2, sort_keys=True)
+    pathlib.Path(path).write_text(payload + "\n", encoding="utf-8")
+
+
+def load_workload_spec(path: Union[str, pathlib.Path]) -> WorkloadSpec:
+    """Read a workload spec written by :func:`save_workload_spec`."""
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as bad:
+        raise ConfigError(f"{path}: not valid JSON ({bad})") from None
+    return workload_spec_from_dict(data)
+
+
+# ----------------------------------------------------------------------
 # Results
 # ----------------------------------------------------------------------
+
+
+def workload_summary_to_dict(summary: WorkloadSummary) -> Dict[str, Any]:
+    """Flatten a :class:`WorkloadSummary` into JSON primitives."""
+    return {
+        "kind": summary.kind,
+        "offered": summary.offered,
+        "admitted": summary.admitted,
+        "shed": summary.shed,
+        "shed_fraction": summary.shed_fraction,
+    }
+
+
+def workload_summary_from_dict(data: Dict[str, Any]) -> WorkloadSummary:
+    """Rebuild a :class:`WorkloadSummary`."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    try:
+        return WorkloadSummary(
+            kind=data["kind"],
+            offered=data["offered"],
+            admitted=data["admitted"],
+            shed=data["shed"],
+            shed_fraction=data["shed_fraction"],
+        )
+    except KeyError as missing:
+        raise ConfigError(
+            f"workload summary dict is missing key {missing}"
+        ) from None
 
 
 def availability_to_dict(summary: AvailabilitySummary) -> Dict[str, Any]:
@@ -299,8 +494,14 @@ def interval_from_dict(data: Dict[str, Any]) -> IntervalEstimate:
 
 
 def results_to_dict(results: SystemResults) -> Dict[str, Any]:
-    """Flatten one run's :class:`SystemResults` into JSON primitives."""
-    return {
+    """Flatten one run's :class:`SystemResults` into JSON primitives.
+
+    The ``workload`` key is emitted only when the run carried an open
+    workload: closed-run payloads are byte-identical to pre-workload
+    archives, so the golden corpus digests and every cached entry stay
+    valid.
+    """
+    payload: Dict[str, Any] = {
         "format_version": RESULTS_FORMAT_VERSION,
         "policy": results.policy,
         "mean_waiting_time": results.mean_waiting_time,
@@ -330,6 +531,9 @@ def results_to_dict(results: SystemResults) -> Dict[str, Any]:
             else availability_to_dict(results.availability)
         ),
     }
+    if results.workload is not None:
+        payload["workload"] = workload_summary_to_dict(results.workload)
+    return payload
 
 
 def results_from_dict(data: Dict[str, Any]) -> SystemResults:
@@ -361,6 +565,13 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
         if availability_data is None
         else availability_from_dict(availability_data)
     )
+    # Absent in closed-run entries: .get keeps every archive loadable.
+    workload_data = data.get("workload")
+    workload = (
+        None
+        if workload_data is None
+        else workload_summary_from_dict(workload_data)
+    )
     try:
         return SystemResults(
             policy=data["policy"],
@@ -378,6 +589,7 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
             waiting_ci=waiting_ci,
             telemetry=telemetry,
             availability=availability,
+            workload=workload,
         )
     except KeyError as missing:
         raise ConfigError(f"results dict is missing key {missing}") from None
@@ -448,10 +660,17 @@ __all__ = [
     "config_from_dict",
     "save_config",
     "load_config",
+    "WORKLOAD_FORMAT_VERSION",
     "fault_plan_to_dict",
     "fault_plan_from_dict",
     "save_fault_plan",
     "load_fault_plan",
+    "workload_spec_to_dict",
+    "workload_spec_from_dict",
+    "save_workload_spec",
+    "load_workload_spec",
+    "workload_summary_to_dict",
+    "workload_summary_from_dict",
     "availability_to_dict",
     "availability_from_dict",
     "interval_to_dict",

@@ -39,9 +39,10 @@ from repro.model.query import Query
 from repro.model.ring import Message
 from repro.model.subnet import build_subnet
 from repro.model.site import DBSite
-from repro.model.terminals import start_terminals
 from repro.model.view import SystemView
 from repro.model.workload import WorkloadGenerator
+from repro.workloads.driver import WorkloadDriver, start_workload
+from repro.workloads.spec import WorkloadSpec, normalize_workload
 from repro.policies.base import AllocationPolicy
 from repro.sim.engine import Simulator
 from repro.sim.process import Hold, WaitFor
@@ -74,6 +75,13 @@ class DistributedDatabase:
         faults: Optional fault plan to install at time 0.  ``None`` (and
             a no-op plan) leave the system on the plain, faultless query
             life cycle.
+        workload: Optional workload specification.  ``None`` (and the
+            default closed spec, which normalizes to ``None``) drives
+            the system with the paper's closed terminals, byte-identical
+            to the seed; an open spec launches its arrival processes
+            instead.  Workloads bind at construction — the arrival
+            processes start at time 0 — so there is no
+            ``install_workload`` analogue of :meth:`install_faults`.
         queue: Future-event-list implementation for the engine
             (``"heap"`` or ``"calendar"``); both replay byte-identically,
             see :func:`repro.sim.events.make_event_queue`.
@@ -85,6 +93,7 @@ class DistributedDatabase:
         policy: AllocationPolicy,
         seed: int = 0,
         faults: Optional["FaultPlan"] = None,
+        workload: Optional[WorkloadSpec] = None,
         queue: str = "heap",
     ) -> None:
         self.config = config
@@ -105,11 +114,15 @@ class DistributedDatabase:
         )
         self.workload = WorkloadGenerator(self.sim, config)
         self.metrics = MetricsCollector(config, bus=self.sim.bus)
+        #: The normalized workload spec (``None`` = the paper's closed model).
+        self.workload_spec: Optional[WorkloadSpec] = normalize_workload(workload)
+        #: Admission/shed accounting for open workloads (``None`` when closed).
+        self.workload_driver: Optional[WorkloadDriver] = None
         policy.bind(self)
         self._measure_start = 0.0
         if faults is not None:
             self.install_faults(faults)
-        start_terminals(self)
+        start_workload(self)
 
     # ------------------------------------------------------------------
     # Faults
@@ -526,6 +539,8 @@ class DistributedDatabase:
             site.reset_statistics()
         if self.fault_injector is not None:
             self.fault_injector.reset_statistics()
+        if self.workload_driver is not None:
+            self.workload_driver.reset_statistics()
         self._measure_start = self.sim.now
 
     def run(self, warmup: float, duration: float) -> SystemResults:
@@ -570,6 +585,11 @@ class DistributedDatabase:
             if self.fault_injector is not None
             else None
         )
+        workload = (
+            self.workload_driver.summary()
+            if self.workload_driver is not None
+            else None
+        )
         return summarize(
             self.metrics,
             policy=self.policy.name,
@@ -578,6 +598,7 @@ class DistributedDatabase:
             disk_utilization=disk_util,
             measured_time=self.sim.now - self._measure_start,
             availability=availability,
+            workload=workload,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

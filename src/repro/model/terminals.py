@@ -1,46 +1,45 @@
-"""Terminal processes: the closed-loop workload drivers.
+"""Deprecated location of the closed-terminal processes.
 
-Each site has ``mpl`` terminals (the paper's multiprogramming level).  A
-terminal is an endless think/submit loop: it thinks for an exponential
-period, issues one query, waits for that query's results to come home, and
-thinks again.  The closed-loop structure means system load self-regulates
-with response time, exactly as in the paper's closed queueing model.
+The terminal processes moved to :mod:`repro.workloads.closed` as part of
+the pluggable-workload redesign; this module survives as a shim so
+external callers keep working.  ``terminal_process`` is re-exported
+unchanged; :func:`start_terminals` warns and delegates to
+:func:`repro.workloads.closed.launch_closed_terminals`.
+
+Internal code must not call :func:`start_terminals` — an AST test
+(``tests/workloads/test_terminals_shim.py``) pins that, the same way the
+``select_site`` migration was pinned.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import TYPE_CHECKING
 
-from repro.sim.process import Hold
+from repro.workloads.closed import launch_closed_terminals, terminal_process
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.model.system import DistributedDatabase
 
 
-def terminal_process(system: "DistributedDatabase", site_index: int, terminal_id: int):
-    """Generator body of one terminal (think → query → wait → repeat)."""
-    sim = system.sim
-    think_rng = sim.rng.stream(f"think.s{site_index}.t{terminal_id}")
-    serial = 0
-    while True:
-        think = system.workload.think_time(think_rng)
-        if think > 0:
-            yield Hold(think)
-        serial += 1
-        query, query_rng = system.workload.new_query(
-            site_index, terminal_id, serial
-        )
-        yield from system.execute_query(query, query_rng)
-
-
 def start_terminals(system: "DistributedDatabase") -> None:
-    """Launch every terminal process of every site."""
-    for site_index in range(system.config.num_sites):
-        for terminal_id in range(system.config.site.mpl):
-            system.sim.launch(
-                terminal_process(system, site_index, terminal_id),
-                name=f"terminal.s{site_index}.t{terminal_id}",
-            )
+    """Deprecated: launch every terminal process of every site.
+
+    .. deprecated::
+        Construct the system with the default workload (or an explicit
+        :class:`repro.workloads.ClosedTerminals` spec) instead of wiring
+        terminals directly; the constructor already starts the workload.
+        Direct callers should migrate to
+        :func:`repro.workloads.closed.launch_closed_terminals`.
+    """
+    warnings.warn(
+        "start_terminals() is deprecated; the DistributedDatabase "
+        "constructor starts the workload itself. Direct callers should "
+        "use repro.workloads.closed.launch_closed_terminals().",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    launch_closed_terminals(system)
 
 
 __all__ = ["terminal_process", "start_terminals"]

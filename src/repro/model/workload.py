@@ -44,12 +44,14 @@ class WorkloadGenerator:
         # same process and break serial/parallel bit-equality.
         self._queries_created = 0
         # Cumulative class probabilities for inverse-CDF class sampling.
+        # SystemConfig validates that class_probs sums to 1.0 within 1e-9,
+        # and _sample_class falls through to the last class anyway, so no
+        # rounding absorption is needed at cumulative[-1].
         cumulative = []
         acc = 0.0
         for p in config.class_probs:
             acc += p
             cumulative.append(acc)
-        cumulative[-1] = 1.0  # absorb rounding
         self._cumulative_probs = tuple(cumulative)
 
     # ------------------------------------------------------------------
@@ -68,6 +70,24 @@ class WorkloadGenerator:
         query_rng = self.sim.rng.stream(
             f"query.s{home_site}.t{terminal_id}.n{serial}"
         )
+        return self._build_query(home_site, query_rng), query_rng
+
+    def new_open_query(
+        self, home_site: int, serial: int
+    ) -> Tuple[Query, random.Random]:
+        """Create the *serial*-th open-workload arrival at *home_site*.
+
+        The open analogue of :meth:`new_query`: same class sampling and
+        demand draws, but the derived stream is keyed by the site's
+        offered-arrival serial number rather than a terminal — open
+        arrivals have no terminal, and serials count *offered* arrivals
+        (shed included) so the stream never depends on admission limits.
+        """
+        query_rng = self.sim.rng.stream(f"query.s{home_site}.open.n{serial}")
+        return self._build_query(home_site, query_rng), query_rng
+
+    def _build_query(self, home_site: int, query_rng: random.Random) -> Query:
+        """Sample one query's class and demands from its private stream."""
         class_index = self._sample_class(query_rng)
         spec = self.config.classes[class_index]
         estimated_reads = query_rng.expovariate(1.0 / spec.num_reads)
@@ -91,7 +111,7 @@ class WorkloadGenerator:
                     estimated_reads=estimated_reads,
                 )
             )
-        return query, query_rng
+        return query
 
     def _sample_class(self, rng: random.Random) -> int:
         u = rng.random()

@@ -53,6 +53,7 @@ from repro.telemetry.exporters import (
 )
 from repro.telemetry.sampler import TimelineSample
 from repro.telemetry.session import TelemetryConfig, TelemetrySession
+from repro.workloads.spec import WorkloadSpec, normalize_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids importing the
     # full experiment harness just to annotate from_settings)
@@ -72,6 +73,13 @@ class RunSpec:
         faults: Fault plan to install before the run; ``None`` (and a
             no-op plan) runs the plain, faultless life cycle — the run is
             then byte-identical to one without the field.
+        workload: Workload spec driving the run; ``None`` (and the
+            default closed spec, which normalizes to ``None``) is the
+            paper's closed model — byte-identical to one without the
+            field.  Unlike faults, workloads bind at system
+            construction: :func:`run` passes the spec to the
+            constructor, while :func:`execute` only checks that the
+            given system was built with it.
     """
 
     warmup: float = 3000.0
@@ -79,6 +87,7 @@ class RunSpec:
     seed: int = 0
     telemetry: Optional[TelemetryConfig] = None
     faults: Optional[FaultPlan] = None
+    workload: Optional[WorkloadSpec] = None
 
     def __post_init__(self) -> None:
         if self.warmup < 0 or math.isinf(self.warmup) or self.warmup != self.warmup:
@@ -87,6 +96,7 @@ class RunSpec:
             raise ValueError(
                 f"duration must be finite and > 0, got {self.duration}"
             )
+        object.__setattr__(self, "workload", normalize_workload(self.workload))
 
     @classmethod
     def from_settings(
@@ -106,6 +116,7 @@ class RunSpec:
             seed=settings.seed_for(replication),
             telemetry=telemetry,
             faults=settings.faults,
+            workload=settings.workload,
         )
 
 
@@ -159,8 +170,16 @@ def execute(system: DistributedDatabase, spec: RunSpec) -> RunReport:
     the single choke point every runner shares: the parallel backend's
     workers, the experiment harness, and :func:`run` all come through it.
     ``spec.faults`` is installed here (a no-op plan installs nothing), so
-    callers construct systems without fault arguments.
+    callers construct systems without fault arguments.  ``spec.workload``
+    cannot be installed after the fact — arrival processes start at time
+    0 inside the constructor — so it must already match the system's.
     """
+    if spec.workload != system.workload_spec:
+        raise ValueError(
+            "spec.workload does not match the system's workload: workloads "
+            "bind at construction (pass workload= to DistributedDatabase, "
+            "or use repro.run)"
+        )
     if spec.faults is not None:
         installed = system.fault_injector
         if installed is None or installed.plan != spec.faults:
@@ -192,7 +211,9 @@ def run(
         spec: Run lengths, seed, and telemetry options.
     """
     instance = make_policy(policy) if isinstance(policy, str) else policy
-    system = DistributedDatabase(config, instance, seed=spec.seed)
+    system = DistributedDatabase(
+        config, instance, seed=spec.seed, workload=spec.workload
+    )
     return execute(system, spec)
 
 

@@ -37,6 +37,8 @@ Event                   Emitted when / by
                         (model/system.py, degraded path)
 :class:`MessageDropped` the subnet lost a query/result transfer
                         (model/system.py, degraded path)
+:class:`QueryShed`      admission control dropped an open-workload
+                        arrival (workloads/driver.py)
 ======================  =====================================================
 """
 
@@ -267,6 +269,26 @@ class MessageDropped(TelemetryEvent):
     qid: int
 
 
+@dataclass(frozen=True, slots=True)
+class QueryShed(TelemetryEvent):
+    """Admission control dropped an open-workload arrival.
+
+    The arrival still consumed its serial number (so derived random
+    streams are independent of the admission limit); it just never
+    became a query.
+
+    Attributes:
+        site: The home site the arrival was offered to.
+        serial: The arrival's per-site serial number.
+        pending: Admitted queries pending at the site when it was shed
+            (i.e. the admission limit it ran into).
+    """
+
+    site: int
+    serial: int
+    pending: int
+
+
 #: Every event type, in taxonomy order.
 EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     RunStarted,
@@ -285,6 +307,7 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     QueryRetried,
     QueryLost,
     MessageDropped,
+    QueryShed,
 )
 
 #: Event name -> event class (for deserialization).
@@ -345,6 +368,7 @@ __all__ = [
     "QueryRetried",
     "QueryLost",
     "MessageDropped",
+    "QueryShed",
     "EVENT_TYPES",
     "EVENT_REGISTRY",
     "event_to_dict",

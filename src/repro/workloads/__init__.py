@@ -1,0 +1,68 @@
+"""Pluggable workloads: how queries enter the simulated system.
+
+This package is the one workload entry point.  The paper's closed model
+(``mpl`` think/submit terminals per site) is the default and stays
+byte-identical to the seed; open arrival processes —
+:class:`PoissonOpen`, :class:`MMPP`, :class:`DiurnalRate`,
+:class:`TraceDriven` — turn the system into an open queueing network
+with optional per-site :class:`AdmissionControl`, the heavy-traffic
+regime of ROADMAP item 2.
+
+Build a :class:`WorkloadSpec` and hand it to
+:class:`repro.runner.RunSpec` (or ``DistributedDatabase(workload=...)``,
+or the ``--workload PLAN.json`` CLI flag)::
+
+    from repro.workloads import AdmissionControl, PoissonOpen, WorkloadSpec
+
+    spec = WorkloadSpec(
+        arrivals=PoissonOpen(rate=0.08),          # per site
+        admission=AdmissionControl(max_pending=64),
+    )
+
+See ``docs/workloads.md`` for the arrival-process catalogue and the
+determinism discipline (named streams, offered-arrival serial numbers).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.arrivals import (
+    ArrivalProcess,
+    ArrivalSpec,
+    ClosedTerminals,
+    DiurnalRate,
+    MMPP,
+    PhaseTrack,
+    PoissonOpen,
+    TraceDriven,
+    next_thinned_gap,
+)
+from repro.workloads.closed import launch_closed_terminals, terminal_process
+from repro.workloads.driver import WorkloadDriver, start_workload
+from repro.workloads.errors import WorkloadError
+from repro.workloads.spec import (
+    AdmissionControl,
+    WorkloadSpec,
+    estimate_site_capacity,
+    normalize_workload,
+)
+
+__all__ = [
+    "AdmissionControl",
+    "ArrivalProcess",
+    "ArrivalSpec",
+    "ClosedTerminals",
+    "DiurnalRate",
+    "MMPP",
+    "PhaseTrack",
+    "PoissonOpen",
+    "TraceDriven",
+    "WorkloadDriver",
+    "WorkloadError",
+    "WorkloadSpec",
+    "estimate_site_capacity",
+    "launch_closed_terminals",
+    "next_thinned_gap",
+    "normalize_workload",
+    "start_workload",
+    "terminal_process",
+]

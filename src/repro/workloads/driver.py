@@ -1,0 +1,142 @@
+"""The workload driver: admission, shedding, and open-query processes.
+
+:func:`start_workload` is the one entry point the system constructor
+calls.  With no spec (or the default closed spec, already normalized to
+``None``) it launches the paper's terminals and nothing else — the run
+is byte-identical to the seed.  With an open spec it builds a
+:class:`WorkloadDriver` and hands it to the arrival process, which
+launches its driving simulation processes.
+
+Admission accounting lives here, not in the arrival processes: every
+arrival calls :meth:`WorkloadDriver.submit`, which either sheds the
+query (bounded per-site pending count exceeded) or admits it and
+launches a one-shot query process.  Serial numbers are allocated to
+*offered* arrivals — shed or admitted — so the derived random stream of
+the ``n``-th arrival at a site never depends on the admission limit, and
+runs differing only in ``max_pending`` face literally the same query
+sequence (the common-random-numbers discipline, extended to open
+arrivals).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, List, Optional
+
+from repro.model.metrics import WorkloadSummary
+from repro.telemetry.events import QueryShed
+from repro.workloads.closed import launch_closed_terminals
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.model.system import DistributedDatabase
+    from repro.workloads.spec import WorkloadSpec
+
+
+class WorkloadDriver:
+    """Run-time state of one open workload: admission and counters.
+
+    Attributes:
+        pending: Per-site count of admitted open queries currently in
+            the system (queued, executing, or in transit).
+        offered: Arrivals offered since the last statistics reset.
+        admitted: Arrivals admitted since the last statistics reset.
+        shed: Arrivals shed since the last statistics reset.
+    """
+
+    def __init__(
+        self, system: "DistributedDatabase", spec: "WorkloadSpec"
+    ) -> None:
+        self.system = system
+        self.spec = spec
+        num_sites = system.config.num_sites
+        self.pending: List[int] = [0] * num_sites
+        # Serial numbers key derived random streams, so they are never
+        # reset: the n-th arrival at a site draws the same stream whether
+        # or not a warmup truncation happened in between.
+        self._serials: List[int] = [0] * num_sites
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+
+    @property
+    def max_pending(self) -> Optional[int]:
+        admission = self.spec.admission
+        return None if admission is None else admission.max_pending
+
+    def submit(self, site: int) -> None:
+        """One arrival at *site*: admit it or shed it."""
+        self._serials[site] += 1
+        serial = self._serials[site]
+        self.offered += 1
+        limit = self.max_pending
+        if limit is not None and self.pending[site] >= limit:
+            self.shed += 1
+            sim = self.system.sim
+            bus = sim.bus
+            if bus.active and bus.wants(QueryShed):
+                bus.emit(
+                    QueryShed(
+                        time=sim.now,
+                        site=site,
+                        serial=serial,
+                        pending=self.pending[site],
+                    )
+                )
+            return
+        self.admitted += 1
+        self.pending[site] += 1
+        self.system.sim.launch(
+            self._open_query(site, serial),
+            name=f"workload.query.s{site}.n{serial}",
+        )
+
+    def _open_query(
+        self, site: int, serial: int
+    ) -> Generator[object, object, None]:
+        """One admitted open query, arrival to results-home."""
+        system = self.system
+        query, query_rng = system.workload.new_open_query(site, serial)
+        try:
+            yield from system.execute_query(query, query_rng)
+        finally:
+            self.pending[site] -= 1
+
+    def reset_statistics(self) -> None:
+        """Truncate the admission counters (end of warmup).
+
+        Pending counts and serial numbers survive: they are system
+        state, not statistics.
+        """
+        self.offered = 0
+        self.admitted = 0
+        self.shed = 0
+
+    def summary(self) -> WorkloadSummary:
+        """Package the admission counters for :class:`SystemResults`."""
+        shed_fraction = self.shed / self.offered if self.offered > 0 else 0.0
+        return WorkloadSummary(
+            kind=self.spec.kind,
+            offered=self.offered,
+            admitted=self.admitted,
+            shed=self.shed,
+            shed_fraction=shed_fraction,
+        )
+
+
+def start_workload(system: "DistributedDatabase") -> None:
+    """Launch whatever drives queries into *system* (constructor hook).
+
+    Reads ``system.workload_spec`` (already normalized: ``None`` means
+    the paper's closed model) and populates ``system.workload_driver``
+    for open specs.
+    """
+    spec = system.workload_spec
+    if spec is None:
+        launch_closed_terminals(system)
+        return
+    spec.validate_for(system.config)
+    driver = WorkloadDriver(system, spec)
+    system.workload_driver = driver
+    spec.arrivals.launch(system, driver)
+
+
+__all__ = ["WorkloadDriver", "start_workload"]

@@ -1,0 +1,10 @@
+"""Errors raised by the workload subsystem."""
+
+from __future__ import annotations
+
+
+class WorkloadError(Exception):
+    """An invalid workload specification or arrival-process parameter."""
+
+
+__all__ = ["WorkloadError"]

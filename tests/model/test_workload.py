@@ -101,3 +101,68 @@ class TestServiceDraws:
         assert sum(bursts) / len(bursts) == pytest.approx(
             query.spec.page_cpu_time, rel=0.05
         )
+
+
+class TestClassSampling:
+    """Regression: no silent rounding absorption at ``cumulative[-1]``.
+
+    ``SystemConfig`` rejects class probabilities whose sum is off by more
+    than 1e-9, and ``_sample_class`` falls through to the last class for
+    the (measure-zero) draws at or beyond the final threshold — so the
+    generator never patches the cumulative vector back to exactly 1.0.
+    """
+
+    class _StubRng:
+        """Returns a fixed sequence of uniform draws."""
+
+        def __init__(self, values):
+            self._values = iter(values)
+
+        def random(self):
+            return next(self._values)
+
+    def test_cumulative_probs_are_the_true_partial_sums(self):
+        # Three classes at 1/3 each sum to 0.999... within 1e-9; the
+        # cumulative vector keeps the true partial sums (no patching).
+        third = 1.0 / 3.0
+        config = dataclasses.replace(
+            paper_defaults(),
+            classes=(
+                paper_defaults().classes[0],
+                paper_defaults().classes[1],
+                dataclasses.replace(paper_defaults().classes[1], name="mid"),
+            ),
+            class_probs=(third, third, third),
+        )
+        generator = WorkloadGenerator(Simulator(seed=1), config)
+        assert generator._cumulative_probs == (third, 2 * third, 3 * third)
+
+    def test_draw_beyond_last_threshold_falls_through_to_last_class(self):
+        third = 1.0 / 3.0
+        config = dataclasses.replace(
+            paper_defaults(),
+            classes=(
+                paper_defaults().classes[0],
+                paper_defaults().classes[1],
+                dataclasses.replace(paper_defaults().classes[1], name="mid"),
+            ),
+            class_probs=(third, third, third),
+        )
+        generator = WorkloadGenerator(Simulator(seed=1), config)
+        # 3 * (1/3) < 1.0 in floats: a draw in the sliver between the
+        # last threshold and 1.0 must land in the last class, not crash.
+        assert 3 * third < 1.0 or 3 * third == 1.0
+        sliver = self._StubRng([0.9999999999999999])
+        assert generator._sample_class(sliver) == 2
+
+    def test_draws_inside_bands_pick_the_matching_class(self):
+        generator = WorkloadGenerator(Simulator(seed=1), paper_defaults())
+        assert generator._sample_class(self._StubRng([0.25])) == 0
+        assert generator._sample_class(self._StubRng([0.75])) == 1
+
+    def test_bad_probability_sum_is_rejected_at_config_time(self):
+        # The guard lives in SystemConfig now, not in the generator.
+        from repro.model.config import ConfigError
+
+        with pytest.raises(ConfigError, match="sum to 1"):
+            dataclasses.replace(paper_defaults(), class_probs=(0.5, 0.501))

@@ -15,6 +15,7 @@ from repro.telemetry.events import (
     QueryCreated,
     QueryLost,
     QueryRetried,
+    QueryShed,
     QueryTransferred,
     RunEnded,
     RunStarted,
@@ -61,6 +62,7 @@ SAMPLES = (
     QueryRetried(time=122.0, qid=3, attempt=2, backoff=2.0),
     QueryLost(time=190.0, qid=4, attempts=6),
     MessageDropped(time=130.0, source=2, destination=0, kind="result", qid=5),
+    QueryShed(time=140.0, site=3, serial=212, pending=64),
 )
 
 

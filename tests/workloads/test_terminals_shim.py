@@ -1,0 +1,146 @@
+"""The workload API redesign: ``repro.workloads`` is the one entry point.
+
+Includes the AST pin required by the PR: no internal caller may use the
+deprecated ``start_terminals()`` spelling — the only mention allowed in
+``src/repro`` is the shim in ``model/terminals.py`` itself (the same
+discipline ``tests/policies/test_select_api.py`` applies to
+``select_site``).
+"""
+
+import ast
+import pathlib
+import warnings
+
+import pytest
+
+from repro.model.system import DistributedDatabase
+from repro.policies.registry import make_policy
+
+SRC_REPRO = pathlib.Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+class TestNoInternalLegacyCallers:
+    """AST scan: the old entry point is dead inside ``src/repro``."""
+
+    def test_no_start_terminals_calls_outside_shim(self):
+        offenders = []
+        for path in sorted(SRC_REPRO.rglob("*.py")):
+            if path.name == "terminals.py" and path.parent.name == "model":
+                continue  # the deprecation shim itself
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                name = (
+                    func.id
+                    if isinstance(func, ast.Name)
+                    else func.attr
+                    if isinstance(func, ast.Attribute)
+                    else None
+                )
+                if name == "start_terminals":
+                    offenders.append(f"{path}:{node.lineno}")
+        assert offenders == [], (
+            "internal callers still use the deprecated start_terminals():\n"
+            + "\n".join(offenders)
+        )
+
+    def test_no_start_terminals_imports_outside_shim(self):
+        """Nothing inside src/repro even imports the legacy name."""
+        offenders = []
+        for path in sorted(SRC_REPRO.rglob("*.py")):
+            if path.name == "terminals.py" and path.parent.name == "model":
+                continue
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            for node in ast.walk(tree):
+                if isinstance(node, ast.ImportFrom) and any(
+                    alias.name == "start_terminals" for alias in node.names
+                ):
+                    offenders.append(f"{path}:{node.lineno}")
+        assert offenders == []
+
+
+class TestDeprecatedShim:
+    def test_start_terminals_warns_and_launches(self, tiny_config):
+        from repro.model.terminals import start_terminals
+
+        # A bare system whose workload was never started: strip the
+        # already-launched terminal processes by building a fresh sim.
+        system = DistributedDatabase(tiny_config, make_policy("LOCAL"), seed=5)
+        with pytest.warns(DeprecationWarning, match="launch_closed_terminals"):
+            start_terminals(system)
+
+    def test_terminal_process_reexport_is_the_workloads_function(self):
+        from repro.model import terminals
+        from repro.workloads import closed
+
+        assert terminals.terminal_process is closed.terminal_process
+
+    def test_normal_construction_is_warning_free(self, tiny_config):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            system = DistributedDatabase(
+                tiny_config, make_policy("LOCAL"), seed=5
+            )
+            results = system.run(warmup=20.0, duration=100.0)
+        assert results.completions > 0
+
+
+class TestPublicSurface:
+    def test_package_reexports_workload_api(self):
+        import repro
+
+        for name in (
+            "WorkloadSpec",
+            "WorkloadSummary",
+            "WorkloadError",
+            "AdmissionControl",
+            "ArrivalProcess",
+            "ClosedTerminals",
+            "PoissonOpen",
+            "MMPP",
+            "DiurnalRate",
+            "TraceDriven",
+            "save_workload_spec",
+            "load_workload_spec",
+        ):
+            assert hasattr(repro, name), name
+            assert name in repro.__all__, name
+
+    def test_workloads_package_exports_protocol_members(self):
+        from repro import workloads
+
+        for name in (
+            "ArrivalProcess",
+            "ArrivalSpec",
+            "PhaseTrack",
+            "WorkloadDriver",
+            "next_thinned_gap",
+            "normalize_workload",
+            "start_workload",
+            "estimate_site_capacity",
+            "launch_closed_terminals",
+            "terminal_process",
+        ):
+            assert hasattr(workloads, name), name
+
+    def test_builtin_arrivals_satisfy_the_protocol(self):
+        from repro.workloads import (
+            ArrivalProcess,
+            ClosedTerminals,
+            DiurnalRate,
+            MMPP,
+            PoissonOpen,
+            TraceDriven,
+        )
+
+        instances = (
+            ClosedTerminals(),
+            PoissonOpen(rate=0.1),
+            MMPP(rates=(0.1, 0.2), mean_holding=(10.0, 10.0)),
+            DiurnalRate(base_rate=0.1, amplitude=0.5, period=100.0),
+            TraceDriven(arrivals=((0.0, 0),)),
+        )
+        for instance in instances:
+            assert isinstance(instance, ArrivalProcess), instance
