@@ -113,7 +113,7 @@ from repro.workloads import (
     WorkloadSpec,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "DistributedDatabase",

@@ -6,8 +6,14 @@
   (simulation sweeps).
 * E8 — :mod:`repro.experiments.msg_sensitivity`.
 
-Each module exposes ``run_experiment(...)`` returning structured results,
-``format_table(...)`` rendering paper-style rows, and ``main()``.
+Each module exposes ``run_experiment(...)`` returning structured results
+and ``format_table(...)`` rendering paper-style rows.  The front door is
+the experiment registry (:mod:`repro.experiments.registry`): every
+experiment — tables, extensions, ablations, committed studies — is an
+:class:`~repro.experiments.registry.Experiment` with a uniform
+``run(settings, context)``, and the ``repro-experiments`` CLI generates
+its subcommands from it.  Execution options (workers, cache, progress)
+travel in one typed :class:`~repro.experiments.context.StudyContext`.
 """
 
 from repro.experiments import (
@@ -21,6 +27,13 @@ from repro.experiments import (
     table10,
     table11,
     table12,
+)
+from repro.experiments.context import SERIAL, StudyContext
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    experiment_names,
+    get_experiment,
 )
 from repro.experiments.cache import (
     ResultCache,
@@ -40,7 +53,11 @@ from repro.experiments.parallel import (
     run_tasks,
     simulate_many,
 )
-from repro.experiments.report import generate_report, write_report
+from repro.experiments.report import (
+    generate_report,
+    report_sections,
+    write_report,
+)
 from repro.experiments.sweep import (
     SweepResult,
     SweepSpec,
@@ -92,5 +109,12 @@ __all__ = [
     "set_config_parameter",
     "write_csv",
     "generate_report",
+    "report_sections",
     "write_report",
+    "StudyContext",
+    "SERIAL",
+    "Experiment",
+    "all_experiments",
+    "experiment_names",
+    "get_experiment",
 ]

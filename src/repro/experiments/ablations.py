@@ -9,18 +9,37 @@ relaxes one of the paper's assumptions.
 * :func:`heterogeneity_study` — homogeneity assumption relaxed.
 * The LERT-vs-LERT-MVA comparison (A3) and tie-break study (A4) live in
   the benchmark suite since they are single-shot comparisons.
+
+Since the declarative study harness landed (:mod:`repro.ablation`), these
+sweeps no longer assemble their own task lists: each expands the matching
+catalog :class:`~repro.ablation.spec.StudySpec` and reads its cells, so
+the sweep, the committed spec under ``studies/``, and ``repro-experiments
+study`` all run the *same* content-addressed cells.  The result
+dataclasses and ``format_*`` renderers are unchanged.
+
+Each sweep runs one replication per cell (the behavior these functions
+always had): ``settings.replications`` is overridden to 1, and the
+shared seed ``settings.seed_for(0)`` gives every cell common random
+numbers.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.experiments.common import TextTable, improvement_pct
-from repro.experiments.parallel import ReplicationTask, run_tasks
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
-from repro.model.config import DISK_PER_DISK, DISK_SHARED, paper_defaults
+from repro.model.config import DISK_PER_DISK, DISK_SHARED
+
+
+def _single_replication(settings: RunSettings) -> RunSettings:
+    """These sweeps always ran one replication per cell; keep that."""
+    return dataclasses.replace(settings, replications=1)
+
 
 # ----------------------------------------------------------------------
 # A2: load-information staleness
@@ -46,36 +65,29 @@ def stale_info_sweep(
     intervals: Tuple[float, ...] = (0.0, 10.0, 25.0, 50.0, 100.0, 200.0, 400.0),
     policy: str = "LERT",
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> StaleInfoResult:
     """LERT's waiting time as load snapshots go stale."""
-    config = paper_defaults()
-    seed = settings.seed_for(0)
-    tasks: List[ReplicationTask] = [
-        ReplicationTask(
-            config, "LOCAL", seed, settings.warmup, settings.duration
-        )
-    ]
-    tasks.extend(
-        ReplicationTask(
-            config,
-            policy,
-            seed,
-            settings.warmup,
-            settings.duration,
-            system_kind="stale",
-            system_kwargs=(("refresh_interval", interval),),
-        )
-        for interval in intervals
+    # Imported lazily: the experiments package imports this module, and
+    # the study harness imports the experiments backend (cycle otherwise).
+    from repro.ablation.catalog import stale_info_study as _stale_spec
+    from repro.ablation.study import run_study
+
+    spec = _stale_spec(
+        _single_replication(settings), intervals=tuple(intervals), policy=policy
     )
-    runs = run_tasks(tasks, jobs=jobs, cache=cache)
-    w_local = runs[0].mean_waiting_time
+    outcome = run_study(spec, context=context)
     waits: Dict[float, float] = {
-        interval: run.mean_waiting_time
-        for interval, run in zip(intervals, runs[1:])
+        interval: outcome.cell(
+            f"load-information:refresh-{interval:g}"
+        ).metrics.waiting_time
+        for interval in intervals
     }
-    return StaleInfoResult(intervals=tuple(intervals), waits=waits, w_local=w_local)
+    return StaleInfoResult(
+        intervals=tuple(intervals),
+        waits=waits,
+        w_local=outcome.baseline.metrics.waiting_time,
+    )
 
 
 def format_stale_info(result: StaleInfoResult) -> str:
@@ -113,28 +125,25 @@ def disk_organization_study(
     settings: RunSettings = STANDARD,
     policies: Tuple[str, ...] = ("LOCAL", "BNQ", "LERT"),
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> DiskOrganizationResult:
     """Per-disk queues (paper's Figure 2) vs one shared multi-server queue."""
-    seed = settings.seed_for(0)
-    labels: List[Tuple[str, str]] = []
-    tasks: List[ReplicationTask] = []
-    for organization in (DISK_PER_DISK, DISK_SHARED):
-        config = dataclasses.replace(
-            paper_defaults(), disk_organization=organization
-        )
-        for policy in policies:
-            labels.append((organization, policy))
-            tasks.append(
-                ReplicationTask(
-                    config, policy, seed, settings.warmup, settings.duration
-                )
-            )
-    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    from repro.ablation.catalog import disk_organization_study_spec as _disk_spec
+    from repro.ablation.study import run_study
+
+    spec = _disk_spec(_single_replication(settings), policies=tuple(policies))
+    outcome = run_study(spec, context=context)
     waits: Dict[Tuple[str, str], float] = {
-        label: run.mean_waiting_time for label, run in zip(labels, runs)
+        (DISK_PER_DISK, policies[0]): outcome.baseline.metrics.waiting_time
     }
+    for policy in policies[1:]:
+        waits[(DISK_PER_DISK, policy)] = outcome.cell(
+            f"disk-organization:per_disk-{policy}"
+        ).metrics.waiting_time
+    for policy in policies:
+        waits[(DISK_SHARED, policy)] = outcome.cell(
+            f"disk-organization:shared-{policy}"
+        ).metrics.waiting_time
     return DiskOrganizationResult(waits=waits)
 
 
@@ -174,36 +183,26 @@ def update_fraction_sweep(
     settings: RunSettings = STANDARD,
     fractions: Tuple[float, ...] = (0.0, 0.1, 0.2, 0.4),
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> UpdateFractionResult:
     """How update propagation load dilutes the allocation benefit."""
-    config = paper_defaults()
-    seed = settings.seed_for(0)
-    policies = ("LOCAL", "LERT")
-    tasks = [
-        ReplicationTask(
-            config,
-            policy,
-            seed,
-            settings.warmup,
-            settings.duration,
-            system_kind="updates",
-            system_kwargs=(("update_prob", fraction),),
-        )
-        for fraction in fractions
-        for policy in policies
-    ]
-    runs = iter(run_tasks(tasks, jobs=jobs, cache=cache))
+    from repro.ablation.catalog import update_fraction_study as _update_spec
+    from repro.ablation.study import run_study
+
+    spec = _update_spec(_single_replication(settings), fractions=tuple(fractions))
+    outcome = run_study(spec, context=context)
     rows: Dict[float, Dict[str, float]] = {}
     subnet: Dict[float, float] = {}
     for fraction in fractions:
         row: Dict[str, float] = {}
-        for policy in policies:
-            results = next(runs)
-            row[policy] = results.mean_waiting_time
+        for policy in ("LOCAL", "LERT"):
+            if fraction == fractions[0] and policy == "LOCAL":
+                cell = outcome.baseline
+            else:
+                cell = outcome.cell(f"update-fraction:f{fraction:g}-{policy}")
+            row[policy] = cell.metrics.waiting_time
             if policy == "LERT":
-                subnet[fraction] = results.subnet_utilization
+                subnet[fraction] = cell.metrics.subnet_utilization
         rows[fraction] = row
     return UpdateFractionResult(
         fractions=tuple(fractions), rows=rows, subnet=subnet
@@ -248,34 +247,28 @@ def heterogeneity_study(
     settings: RunSettings = STANDARD,
     speed_factors: Tuple[float, ...] = (0.5, 0.5, 1.0, 1.0, 2.0, 2.0),
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> HeterogeneityResult:
     """Policies on a fleet with unequal CPU speeds.
 
     Response time (not waiting time) is compared: heterogeneity changes
     realized service times, so waiting alone under-credits fast sites.
     """
-    config = paper_defaults(num_sites=len(speed_factors))
-    seed = settings.seed_for(0)
+    from repro.ablation.catalog import heterogeneity_study_spec as _heterogeneity_spec
+    from repro.ablation.study import run_study
+
     factors = tuple(float(f) for f in speed_factors)
-    policies = ("LOCAL", "BNQ", "LERT", "LERT-HET")
-    tasks = [
-        ReplicationTask(
-            config,
-            policy_name,
-            seed,
-            settings.warmup,
-            settings.duration,
-            system_kind="heterogeneous",
-            system_kwargs=(("cpu_speed_factors", factors),),
-        )
-        for policy_name in policies
-    ]
-    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    spec = _heterogeneity_spec(
+        _single_replication(settings), speed_factors=factors
+    )
+    outcome = run_study(spec, context=context)
     response_times: Dict[str, float] = {
-        policy_name: run.mean_response_time
-        for policy_name, run in zip(policies, runs)
+        "LOCAL": outcome.baseline.metrics.response_time,
+        "BNQ": outcome.cell("allocation-policy:bnq").metrics.response_time,
+        "LERT": outcome.cell("allocation-policy:lert").metrics.response_time,
+        "LERT-HET": outcome.cell(
+            "allocation-policy:lert-het"
+        ).metrics.response_time,
     }
     return HeterogeneityResult(
         speed_factors=factors, response_times=response_times
@@ -315,8 +308,7 @@ def subnet_scaling_study(
     settings: RunSettings = STANDARD,
     site_counts: Tuple[int, ...] = (2, 4, 6, 8, 10),
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> SubnetScalingResult:
     """Table 11's sweep on the ring versus a point-to-point mesh.
 
@@ -325,33 +317,29 @@ def subnet_scaling_study(
     S·(S−1), the congestion term vanishes — the improvement curve should
     keep rising (or flatten) instead of turning down.
     """
-    seed = settings.seed_for(0)
-    labels: List[Tuple[str, int]] = []
-    tasks: List[ReplicationTask] = []
-    for subnet in ("ring", "mesh"):
-        for num_sites in site_counts:
-            config = paper_defaults(num_sites=num_sites).with_network(
-                subnet_kind=subnet
-            )
-            labels.append((subnet, num_sites))
-            for policy in ("LOCAL", "LERT"):
-                tasks.append(
-                    ReplicationTask(
-                        config, policy, seed, settings.warmup, settings.duration
-                    )
-                )
-    runs = iter(run_tasks(tasks, jobs=jobs, cache=cache))
+    from repro.ablation.catalog import subnet_scaling_study as _subnet_spec
+    from repro.ablation.study import run_study
+
+    counts = tuple(site_counts)
+    spec = _subnet_spec(_single_replication(settings), site_counts=counts)
+    outcome = run_study(spec, context=context)
     improvements: Dict[Tuple[str, int], float] = {}
     utilization: Dict[Tuple[str, int], float] = {}
-    for label in labels:
-        local = next(runs)
-        lert = next(runs)
-        improvements[label] = improvement_pct(
-            lert.mean_waiting_time, local.mean_waiting_time
-        )
-        utilization[label] = lert.subnet_utilization
+    for subnet in ("ring", "mesh"):
+        for num_sites in counts:
+            if subnet == "ring" and num_sites == counts[0]:
+                local = outcome.baseline
+            else:
+                local = outcome.cell(
+                    f"subnet-scaling:{subnet}-{num_sites}-LOCAL"
+                )
+            lert = outcome.cell(f"subnet-scaling:{subnet}-{num_sites}-LERT")
+            improvements[(subnet, num_sites)] = improvement_pct(
+                lert.metrics.waiting_time, local.metrics.waiting_time
+            )
+            utilization[(subnet, num_sites)] = lert.metrics.subnet_utilization
     return SubnetScalingResult(
-        site_counts=tuple(site_counts),
+        site_counts=counts,
         improvements=improvements,
         subnet_utilization=utilization,
     )
@@ -374,50 +362,66 @@ def format_subnet_scaling(result: SubnetScalingResult) -> str:
 
 
 # ----------------------------------------------------------------------
-# CLI entry points
+# Deprecated CLI entry points (use the experiment registry)
 # ----------------------------------------------------------------------
 
 
-def main_stale(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_stale_info(stale_info_sweep(settings, jobs=jobs, cache=cache))
+def _main_shim(name: str, sweep, formatter, settings, jobs, cache) -> str:
+    """Shared body of the deprecated ``main_*`` entry points."""
+    warnings.warn(
+        f"ablations.main_{name}() is deprecated; use repro.experiments."
+        f"registry.get_experiment('ablation-{name}').run(settings, context) "
+        "(see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = formatter(sweep(settings, context=context))
     print(output)
     return output
+
+
+def main_stale(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
+    """Deprecated shim — go through the experiment registry instead."""
+    return _main_shim(
+        "stale", stale_info_sweep, format_stale_info, settings, jobs, cache
+    )
 
 
 def main_disk(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_disk_organization(
-        disk_organization_study(settings, jobs=jobs, cache=cache)
+    """Deprecated shim — go through the experiment registry instead."""
+    return _main_shim(
+        "disk", disk_organization_study, format_disk_organization,
+        settings, jobs, cache,
     )
-    print(output)
-    return output
 
 
 def main_updates(
     settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None
 ) -> str:
-    output = format_update_fraction(
-        update_fraction_sweep(settings, jobs=jobs, cache=cache)
+    """Deprecated shim — go through the experiment registry instead."""
+    return _main_shim(
+        "updates", update_fraction_sweep, format_update_fraction,
+        settings, jobs, cache,
     )
-    print(output)
-    return output
 
 
 def main_heterogeneous(
     settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None
 ) -> str:
-    output = format_heterogeneity(
-        heterogeneity_study(settings, jobs=jobs, cache=cache)
+    """Deprecated shim — go through the experiment registry instead."""
+    return _main_shim(
+        "heterogeneous", heterogeneity_study, format_heterogeneity,
+        settings, jobs, cache,
     )
-    print(output)
-    return output
 
 
 def main_subnet(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_subnet_scaling(
-        subnet_scaling_study(settings, jobs=jobs, cache=cache)
+    """Deprecated shim — go through the experiment registry instead."""
+    return _main_shim(
+        "subnet", subnet_scaling_study, format_subnet_scaling,
+        settings, jobs, cache,
     )
-    print(output)
-    return output
 
 
 __all__ = [

@@ -1,21 +1,30 @@
-"""Command-line entry point: regenerate any of the paper's tables.
+"""Command-line entry point: regenerate tables, run studies.
 
-Installed as ``repro-experiments``::
+Installed as ``repro-experiments``.  Every subcommand except ``study``,
+``report``, ``all``, and ``list`` is generated from the experiment
+registry (:mod:`repro.experiments.registry`) — registering an experiment
+there is all it takes to get a subcommand::
 
+    repro-experiments list                       # what's available
     repro-experiments table5
     repro-experiments table8 --scale quick
     repro-experiments all --scale standard
-    repro-experiments table9 --jobs 4          # fan cells over 4 processes
-    repro-experiments table9 --no-cache        # force re-simulation
-    repro-experiments all --cache-dir /tmp/rc  # shared result cache
-    repro-experiments table8 --progress        # live progress on stderr
+    repro-experiments table9 --jobs 4            # fan cells over 4 processes
+    repro-experiments table9 --no-cache          # force re-simulation
+    repro-experiments all --cache-dir /tmp/rc    # shared result cache
+    repro-experiments table8 --progress          # live progress on stderr
+    repro-experiments study studies/core.json    # run a committed study
+    repro-experiments report --out report.md
 
-Simulation experiments accept ``--jobs`` (process-pool fan-out; results are
-bit-identical to serial runs) and use the content-addressed result cache by
-default (``$REPRO_CACHE_DIR`` or ``~/.cache/repro/results``; see
-``docs/parallel_and_caching.md``).  Table text goes to stdout; per-experiment
-wall-clock timings and cache statistics go to stderr so piped output stays
-clean.
+Simulation experiments accept ``--jobs`` (process-pool fan-out; results
+are bit-identical to serial runs) and use the content-addressed result
+cache by default (``$REPRO_CACHE_DIR`` or ``~/.cache/repro/results``; see
+``docs/parallel_and_caching.md``).  ``study`` runs a
+:class:`~repro.ablation.spec.StudySpec` JSON file (see
+``docs/ablation.md``); its run settings come from the spec itself, so
+``--scale`` does not apply.  Table/report text goes to stdout;
+per-experiment wall-clock timings and cache statistics go to stderr so
+piped output stays clean.
 """
 
 from __future__ import annotations
@@ -25,74 +34,19 @@ import contextlib
 import pathlib
 import sys
 import time
-from typing import Callable, Dict, Iterator, Optional
+from typing import Iterator, List, Optional
 
-from repro.experiments import (
-    ablations,
-    failure,
-    open_system,
-    validation,
-    msg_sensitivity,
-    table5,
-    table6,
-    table8,
-    table9,
-    table10,
-    table11,
-    table12,
+from repro.experiments.context import StudyContext
+from repro.experiments.registry import (
+    Experiment,
+    all_experiments,
+    get_experiment,
 )
 from repro.experiments.runconfig import settings_for
 
-#: Experiment name -> runner taking RunSettings (analytic ones ignore it).
-_SIMULATED: Dict[str, Callable] = {
-    "table8": table8.main,
-    "table9": table9.main,
-    "table10": table10.main,
-    "table11": table11.main,
-    "table12": table12.main,
-    "msg": msg_sensitivity.main,
-    "failures": failure.main,
-    "open": open_system.main,
-    "ablation-stale": ablations.main_stale,
-    "ablation-disk": ablations.main_disk,
-    "ablation-updates": ablations.main_updates,
-    "ablation-heterogeneous": ablations.main_heterogeneous,
-    "ablation-subnet": ablations.main_subnet,
-    "validation": validation.main,
-}
-_ANALYTIC: Dict[str, Callable] = {
-    "table5": table5.main,
-    "table6": table6.main,
-}
 
-
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-experiments",
-        description=(
-            "Regenerate the tables of Carey, Livny & Lu, 'Dynamic Task "
-            "Allocation in a Distributed Database System' (ICDCS 1985)."
-        ),
-    )
-    parser.add_argument(
-        "experiment",
-        choices=sorted(_SIMULATED) + sorted(_ANALYTIC) + ["all", "report"],
-        help=(
-            "which table to regenerate ('all' runs everything; 'report' "
-            "writes a single Markdown report, see --out)"
-        ),
-    )
-    parser.add_argument(
-        "--out",
-        default="report.md",
-        help="output path for the 'report' experiment (default: report.md)",
-    )
-    parser.add_argument(
-        "--scale",
-        default="standard",
-        choices=["quick", "standard", "paper"],
-        help="run length preset for simulation experiments (default: standard)",
-    )
+def _execution_flags(parser: argparse.ArgumentParser) -> None:
+    """The execution options shared by every simulating subcommand."""
     parser.add_argument(
         "--jobs",
         type=int,
@@ -118,6 +72,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the on-disk result cache (always re-simulate)",
     )
     parser.add_argument(
+        "--progress",
+        action="store_true",
+        help=(
+            "show live per-replication progress on stderr while simulation "
+            "batches run (display only; results are unaffected)"
+        ),
+    )
+
+
+def _settings_flags(parser: argparse.ArgumentParser) -> None:
+    """The run-settings options of the table/report subcommands."""
+    parser.add_argument(
+        "--scale",
+        default="standard",
+        choices=["quick", "standard", "paper"],
+        help="run length preset for simulation experiments (default: standard)",
+    )
+    parser.add_argument(
         "--faults",
         default=None,
         metavar="PLAN.json",
@@ -138,13 +110,67 @@ def build_parser() -> argparse.ArgumentParser:
             "workloads, so extension experiments reject this flag"
         ),
     )
-    parser.add_argument(
-        "--progress",
-        action="store_true",
-        help=(
-            "show live per-replication progress on stderr while simulation "
-            "batches run (display only; results are unaffected)"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Regenerate the tables of Carey, Livny & Lu, 'Dynamic Task "
+            "Allocation in a Distributed Database System' (ICDCS 1985), "
+            "and run declarative ablation studies."
         ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    # One subcommand per registered experiment — the registry is the
+    # single source of truth for what can run.
+    for experiment in all_experiments():
+        sub = subparsers.add_parser(
+            experiment.name,
+            help=experiment.description,
+            description=f"{experiment.title}: {experiment.description}",
+        )
+        _settings_flags(sub)
+        _execution_flags(sub)
+
+    sub = subparsers.add_parser(
+        "all", help="run every registered experiment in report order"
+    )
+    _settings_flags(sub)
+    _execution_flags(sub)
+
+    sub = subparsers.add_parser(
+        "report",
+        help="write a single Markdown report covering every experiment",
+    )
+    sub.add_argument(
+        "--out",
+        default="report.md",
+        help="output path for the report (default: report.md)",
+    )
+    _settings_flags(sub)
+    _execution_flags(sub)
+
+    sub = subparsers.add_parser(
+        "study",
+        help="run a StudySpec JSON file (see docs/ablation.md)",
+        description=(
+            "Expand a committed study spec into its content-addressed "
+            "run grid, execute it, and print the ranked component-"
+            "importance report.  Run settings come from the spec."
+        ),
+    )
+    sub.add_argument("spec", help="path to a StudySpec JSON file")
+    sub.add_argument(
+        "--markdown",
+        action="store_true",
+        help="render the report tables as GitHub-flavored Markdown",
+    )
+    _execution_flags(sub)
+
+    subparsers.add_parser(
+        "list", help="list the registered experiments and built-in studies"
     )
     return parser
 
@@ -195,8 +221,7 @@ def _timing_line(name: str, elapsed: float, cache) -> str:
     return line
 
 
-def main(argv=None) -> int:
-    args = build_parser().parse_args(argv)
+def _settings_from_args(args):
     settings = settings_for(args.scale)
     if args.faults is not None:
         from repro.model.serialization import load_fault_plan
@@ -206,43 +231,95 @@ def main(argv=None) -> int:
         from repro.model.serialization import load_workload_spec
 
         settings = settings.with_workload(load_workload_spec(args.workload))
-    if args.experiment == "report":
+    return settings
+
+
+def _run_experiment(experiment: Experiment, settings, args, cache) -> None:
+    """Run one experiment, print its table, report timing to stderr."""
+    context = StudyContext(jobs=args.jobs, cache=cache)
+    started = time.perf_counter()
+    with _progress_scope(args.progress):
+        output = experiment.run(settings, context)
+    elapsed = time.perf_counter() - started
+    print(output)
+    print(
+        _timing_line(
+            experiment.name, elapsed, None if experiment.analytic else cache
+        ),
+        file=sys.stderr,
+    )
+
+
+def _run_list() -> int:
+    from repro.ablation import study_names
+    from repro.experiments.report import TextTable
+
+    table = TextTable(["name", "kind", "description"], title="Experiments")
+    for experiment in all_experiments():
+        table.add_row(
+            experiment.name,
+            "analytic" if experiment.analytic else "simulation",
+            experiment.description,
+        )
+    print(table.render())
+    print()
+    print("Built-in studies (repro-experiments study studies/<name>.json):")
+    for name in study_names():
+        print(f"  {name}")
+    return 0
+
+
+def _run_study(args) -> int:
+    from repro.ablation import load_study_spec, render_study_report, run_study
+
+    spec = load_study_spec(args.spec)
+    cache = _build_cache(args)
+    context = StudyContext(jobs=args.jobs, cache=cache)
+    started = time.perf_counter()
+    with _progress_scope(args.progress):
+        outcome = run_study(spec, context=context)
+    elapsed = time.perf_counter() - started
+    print(render_study_report(outcome, markdown=args.markdown))
+    print(
+        _timing_line(f"study:{spec.name}", elapsed, cache), file=sys.stderr
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _run_list()
+    if args.command == "study":
+        return _run_study(args)
+    settings = _settings_from_args(args)
+    if args.command == "report":
         from repro.experiments.report import write_report
 
         cache = _build_cache(args)
         started = time.perf_counter()
         with _progress_scope(args.progress):
-            write_report(args.out, settings, jobs=args.jobs, cache=cache)
+            write_report(
+                args.out,
+                settings,
+                context=StudyContext(jobs=args.jobs, cache=cache),
+            )
         print(
             _timing_line("report", time.perf_counter() - started, cache),
             file=sys.stderr,
         )
         print(f"report written to {args.out}")
         return 0
-    if args.experiment == "all":
-        names = sorted(_ANALYTIC) + sorted(_SIMULATED)
-    else:
-        names = [args.experiment]
-    # Build the cache lazily: analytic tables never touch it, and creating
-    # it would create the cache directory for nothing.
-    cache: Optional[object] = None
-    cache_built = False
-    for name in names:
-        started = time.perf_counter()
-        if name in _ANALYTIC:
-            _ANALYTIC[name]()
-        else:
-            if not cache_built:
-                cache = _build_cache(args)
-                cache_built = True
-            with _progress_scope(args.progress):
-                _SIMULATED[name](settings, jobs=args.jobs, cache=cache)
-        elapsed = time.perf_counter() - started
-        print(
-            _timing_line(name, elapsed, cache if name in _SIMULATED else None),
-            file=sys.stderr,
-        )
-        print()
+    if args.command == "all":
+        # Build the cache once; analytic experiments never touch it.
+        cache = _build_cache(args)
+        for experiment in all_experiments():
+            _run_experiment(experiment, settings, args, cache)
+            print()
+        return 0
+    experiment = get_experiment(args.command)
+    cache = None if experiment.analytic else _build_cache(args)
+    _run_experiment(experiment, settings, args, cache)
     return 0
 
 

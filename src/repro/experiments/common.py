@@ -6,10 +6,11 @@ Provides:
   averaging over replications with common random numbers; ``jobs=`` fans
   replications over a process pool and ``cache=`` reuses cached results
   (see :mod:`repro.experiments.parallel` / :mod:`repro.experiments.cache`);
-* :func:`average_results` — order-independent replication averaging;
-* :func:`improvement_pct` — the paper's ΔW_X,Y / W_Y percentage;
-* :class:`TextTable` — minimal fixed-width table formatting for terminal
-  output (the experiments print rows shaped like the paper's tables).
+* :func:`average_results` — order-independent replication averaging.
+
+:class:`TextTable` and :func:`improvement_pct` now live in
+:mod:`repro.experiments.report` (the one rendering path for text and
+Markdown output); they are re-exported here for compatibility.
 """
 
 from __future__ import annotations
@@ -18,6 +19,7 @@ import math
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.experiments.report import TextTable, improvement_pct
 from repro.experiments.runconfig import RunSettings
 from repro.model.config import SystemConfig
 from repro.model.metrics import SystemResults
@@ -120,55 +122,6 @@ def simulate(
     return simulate_many(
         [(config, policy_name)], settings, jobs=jobs, cache=cache, progress=progress
     )[0]
-
-
-def improvement_pct(new: float, base: float) -> float:
-    """The paper's ΔW_X,Y / W_Y, as a percentage (positive = X better)."""
-    if base == 0:
-        return 0.0
-    return 100.0 * (base - new) / base
-
-
-class TextTable:
-    """Fixed-width text table, in the spirit of the paper's tables."""
-
-    def __init__(self, headers: Sequence[str], title: str = "") -> None:
-        self.title = title
-        self.headers = list(headers)
-        self.rows: List[List[str]] = []
-
-    def add_row(self, *cells) -> None:
-        if len(cells) != len(self.headers):
-            raise ValueError(
-                f"row has {len(cells)} cells for {len(self.headers)} headers"
-            )
-        self.rows.append([self._fmt(c) for c in cells])
-
-    @staticmethod
-    def _fmt(cell) -> str:
-        if isinstance(cell, float):
-            return f"{cell:.2f}"
-        return str(cell)
-
-    def render(self) -> str:
-        widths = [
-            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
-            if self.rows
-            else len(self.headers[i])
-            for i in range(len(self.headers))
-        ]
-        lines: List[str] = []
-        if self.title:
-            lines.append(self.title)
-        header = "  ".join(h.rjust(w) for h, w in zip(self.headers, widths))
-        lines.append(header)
-        lines.append("-" * len(header))
-        for row in self.rows:
-            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
-        return "\n".join(lines)
-
-    def __str__(self) -> str:
-        return self.render()
 
 
 __all__ = [

@@ -16,11 +16,13 @@ faultless one because the plan is folded into the cache key.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.common import AveragedResults, TextTable, average_results
 from repro.experiments.parallel import ReplicationTask, replication_tasks, run_tasks
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.faults.plan import FaultPlan, RandomOutages
 from repro.model.config import paper_defaults
@@ -109,8 +111,7 @@ def run_experiment(
     settings: RunSettings = STANDARD,
     mtbfs: Tuple[Optional[float], ...] = FAILURE_MTBFS,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> FailureResult:
     """Run the policy × failure-rate grid (parallel and cached)."""
     config = paper_defaults()
@@ -126,7 +127,9 @@ def run_experiment(
             start = len(tasks)
             tasks.extend(replication_tasks(config, policy, cell_settings))
             spans.append((start, len(tasks), mtbf, policy))
-    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    runs = run_tasks(
+        tasks, jobs=context.jobs, cache=context.cache, progress=context.progress
+    )
     cells = tuple(
         FailureCell(
             mtbf=mtbf,
@@ -172,10 +175,25 @@ def format_table(result: FailureResult) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("failure").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "failure.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('failure')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

@@ -9,6 +9,7 @@ two policies' improvement over BNQ at each setting.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -22,6 +23,7 @@ from repro.experiments.paper_data import (
     MSG_LENGTH2_BNQRD_VS_BNQ,
     MSG_LENGTH2_LERT_VS_BNQ,
 )
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
 
@@ -61,15 +63,20 @@ def run_experiment(
     settings: RunSettings = STANDARD,
     msg_lengths: Tuple[float, ...] = MSG_LENGTHS,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> MsgSensitivityResult:
     pairs = [
         (paper_defaults(msg_length=msg_length), name)
         for msg_length in msg_lengths
         for name in POLICIES
     ]
-    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
+    averaged = iter(simulate_many(
+        pairs,
+        settings,
+        jobs=context.jobs,
+        cache=context.cache,
+        progress=context.progress,
+    ))
     rows: List[MsgSensitivityRow] = []
     for msg_length in msg_lengths:
         results = {name: next(averaged) for name in POLICIES}
@@ -94,10 +101,25 @@ def format_table(result: MsgSensitivityResult) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("msg_sensitivity").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "msg_sensitivity.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('msg_sensitivity')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

@@ -22,11 +22,13 @@ closed one because the workload spec is folded into the cache key.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import AveragedResults, TextTable, average_results
 from repro.experiments.parallel import ReplicationTask, replication_tasks, run_tasks
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
 from repro.workloads.arrivals import MMPP, PoissonOpen
@@ -154,8 +156,7 @@ def run_experiment(
     load_factors: Tuple[float, ...] = LOAD_FACTORS,
     kinds: Tuple[str, ...] = ARRIVAL_KINDS,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> OpenSystemResult:
     """Run the policy × arrival process × load-level grid."""
     config = paper_defaults()
@@ -173,7 +174,9 @@ def run_experiment(
                     replication_tasks(config, policy, cell_settings)
                 )
                 spans.append((start, len(tasks), kind, factor, policy))
-    runs = run_tasks(tasks, jobs=jobs, cache=cache)
+    runs = run_tasks(
+        tasks, jobs=context.jobs, cache=context.cache, progress=context.progress
+    )
     cells = tuple(
         OpenCell(
             kind=kind,
@@ -224,10 +227,25 @@ def format_table(result: OpenSystemResult) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("open_system").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "open_system.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('open_system')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

@@ -1,58 +1,129 @@
-"""One-shot report generation: every experiment, one Markdown document.
+"""Table rendering and one-shot report generation.
 
-``repro-experiments report --scale quick`` (or :func:`generate_report`)
-runs the full reproduction — both analytic tables, all five simulation
-tables, the message-length sensitivity, and the ablations — and writes a
-self-contained Markdown report with every table, run settings, and
-timings.  EXPERIMENTS.md in the repository root is the curated version of
-such a report at ``standard`` scale, annotated with paper comparisons.
+This module owns the *presentation* layer of the experiment harness:
+
+* :class:`TextTable` — the one table renderer.  Every experiment and
+  ablation study builds its rows once and renders them either as the
+  fixed-width text the CLI prints (:meth:`TextTable.render`) or as
+  GitHub-flavored Markdown (:meth:`TextTable.render_markdown`); both go
+  through a single cell-formatting path, so the two forms can never
+  drift apart.
+* :func:`improvement_pct` — the paper's ΔW_X,Y / W_Y percentage, with a
+  zero-baseline guard (an idle baseline has no meaningful relative
+  improvement, so the delta is reported as 0.0 rather than dividing by
+  zero).
+* :func:`generate_report` / :func:`write_report` — run every registered
+  experiment (``repro-experiments report``) and emit one self-contained
+  Markdown document.  EXPERIMENTS.md in the repository root is the
+  curated version of such a report at ``standard`` scale.
+
+The experiment registry is imported lazily inside the report functions:
+the registry imports every experiment module, and those modules import
+this one for :class:`TextTable`, so a top-level import would be
+circular.
 """
 
 from __future__ import annotations
 
 import pathlib
 import time
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
-from repro.experiments import (
-    ablations,
-    validation,
-    msg_sensitivity,
-    table5,
-    table6,
-    table8,
-    table9,
-    table10,
-    table11,
-    table12,
-)
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import RunSettings, STANDARD
 
-#: (section title, runner, needs_settings) in report order.
-SECTIONS: Tuple[Tuple[str, Callable, bool], ...] = (
-    ("Table 5 — Waiting Improvement Factor (analytic)", table5.main, False),
-    ("Table 6 — Fairness Improvement Factor (analytic)", table6.main, False),
-    ("Table 8 — waiting time vs think time", table8.main, True),
-    ("Table 9 — waiting time vs mpl", table9.main, True),
-    ("Table 10 — capacity vs response-time bound", table10.main, True),
-    ("Table 11 — sites vs waiting time and subnet load", table11.main, True),
-    ("Table 12 — class mix vs waiting time and fairness", table12.main, True),
-    ("Message-length sensitivity", msg_sensitivity.main, True),
-    ("Ablation — load-information staleness", ablations.main_stale, True),
-    ("Ablation — disk organization", ablations.main_disk, True),
-    ("Ablation — update fraction", ablations.main_updates, True),
-    ("Ablation — heterogeneous CPU speeds", ablations.main_heterogeneous, True),
-    ("Ablation — subnet topology", ablations.main_subnet, True),
-    ("Substrate cross-validation", validation.main, True),
-)
+
+def improvement_pct(new: float, base: float) -> float:
+    """The paper's ΔW_X,Y / W_Y, as a percentage (positive = X better).
+
+    Guarded against a zero baseline: comparing against an idle system
+    (``base == 0``) has no meaningful relative improvement, so the delta
+    is defined as 0.0 instead of dividing by zero.
+    """
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - new) / base
+
+
+class TextTable:
+    """One table, two renderings — fixed-width text and Markdown.
+
+    Rows are formatted once (:meth:`_fmt`) and shared by both renderers,
+    so the CLI's terminal output and the Markdown reports always show
+    identical cell content.
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append([self._fmt(c) for c in cells])
+
+    @staticmethod
+    def _fmt(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Fixed-width text, in the spirit of the paper's tables."""
+        widths = [
+            max(len(self.headers[i]), *(len(r[i]) for r in self.rows))
+            if self.rows
+            else len(self.headers[i])
+            for i in range(len(self.headers))
+        ]
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+        header = "  ".join(h.rjust(w) for h, w in zip(self.headers, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self.rows:
+            lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def render_markdown(self) -> str:
+        """The same rows as a GitHub-flavored Markdown table."""
+        lines: List[str] = []
+        if self.title:
+            lines.append(f"**{self.title}**")
+            lines.append("")
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---:" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def report_sections() -> Tuple[Tuple[str, str], ...]:
+    """``(experiment name, section title)`` pairs, in report order.
+
+    Derived from the experiment registry, so registering a new
+    experiment automatically adds its section to ``repro-experiments
+    report``.
+    """
+    from repro.experiments.registry import all_experiments
+
+    return tuple(
+        (experiment.name, experiment.title) for experiment in all_experiments()
+    )
 
 
 def generate_report(
     settings: RunSettings = STANDARD,
     sections: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> str:
     """Run the selected experiments and return the Markdown report.
 
@@ -60,17 +131,17 @@ def generate_report(
         settings: Run lengths for the simulation experiments.
         sections: Optional list of section-title substrings to include
             (case-insensitive); ``None`` runs everything.
-        jobs: Worker processes for the simulation cells (default serial).
-        cache: Optional :class:`~repro.experiments.cache.ResultCache` to
-            reuse previously simulated cells.
+        context: Execution context (workers, cache, progress) shared by
+            every simulation experiment in the report.
     """
-    chosen: List[Tuple[str, Callable, bool]] = []
-    for title, runner, needs_settings in SECTIONS:
-        if sections is not None and not any(
-            needle.lower() in title.lower() for needle in sections
-        ):
-            continue
-        chosen.append((title, runner, needs_settings))
+    from repro.experiments.registry import all_experiments
+
+    chosen = [
+        experiment
+        for experiment in all_experiments()
+        if sections is None
+        or any(needle.lower() in experiment.title.lower() for needle in sections)
+    ]
     if not chosen:
         raise ValueError(f"no report sections match {sections!r}")
 
@@ -85,15 +156,11 @@ def generate_report(
         f"base seed {settings.base_seed}.",
         "",
     ]
-    for title, runner, needs_settings in chosen:
+    for experiment in chosen:
         started = time.perf_counter()
-        output = (
-            runner(settings, jobs=jobs, cache=cache)
-            if needs_settings
-            else runner()
-        )
+        output = experiment.run(settings, context)
         elapsed = time.perf_counter() - started
-        lines.append(f"## {title}")
+        lines.append(f"## {experiment.title}")
         lines.append("")
         lines.append("```")
         lines.append(output.rstrip())
@@ -109,14 +176,19 @@ def write_report(
     settings: RunSettings = STANDARD,
     sections: Optional[Sequence[str]] = None,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> None:
     """Generate a report and write it to *path*."""
     pathlib.Path(path).write_text(
-        generate_report(settings, sections, jobs=jobs, cache=cache),
+        generate_report(settings, sections, context=context),
         encoding="utf-8",
     )
 
 
-__all__ = ["SECTIONS", "generate_report", "write_report"]
+__all__ = [
+    "TextTable",
+    "improvement_pct",
+    "report_sections",
+    "generate_report",
+    "write_report",
+]

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Tuple, Union
 
 from repro.experiments.common import AveragedResults
+from repro.experiments.context import StudyContext
 from repro.experiments.parallel import simulate_many
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import SystemConfig
@@ -107,14 +108,14 @@ def run_sweep(
     spec: SweepSpec,
     settings: RunSettings = STANDARD,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> SweepResult:
     """Execute the sweep (common random numbers across policies per cell).
 
-    ``jobs`` fans the cells (and their replications) over a process pool;
-    ``cache`` reuses previously simulated cells.  Results are identical to
-    a serial, uncached run in all cases.
+    *context* carries the execution options: ``context.jobs`` fans the
+    cells (and their replications) over a process pool and
+    ``context.cache`` reuses previously simulated cells.  Results are
+    identical to a serial, uncached run in all cases.
     """
     keys: List[Tuple[Any, str]] = []
     pairs: List[Tuple[SystemConfig, str]] = []
@@ -123,7 +124,13 @@ def run_sweep(
         for policy in spec.policies:
             keys.append((value, policy))
             pairs.append((config, policy))
-    averaged = simulate_many(pairs, settings, jobs=jobs, cache=cache)
+    averaged = simulate_many(
+        pairs,
+        settings,
+        jobs=context.jobs,
+        cache=context.cache,
+        progress=context.progress,
+    )
     cells: Dict[Tuple[Any, str], AveragedResults] = dict(zip(keys, averaged))
     return SweepResult(spec=spec, settings=settings, cells=cells)
 

@@ -14,12 +14,14 @@ response curve (running maximum), which preserves monotonicity.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from repro.experiments.common import TextTable
 from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE10_CAPACITY
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
 
@@ -58,13 +60,18 @@ def run_experiment(
     settings: RunSettings = STANDARD,
     mpl_grid: Tuple[int, ...] = DEFAULT_MPL_GRID,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> Table10Result:
     pairs = [
         (paper_defaults(mpl=mpl), name) for mpl in mpl_grid for name in POLICIES
     ]
-    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
+    averaged = iter(simulate_many(
+        pairs,
+        settings,
+        jobs=context.jobs,
+        cache=context.cache,
+        progress=context.progress,
+    ))
     curves: Dict[str, List[float]] = {name: [] for name in POLICIES}
     for _mpl in mpl_grid:
         for name in POLICIES:
@@ -94,10 +101,25 @@ def format_table(result: Table10Result) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("table10").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "table10.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('table10')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

@@ -8,6 +8,7 @@ improve placement options but also congest the shared token ring.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -18,6 +19,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE11_SITES
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
 
@@ -56,15 +58,20 @@ def run_experiment(
     settings: RunSettings = STANDARD,
     site_counts: Tuple[int, ...] = SITE_COUNTS,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> Table11Result:
     pairs = [
         (paper_defaults(num_sites=num_sites), name)
         for num_sites in site_counts
         for name in POLICIES
     ]
-    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
+    averaged = iter(simulate_many(
+        pairs,
+        settings,
+        jobs=context.jobs,
+        cache=context.cache,
+        progress=context.progress,
+    ))
     rows: List[Table11Row] = []
     for num_sites in site_counts:
         results = {name: next(averaged) for name in POLICIES}
@@ -102,10 +109,25 @@ def format_table(result: Table11Result) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("table11").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "table11.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('table11')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

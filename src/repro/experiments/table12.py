@@ -13,6 +13,7 @@ system toward favoring one class under LOCAL.  Reproduction targets:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -23,6 +24,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE12_FAIRNESS
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
 
@@ -74,15 +76,20 @@ def run_experiment(
     settings: RunSettings = STANDARD,
     io_probs: Tuple[float, ...] = IO_PROBS,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> Table12Result:
     pairs = [
         (paper_defaults(class_io_prob=prob), name)
         for prob in io_probs
         for name in POLICIES
     ]
-    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
+    averaged = iter(simulate_many(
+        pairs,
+        settings,
+        jobs=context.jobs,
+        cache=context.cache,
+        progress=context.progress,
+    ))
     rows: List[Table12Row] = []
     for prob in io_probs:
         results = {name: next(averaged) for name in POLICIES}
@@ -134,10 +141,25 @@ def format_table(result: Table12Result) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("table12").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "table12.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('table12')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

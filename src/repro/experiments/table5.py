@@ -8,6 +8,8 @@ over the minimal-QD ("balance the number of queries") allocation.
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -54,10 +56,21 @@ def format_table(result: Table5Result) -> str:
 
 
 def main() -> str:
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("table5").run(settings, context)
+    """
+    warnings.warn(
+        "table5.main() is deprecated; use repro.experiments.registry."
+        "get_experiment('table5').run(settings, context) "
+        "(see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     output = format_table(run_experiment())
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

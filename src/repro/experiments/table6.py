@@ -8,6 +8,8 @@ allocation.
 
 from __future__ import annotations
 
+import warnings
+
 from dataclasses import dataclass
 from typing import List, Tuple
 
@@ -64,10 +66,21 @@ def format_table(result: Table6Result) -> str:
 
 
 def main() -> str:
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("table6").run(settings, context)
+    """
+    warnings.warn(
+        "table6.main() is deprecated; use repro.experiments.registry."
+        "get_experiment('table6').run(settings, context) "
+        "(see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     output = format_table(run_experiment())
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

@@ -11,6 +11,7 @@ think-time range 150–450 and reports, per think time:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -21,6 +22,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE8_THINK
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
 
@@ -65,8 +67,7 @@ def run_experiment(
     settings: RunSettings = STANDARD,
     think_times: Tuple[float, ...] = THINK_TIMES,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> Table8Result:
     """Sweep think_time × policy with common random numbers.
 
@@ -78,7 +79,13 @@ def run_experiment(
         for think_time in think_times
         for name in POLICIES
     ]
-    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
+    averaged = iter(simulate_many(
+        pairs,
+        settings,
+        jobs=context.jobs,
+        cache=context.cache,
+        progress=context.progress,
+    ))
     rows: List[Table8Row] = []
     for think_time in think_times:
         results = {name: next(averaged) for name in POLICIES}
@@ -122,10 +129,25 @@ def format_table(result: Table8Result) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("table8").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "table8.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('table8')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

@@ -6,6 +6,7 @@ number of terminals per site (mpl 15–35) at the default think time 350.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -16,6 +17,7 @@ from repro.experiments.common import (
 )
 from repro.experiments.parallel import simulate_many
 from repro.experiments.paper_data import TABLE9_MPL
+from repro.experiments.context import StudyContext
 from repro.experiments.runconfig import STANDARD, RunSettings
 from repro.model.config import paper_defaults
 
@@ -56,13 +58,18 @@ def run_experiment(
     settings: RunSettings = STANDARD,
     mpl_values: Tuple[int, ...] = MPL_VALUES,
     *,
-    jobs: int = 1,
-    cache=None,
+    context: StudyContext = StudyContext(),
 ) -> Table9Result:
     pairs = [
         (paper_defaults(mpl=mpl), name) for mpl in mpl_values for name in POLICIES
     ]
-    averaged = iter(simulate_many(pairs, settings, jobs=jobs, cache=cache))
+    averaged = iter(simulate_many(
+        pairs,
+        settings,
+        jobs=context.jobs,
+        cache=context.cache,
+        progress=context.progress,
+    ))
     rows: List[Table9Row] = []
     for mpl in mpl_values:
         results = {name: next(averaged) for name in POLICIES}
@@ -104,10 +111,25 @@ def format_table(result: Table9Result) -> str:
 
 
 def main(settings: RunSettings = STANDARD, *, jobs: int = 1, cache=None) -> str:
-    output = format_table(run_experiment(settings, jobs=jobs, cache=cache))
+    """Deprecated shim — go through the experiment registry instead::
+
+        get_experiment("table9").run(settings, context)
+
+    Kept for callers of the pre-registry per-table spelling; the AST pin
+    in tests/experiments/test_registry.py keeps src/repro itself clean.
+    """
+    warnings.warn(
+        "table9.main() is deprecated; use "
+        "repro.experiments.registry.get_experiment('table9')"
+        ".run(settings, context) (see docs/ablation.md)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    context = StudyContext(jobs=jobs, cache=cache)
+    output = format_table(run_experiment(settings, context=context))
     print(output)
     return output
 
 
 if __name__ == "__main__":
-    main()
+    print(format_table(run_experiment()))

@@ -60,9 +60,18 @@ SERIALIZED_DATACLASS_SCOPE: Tuple[str, ...] = (
     "repro.experiments.common",
     "repro.workloads.arrivals",
     "repro.workloads.spec",
+    "repro.ablation.spec",
 )
 
 SERIALIZATION_MODULE = "repro.model.serialization"
+
+#: Modules whose string constants count as serialized field coverage.
+#: Study specs serialize themselves (``repro.ablation.spec`` holds both
+#: the dataclasses and their JSON round-trip), so both modules feed RL006.
+SERIALIZATION_MODULES: Tuple[str, ...] = (
+    SERIALIZATION_MODULE,
+    "repro.ablation.spec",
+)
 
 
 @register
@@ -331,19 +340,24 @@ class SerializationCoverage(Rule):
     name = "serialization-coverage"
     summary = (
         "every dataclass field in config/results modules must appear in "
-        "repro.model.serialization (cache-key completeness)"
+        "a serialization module (cache-key completeness)"
     )
     scope = SERIALIZED_DATACLASS_SCOPE
 
     def check_project(self, project: ProjectContext) -> Iterator[Violation]:
-        serialization = project.get(SERIALIZATION_MODULE)
-        if serialization is None:
-            # Partial run (single file / fixture tree without the
+        modules = [
+            ctx
+            for ctx in (project.get(name) for name in SERIALIZATION_MODULES)
+            if ctx is not None
+        ]
+        if not modules:
+            # Partial run (single file / fixture tree without any
             # serialization module): the cross-module check cannot apply.
             return
         keys: Set[str] = {
             node.value
-            for node in ast.walk(serialization.tree)
+            for ctx in modules
+            for node in ast.walk(ctx.tree)
             if isinstance(node, ast.Constant) and isinstance(node.value, str)
         }
         for module_name in SERIALIZED_DATACLASS_SCOPE:
@@ -378,9 +392,9 @@ class SerializationCoverage(Rule):
                         ctx,
                         stmt,
                         f"dataclass field {node.name}.{field_name} is not "
-                        f"mentioned in {SERIALIZATION_MODULE}; serialize "
-                        "it (and bump the format version) or the cache "
-                        "key is incomplete",
+                        f"mentioned in any of {SERIALIZATION_MODULES}; "
+                        "serialize it (and bump the format version) or "
+                        "the cache key is incomplete",
                     )
 
 
@@ -690,6 +704,7 @@ __all__ = [
     "AGGREGATION_SCOPE",
     "SERIALIZED_DATACLASS_SCOPE",
     "SERIALIZATION_MODULE",
+    "SERIALIZATION_MODULES",
     "GlobalRandomState",
     "WallClock",
     "UnorderedIteration",

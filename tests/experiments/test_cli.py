@@ -1,18 +1,25 @@
 """Tests for the repro-experiments command-line interface."""
 
+import json
+
 import pytest
 
-import repro.experiments.cli as cli
 from repro.experiments.cache import ResultCache
 from repro.experiments.cli import build_parser, main
+from repro.experiments.registry import experiment_names
 
 
 class TestParser:
     def test_accepts_known_experiments(self):
         parser = build_parser()
         args = parser.parse_args(["table5"])
-        assert args.experiment == "table5"
+        assert args.command == "table5"
         assert args.scale == "standard"
+
+    def test_every_registered_experiment_is_a_subcommand(self):
+        parser = build_parser()
+        for name in experiment_names():
+            assert parser.parse_args([name]).command == name
 
     def test_scale_option(self):
         parser = build_parser()
@@ -32,7 +39,7 @@ class TestParser:
     def test_report_choice_and_out_flag(self):
         parser = build_parser()
         args = parser.parse_args(["report", "--out", "x.md"])
-        assert args.experiment == "report"
+        assert args.command == "report"
         assert args.out == "x.md"
 
     def test_ablations_and_validation_registered(self):
@@ -45,7 +52,24 @@ class TestParser:
             "ablation-subnet",
             "validation",
         ):
-            assert parser.parse_args([name]).experiment == name
+            assert parser.parse_args([name]).command == name
+
+    def test_study_subcommand(self):
+        parser = build_parser()
+        args = parser.parse_args(["study", "studies/smoke.json"])
+        assert args.command == "study"
+        assert args.spec == "studies/smoke.json"
+        assert args.markdown is False
+        assert parser.parse_args(
+            ["study", "s.json", "--markdown"]
+        ).markdown is True
+
+    def test_study_requires_spec_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["study"])
+
+    def test_list_subcommand(self):
+        assert build_parser().parse_args(["list"]).command == "list"
 
 
 class TestJobsAndCacheFlags:
@@ -63,15 +87,26 @@ class TestJobsAndCacheFlags:
         assert args.cache_dir == "/tmp/rc"
         assert args.no_cache is True
 
+    @staticmethod
+    def _stub_experiment(monkeypatch, name, fake_runner):
+        import dataclasses
+
+        import repro.experiments.registry as registry
+
+        stub = dataclasses.replace(
+            registry.get_experiment(name), runner=fake_runner
+        )
+        monkeypatch.setitem(registry._REGISTRY, name, stub)
+
     def test_main_threads_jobs_and_cache(self, monkeypatch, tmp_path, capsys):
         seen = {}
 
-        def fake_runner(settings, *, jobs=1, cache=None):
-            seen["jobs"] = jobs
-            seen["cache"] = cache
+        def fake_runner(settings, context):
+            seen["jobs"] = context.jobs
+            seen["cache"] = context.cache
             return ""
 
-        monkeypatch.setitem(cli._SIMULATED, "table8", fake_runner)
+        self._stub_experiment(monkeypatch, "table8", fake_runner)
         cache_dir = tmp_path / "rc"
         code = main(["table8", "--jobs", "3", "--cache-dir", str(cache_dir)])
         assert code == 0
@@ -87,11 +122,11 @@ class TestJobsAndCacheFlags:
     def test_no_cache_passes_none(self, monkeypatch):
         seen = {}
 
-        def fake_runner(settings, *, jobs=1, cache=None):
-            seen["cache"] = cache
+        def fake_runner(settings, context):
+            seen["cache"] = context.cache
             return ""
 
-        monkeypatch.setitem(cli._SIMULATED, "table8", fake_runner)
+        self._stub_experiment(monkeypatch, "table8", fake_runner)
         assert main(["table8", "--no-cache"]) == 0
         assert seen["cache"] is None
 
@@ -112,3 +147,27 @@ class TestMain:
     def test_table6_end_to_end(self, capsys):
         assert main(["table6"]) == 0
         assert "Table 6" in capsys.readouterr().out
+
+    def test_list_end_to_end(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table5" in out
+        assert "study-core" in out
+        assert "smoke" in out
+
+    def test_study_end_to_end(self, tmp_path, capsys):
+        from repro.ablation import build_study, save_study_spec
+
+        spec = build_study("smoke")
+        path = tmp_path / "smoke.json"
+        save_study_spec(spec, path)
+        assert main(["study", str(path), "--no-cache"]) == 0
+        captured = capsys.readouterr()
+        assert "Ranked component importance" in captured.out
+        assert "wall-clock" in captured.err
+
+    def test_study_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}), encoding="utf-8")
+        with pytest.raises(Exception):
+            main(["study", str(path), "--no-cache"])

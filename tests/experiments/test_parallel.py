@@ -22,6 +22,7 @@ from repro.experiments import (
     table12,
 )
 from repro.experiments.common import average_results, simulate
+from repro.experiments.context import StudyContext
 from repro.experiments.parallel import (
     ReplicationTask,
     replication_tasks,
@@ -154,18 +155,21 @@ TABLE_CASES = [
 ]
 
 
+JOBS4 = StudyContext(jobs=4)
+
+
 class TestTableEquivalence:
     @pytest.mark.parametrize("module, kwargs", TABLE_CASES)
     def test_jobs4_bit_identical_to_serial(self, module, kwargs):
-        serial = module.run_experiment(SMALL, **kwargs, jobs=1)
-        parallel = module.run_experiment(SMALL, **kwargs, jobs=4)
+        serial = module.run_experiment(SMALL, **kwargs)
+        parallel = module.run_experiment(SMALL, **kwargs, context=JOBS4)
         assert serial == parallel
         assert module.format_table(serial) == module.format_table(parallel)
 
     def test_table9_quick_scale_equivalence(self):
         """One case at the real ``quick`` preset (the satellite contract)."""
-        serial = table9.run_experiment(QUICK, mpl_values=(15,), jobs=1)
-        parallel = table9.run_experiment(QUICK, mpl_values=(15,), jobs=4)
+        serial = table9.run_experiment(QUICK, mpl_values=(15,))
+        parallel = table9.run_experiment(QUICK, mpl_values=(15,), context=JOBS4)
         assert serial == parallel
 
 
@@ -178,35 +182,37 @@ class TestSweepEquivalence:
             values=(3, 5),
             policies=("LOCAL", "BNQ"),
         )
-        serial = run_sweep(spec, SMALL, jobs=1)
-        parallel = run_sweep(spec, SMALL, jobs=4)
+        serial = run_sweep(spec, SMALL)
+        parallel = run_sweep(spec, SMALL, context=JOBS4)
         assert serial.cells == parallel.cells
         assert serial.series("LOCAL") == parallel.series("LOCAL")
 
 
 class TestAblationEquivalence:
     def test_stale_info_sweep(self):
-        serial = ablations.stale_info_sweep(SMALL, intervals=(0.0, 25.0), jobs=1)
-        parallel = ablations.stale_info_sweep(SMALL, intervals=(0.0, 25.0), jobs=4)
+        serial = ablations.stale_info_sweep(SMALL, intervals=(0.0, 25.0))
+        parallel = ablations.stale_info_sweep(
+            SMALL, intervals=(0.0, 25.0), context=JOBS4
+        )
         assert serial == parallel
 
     def test_update_fraction_sweep(self):
-        serial = ablations.update_fraction_sweep(SMALL, fractions=(0.0, 0.2), jobs=1)
+        serial = ablations.update_fraction_sweep(SMALL, fractions=(0.0, 0.2))
         parallel = ablations.update_fraction_sweep(
-            SMALL, fractions=(0.0, 0.2), jobs=4
+            SMALL, fractions=(0.0, 0.2), context=JOBS4
         )
         assert serial == parallel
 
     def test_heterogeneity_study(self):
         serial = ablations.heterogeneity_study(SMALL, speed_factors=(0.5, 2.0))
         parallel = ablations.heterogeneity_study(
-            SMALL, speed_factors=(0.5, 2.0), jobs=4
+            SMALL, speed_factors=(0.5, 2.0), context=JOBS4
         )
         assert serial == parallel
 
     def test_disk_organization_study(self):
         serial = ablations.disk_organization_study(SMALL, policies=("LOCAL",))
         parallel = ablations.disk_organization_study(
-            SMALL, policies=("LOCAL",), jobs=2
+            SMALL, policies=("LOCAL",), context=StudyContext(jobs=2)
         )
         assert serial == parallel

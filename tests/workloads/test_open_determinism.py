@@ -10,6 +10,7 @@ import dataclasses
 import pytest
 
 from repro.experiments.cache import ResultCache, cache_key
+from repro.experiments.context import StudyContext
 from repro.experiments.parallel import (
     ReplicationTask,
     replication_tasks,
@@ -268,7 +269,7 @@ class TestOpenSystemExperiment:
             settings,
             load_factors=(1.2,),
             kinds=("poisson",),
-            cache=ResultCache(tmp_path / "cache"),
+            context=StudyContext(cache=ResultCache(tmp_path / "cache")),
         )
         assert len(result.cells) == len(open_system.POLICIES)
         assert result.load_sharing_sheds_less_past_saturation()
@@ -280,7 +281,11 @@ class TestOpenSystemExperiment:
 
         settings = RunSettings(warmup=50.0, duration=200.0, replications=1)
         cache = ResultCache(tmp_path / "cache")
-        kwargs = dict(load_factors=(0.8,), kinds=("mmpp",), cache=cache)
+        kwargs = dict(
+            load_factors=(0.8,),
+            kinds=("mmpp",),
+            context=StudyContext(cache=cache),
+        )
         first = open_system.run_experiment(settings, **kwargs)
         second = open_system.run_experiment(settings, **kwargs)
         assert open_system.format_table(first) == open_system.format_table(
