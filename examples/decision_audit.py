@@ -1,0 +1,120 @@
+"""Decision audit: how stale load information erodes allocation quality.
+
+Runs the paper's default system under BNQRD three ways — with the
+paper's free load-information oracle, then with periodically broadcast
+(i.e. stale) load snapshots at two refresh intervals — auditing every
+allocation decision along the way.  For each run it reports the audit's
+staleness/regret roll-up and an ASCII histogram of per-decision regret,
+then writes the oracle run's decision log (JSONL) and query-lifecycle
+trace (Chrome trace-event JSON, loadable in ``chrome://tracing`` or
+Perfetto) next to this script.
+
+The point the numbers make: with fresh information most decisions are
+ex-post optimal and regret hugs zero; as the snapshots age, the policy
+increasingly "herds" toward sites that were idle a refresh ago, and the
+regret tail stretches.
+
+Run:
+
+    python examples/decision_audit.py
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro import DecisionRecord, RunSpec, TelemetryConfig, paper_defaults, run
+from repro.extensions.stale_info import StaleInfoDatabase
+from repro.policies.registry import make_policy
+from repro.telemetry.session import TelemetrySession
+
+POLICY = "BNQRD"
+SEED = 7
+WARMUP = 1000.0
+DURATION = 5000.0
+REFRESH_INTERVALS = (25.0, 100.0)
+
+#: Regret histogram buckets (upper edges, in estimated-response units).
+BUCKETS = (0.0, 5.0, 15.0, 30.0, 60.0, float("inf"))
+
+
+def regret_histogram(records: Sequence[DecisionRecord]) -> str:
+    """One bar per bucket; '0' means exactly optimal decisions."""
+    counts = [0] * len(BUCKETS)
+    for record in records:
+        for position, edge in enumerate(BUCKETS):
+            if record.regret <= edge:
+                counts[position] += 1
+                break
+    peak = max(counts) or 1
+    labels = ["      0", "   <= 5", "  <= 15", "  <= 30", "  <= 60", "   > 60"]
+    lines = []
+    for label, count in zip(labels, counts):
+        bar = "#" * round(40 * count / peak)
+        lines.append(f"  regret {label} |{bar} {count}")
+    return "\n".join(lines)
+
+
+def audit_stale_run(refresh_interval: float) -> Tuple[object, Sequence[DecisionRecord]]:
+    """One stale-information run with a decision audit attached."""
+    system = StaleInfoDatabase(
+        paper_defaults(),
+        make_policy(POLICY),
+        seed=SEED,
+        refresh_interval=refresh_interval,
+    )
+    session = TelemetrySession(
+        system, TelemetryConfig(events=False, decisions=True)
+    )
+    system.run(warmup=WARMUP, duration=DURATION)
+    records = session.decisions
+    summary = session.decision_audit.summary()
+    session.close()
+    return summary, records
+
+
+def main() -> None:
+    # --- the oracle run, through the standard runner -------------------
+    spec = RunSpec(
+        warmup=WARMUP,
+        duration=DURATION,
+        seed=SEED,
+        telemetry=TelemetryConfig(events=False, spans=True, decisions=True),
+    )
+    report = run(paper_defaults(), POLICY, spec)
+    summary = report.results.decisions
+    assert summary is not None
+    print(f"{POLICY}, paper oracle (always-fresh loads):")
+    print(
+        f"  decisions={summary.count}  optimal={summary.optimal_fraction:.1%}  "
+        f"mean regret={summary.mean_regret:.2f}  max={summary.max_regret:.1f}"
+    )
+    print(regret_histogram(report.decisions))
+    trace_path = report.write_spans("decision_audit_trace.json")
+    decisions_path = report.write_decisions("decision_audit.jsonl")
+    print(f"  artifacts: {trace_path}, {decisions_path}\n")
+
+    # --- the stale-information runs ------------------------------------
+    for interval in REFRESH_INTERVALS:
+        stale_summary, records = audit_stale_run(interval)
+        print(f"{POLICY}, loads rebroadcast every {interval:.0f} time units:")
+        print(
+            f"  decisions={stale_summary.count}  "
+            f"optimal={stale_summary.optimal_fraction:.1%}  "
+            f"mean regret={stale_summary.mean_regret:.2f}  "
+            f"max={stale_summary.max_regret:.1f}  "
+            f"mean staleness={stale_summary.mean_staleness:.1f}"
+        )
+        print(regret_histogram(records))
+        print()
+
+    print(
+        "Fresh information keeps most decisions ex-post optimal; as the "
+        "snapshots age the regret tail stretches — the audit quantifies "
+        "exactly how much allocation quality the information-exchange "
+        "policy is giving away."
+    )
+
+
+if __name__ == "__main__":
+    main()

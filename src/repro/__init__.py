@@ -38,7 +38,8 @@ Subpackages:
 * :mod:`repro.extensions` — future-work features (stale load info,
   query migration, partial replication).
 * :mod:`repro.telemetry` — typed event bus, metrics registry, timeline
-  sampler, and exporters (see ``docs/telemetry.md``).
+  sampler, exporters, query-lifecycle tracing, and the allocation
+  decision audit (see ``docs/telemetry.md``).
 * :mod:`repro.faults` — deterministic fault injection: declarative
   :class:`FaultPlan`, degraded-mode query life cycle, availability
   metrics (see ``docs/faults.md``).
@@ -67,6 +68,16 @@ Open-workload quick start::
     )
     report = run(paper_defaults(), "LERT", RunSpec(seed=7, workload=spec))
     print(report.results.workload)
+
+Tracing quick start::
+
+    from repro import RunSpec, TelemetryConfig, run, paper_defaults
+
+    spec = RunSpec(seed=7, telemetry=TelemetryConfig(spans=True, decisions=True))
+    report = run(paper_defaults(), "BNQRD", spec)
+    report.write_spans("trace.json")        # Chrome trace-event JSON
+    report.write_decisions("decisions.jsonl")
+    print(report.results.decisions)         # staleness/regret summary
 """
 
 from repro.faults.plan import (
@@ -100,7 +111,19 @@ from repro.model.view import SystemView
 from repro.policies.base import AllocationPolicy, LegacyPolicyAdapter
 from repro.policies.registry import available_policies, make_policy
 from repro.runner import RunReport, RunSpec, execute, run
-from repro.telemetry import EventBus, EventLog, TelemetryConfig, TelemetrySession
+from repro.telemetry import (
+    DecisionAudit,
+    DecisionRecord,
+    DecisionSummary,
+    EventBus,
+    EventLog,
+    KernelProfiler,
+    Span,
+    SpanCollector,
+    SpanSummary,
+    TelemetryConfig,
+    TelemetrySession,
+)
 from repro.workloads import (
     AdmissionControl,
     ArrivalProcess,
@@ -113,7 +136,7 @@ from repro.workloads import (
     WorkloadSpec,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "DistributedDatabase",
@@ -157,5 +180,12 @@ __all__ = [
     "EventLog",
     "TelemetryConfig",
     "TelemetrySession",
+    "Span",
+    "SpanCollector",
+    "SpanSummary",
+    "DecisionAudit",
+    "DecisionRecord",
+    "DecisionSummary",
+    "KernelProfiler",
     "__version__",
 ]

@@ -61,16 +61,20 @@ SERIALIZED_DATACLASS_SCOPE: Tuple[str, ...] = (
     "repro.workloads.arrivals",
     "repro.workloads.spec",
     "repro.ablation.spec",
+    "repro.telemetry.tracing.spans",
+    "repro.telemetry.tracing.decisions",
 )
 
 SERIALIZATION_MODULE = "repro.model.serialization"
 
 #: Modules whose string constants count as serialized field coverage.
 #: Study specs serialize themselves (``repro.ablation.spec`` holds both
-#: the dataclasses and their JSON round-trip), so both modules feed RL006.
+#: the dataclasses and their JSON round-trip), and the tracing exporters
+#: own the span/decision-record round-trip, so all three feed RL006.
 SERIALIZATION_MODULES: Tuple[str, ...] = (
     SERIALIZATION_MODULE,
     "repro.ablation.spec",
+    "repro.telemetry.tracing.export",
 )
 
 
@@ -699,6 +703,169 @@ class EventListEncapsulation(Rule):
                 )
 
 
+@register
+class GuardedEmit(Rule):
+    """RL019 — hot-path event emissions must be guarded.
+
+    The telemetry bus's zero-cost-when-disabled property rests on the
+    *guarded emit* idiom: every ``bus.emit(...)`` in kernel/model code
+    sits behind a ``wants``/``wants_type``/``trace_wanted``/``active``
+    test so a telemetry-free run never constructs an event object.  An
+    unguarded emit silently re-introduces per-event allocation on the
+    hot path — exactly the overhead the disabled-telemetry benchmark
+    gate exists to keep out, except at a call site the benchmark's
+    scenario may not cover.
+
+    Recognized guard shapes (all appear in the codebase):
+
+    * an ancestor ``if`` whose test mentions a guard attribute — either
+      branch, so the engine's tracing loop (the ``else`` of
+      ``if not bus.trace_wanted:``) counts;
+    * a *preceding* early-exit guard in the same statement suite
+      (``if ... not bus.wants(...): return`` — the
+      ``LoadBoard._announce`` shape);
+    * calls through a local alias (``emit = bus.emit``) inherit the
+      same requirements.
+    """
+
+    code = "RL019"
+    name = "guarded-emit"
+    summary = (
+        "bus.emit in kernel/model hot paths must sit behind a "
+        "wants()/wants_type()/trace_wanted/active guard so disabled "
+        "telemetry constructs no event objects"
+    )
+    scope = ("repro.sim", "repro.model")
+
+    _GUARD_NAMES: FrozenSet[str] = frozenset(
+        {"wants", "wants_type", "trace_wanted", "active"}
+    )
+
+    def _mentions_guard(self, test: ast.expr) -> bool:
+        for node in ast.walk(test):
+            if isinstance(node, ast.Attribute) and node.attr in self._GUARD_NAMES:
+                return True
+            if isinstance(node, ast.Name) and node.id in self._GUARD_NAMES:
+                return True
+        return False
+
+    @staticmethod
+    def _is_early_exit(body: List[ast.stmt]) -> bool:
+        return bool(body) and isinstance(
+            body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+        )
+
+    @staticmethod
+    def _emit_aliases(func: ast.AST) -> Set[str]:
+        """Local names bound to a ``<bus>.emit`` bound method."""
+        aliases: Set[str] = set()
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign):
+                continue
+            value = node.value
+            if isinstance(value, ast.Attribute) and value.attr == "emit":
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        aliases.add(target.id)
+        return aliases
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Violation]:
+        # ast.walk reaches nested defs on its own, so _check_suite stops
+        # at function boundaries instead of recursing into them — each
+        # function is processed exactly once, with its own alias set.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                aliases = self._emit_aliases(node)
+                yield from self._check_suite(ctx, node.body, aliases, False)
+
+    def _check_suite(
+        self,
+        ctx: ModuleContext,
+        suite: List[ast.stmt],
+        aliases: Set[str],
+        guarded: bool,
+    ) -> Iterator[Violation]:
+        suite_guarded = guarded
+        for stmt in suite:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # processed by check_module's walk
+            if isinstance(stmt, ast.If):
+                branch_guarded = suite_guarded or self._mentions_guard(
+                    stmt.test
+                )
+                if not suite_guarded:
+                    yield from self._check_exprs(ctx, [stmt.test], aliases)
+                for branch in (stmt.body, stmt.orelse):
+                    yield from self._check_suite(
+                        ctx, branch, aliases, branch_guarded
+                    )
+                if self._mentions_guard(stmt.test) and self._is_early_exit(
+                    stmt.body
+                ):
+                    # `if not wants: return` guards the rest of the suite.
+                    suite_guarded = True
+                continue
+            if not suite_guarded:
+                yield from self._check_exprs(
+                    ctx, self._own_exprs(stmt), aliases
+                )
+            for child_suite in self._child_suites(stmt):
+                yield from self._check_suite(
+                    ctx, child_suite, aliases, suite_guarded
+                )
+
+    @staticmethod
+    def _child_suites(stmt: ast.stmt) -> List[List[ast.stmt]]:
+        suites: List[List[ast.stmt]] = []
+        for field in ("body", "orelse", "finalbody"):
+            value = getattr(stmt, field, None)
+            if isinstance(value, list) and value and isinstance(
+                value[0], ast.stmt
+            ):
+                suites.append(value)
+        for handler in getattr(stmt, "handlers", []):
+            suites.append(handler.body)
+        return suites
+
+    @staticmethod
+    def _own_exprs(stmt: ast.stmt) -> List[ast.expr]:
+        """The statement's expressions, excluding nested statement suites."""
+        exprs: List[ast.expr] = []
+        stack: List[object] = [value for _, value in ast.iter_fields(stmt)]
+        while stack:
+            value = stack.pop()
+            if isinstance(value, list):
+                stack.extend(value)
+            elif isinstance(value, ast.stmt):
+                continue  # a child suite; handled by _check_suite
+            elif isinstance(value, ast.expr):
+                exprs.append(value)
+            elif isinstance(value, ast.AST):
+                stack.extend(child for _, child in ast.iter_fields(value))
+        return exprs
+
+    def _check_exprs(
+        self, ctx: ModuleContext, exprs: List[ast.expr], aliases: Set[str]
+    ) -> Iterator[Violation]:
+        for expr in exprs:
+            for node in ast.walk(expr):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                is_emit = (
+                    isinstance(func, ast.Attribute) and func.attr == "emit"
+                ) or (isinstance(func, ast.Name) and func.id in aliases)
+                if is_emit:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "unguarded bus.emit on a kernel/model hot path; "
+                        "wrap it in `if bus.active and bus.wants(Type):` "
+                        "(or wants_type for opt-in events) so disabled "
+                        "telemetry constructs nothing",
+                    )
+
+
 __all__ = [
     "CORE_SIM_SCOPE",
     "AGGREGATION_SCOPE",
@@ -717,4 +884,5 @@ __all__ = [
     "FilesystemOrder",
     "FaultStreamDiscipline",
     "EventListEncapsulation",
+    "GuardedEmit",
 ]

@@ -24,6 +24,8 @@ from repro.model.query import Query
 from repro.sim.monitor import Tally
 from repro.sim.stats import IntervalEstimate, batch_means
 from repro.telemetry.events import QueryCompleted
+from repro.telemetry.tracing.decisions import DecisionSummary
+from repro.telemetry.tracing.spans import SpanSummary
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.telemetry.bus import EventBus
@@ -241,6 +243,12 @@ class SystemResults:
         workload: Admission accounting when an open workload drove the
             run; ``None`` for closed runs (and for runs under the
             default closed spec, which are normalized to closed).
+        decisions: Decision-audit roll-up when the allocation audit was
+            enabled (``TelemetryConfig(decisions=True)``); ``None``
+            otherwise — like ``telemetry``, never cached.
+        spans: Span-stream roll-up when query-lifecycle tracing was
+            enabled (``TelemetryConfig(spans=True)``); ``None``
+            otherwise — like ``telemetry``, never cached.
     """
 
     policy: str
@@ -259,6 +267,8 @@ class SystemResults:
     telemetry: Optional[Tuple[Tuple[str, float], ...]] = None
     availability: Optional[AvailabilitySummary] = None
     workload: Optional[WorkloadSummary] = None
+    decisions: Optional[DecisionSummary] = None
+    spans: Optional[SpanSummary] = None
 
     def __str__(self) -> str:
         fair = f"{self.fairness:+.4f}" if self.fairness is not None else "n/a"

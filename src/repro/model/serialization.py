@@ -59,6 +59,8 @@ from repro.model.metrics import (
     WorkloadSummary,
 )
 from repro.sim.stats import IntervalEstimate
+from repro.telemetry.tracing.decisions import DecisionSummary
+from repro.telemetry.tracing.spans import SpanSummary
 from repro.workloads.arrivals import (
     ArrivalSpec,
     ClosedTerminals,
@@ -468,6 +470,68 @@ def availability_from_dict(data: Dict[str, Any]) -> AvailabilitySummary:
         ) from None
 
 
+def decision_summary_to_dict(summary: DecisionSummary) -> Dict[str, Any]:
+    """Flatten a :class:`DecisionSummary` into JSON primitives."""
+    return {
+        "count": summary.count,
+        "mean_staleness": summary.mean_staleness,
+        "max_staleness": summary.max_staleness,
+        "mean_regret": summary.mean_regret,
+        "max_regret": summary.max_regret,
+        "total_regret": summary.total_regret,
+        "optimal_fraction": summary.optimal_fraction,
+    }
+
+
+def decision_summary_from_dict(data: Dict[str, Any]) -> DecisionSummary:
+    """Rebuild a :class:`DecisionSummary`."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    try:
+        return DecisionSummary(
+            count=data["count"],
+            mean_staleness=data["mean_staleness"],
+            max_staleness=data["max_staleness"],
+            mean_regret=data["mean_regret"],
+            max_regret=data["max_regret"],
+            total_regret=data["total_regret"],
+            optimal_fraction=data["optimal_fraction"],
+        )
+    except KeyError as missing:
+        raise ConfigError(
+            f"decision summary dict is missing key {missing}"
+        ) from None
+
+
+def span_summary_to_dict(summary: SpanSummary) -> Dict[str, Any]:
+    """Flatten a :class:`SpanSummary` into JSON primitives."""
+    return {
+        "count": summary.count,
+        "queries": summary.queries,
+        "unfinished": summary.unfinished,
+        "kinds": [[kind, count] for kind, count in summary.kinds],
+    }
+
+
+def span_summary_from_dict(data: Dict[str, Any]) -> SpanSummary:
+    """Rebuild a :class:`SpanSummary`."""
+    if not isinstance(data, dict):
+        raise ConfigError(f"expected a dict, got {type(data).__name__}")
+    try:
+        return SpanSummary(
+            count=data["count"],
+            queries=data["queries"],
+            unfinished=data["unfinished"],
+            kinds=tuple(
+                (str(kind), int(count)) for kind, count in data["kinds"]
+            ),
+        )
+    except KeyError as missing:
+        raise ConfigError(
+            f"span summary dict is missing key {missing}"
+        ) from None
+
+
 def interval_to_dict(estimate: IntervalEstimate) -> Dict[str, Any]:
     """Flatten an :class:`IntervalEstimate` into JSON primitives."""
     return {
@@ -497,9 +561,10 @@ def results_to_dict(results: SystemResults) -> Dict[str, Any]:
     """Flatten one run's :class:`SystemResults` into JSON primitives.
 
     The ``workload`` key is emitted only when the run carried an open
-    workload: closed-run payloads are byte-identical to pre-workload
-    archives, so the golden corpus digests and every cached entry stay
-    valid.
+    workload, and the ``decisions`` / ``spans`` keys only when the run
+    collected the decision audit / span trace: payloads of runs without
+    those features are byte-identical to older archives, so the golden
+    corpus digests and every cached entry stay valid.
     """
     payload: Dict[str, Any] = {
         "format_version": RESULTS_FORMAT_VERSION,
@@ -533,6 +598,10 @@ def results_to_dict(results: SystemResults) -> Dict[str, Any]:
     }
     if results.workload is not None:
         payload["workload"] = workload_summary_to_dict(results.workload)
+    if results.decisions is not None:
+        payload["decisions"] = decision_summary_to_dict(results.decisions)
+    if results.spans is not None:
+        payload["spans"] = span_summary_to_dict(results.spans)
     return payload
 
 
@@ -572,6 +641,18 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
         if workload_data is None
         else workload_summary_from_dict(workload_data)
     )
+    # Absent in audit-free entries: .get keeps every archive loadable.
+    decisions_data = data.get("decisions")
+    decisions = (
+        None
+        if decisions_data is None
+        else decision_summary_from_dict(decisions_data)
+    )
+    # Absent in trace-free entries: .get keeps every archive loadable.
+    spans_data = data.get("spans")
+    spans = (
+        None if spans_data is None else span_summary_from_dict(spans_data)
+    )
     try:
         return SystemResults(
             policy=data["policy"],
@@ -590,6 +671,8 @@ def results_from_dict(data: Dict[str, Any]) -> SystemResults:
             telemetry=telemetry,
             availability=availability,
             workload=workload,
+            decisions=decisions,
+            spans=spans,
         )
     except KeyError as missing:
         raise ConfigError(f"results dict is missing key {missing}") from None
@@ -673,6 +756,10 @@ __all__ = [
     "workload_summary_from_dict",
     "availability_to_dict",
     "availability_from_dict",
+    "decision_summary_to_dict",
+    "decision_summary_from_dict",
+    "span_summary_to_dict",
+    "span_summary_from_dict",
     "interval_to_dict",
     "interval_from_dict",
     "results_to_dict",

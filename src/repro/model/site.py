@@ -24,7 +24,7 @@ from typing import TYPE_CHECKING, Generator, List
 from repro.model.config import DISK_SHARED, SystemConfig
 from repro.sim.engine import Simulator
 from repro.sim.resources import FCFSServer, PSServer, ServiceRequest
-from repro.telemetry.events import ServiceStarted
+from repro.telemetry.events import ServiceFinished, ServiceStarted
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.model.query import Query
@@ -105,6 +105,17 @@ class DBSite:
             yield self.cpu_service(cpu_time)
             query.service_acquired += cpu_time
         query.finished_at = sim.now
+        # Opt-in (wants_type): catch-all event logs never see this, so
+        # pre-tracing event-stream digests stay byte-identical.
+        if bus.active and bus.wants_type(ServiceFinished):
+            bus.emit(
+                ServiceFinished(
+                    time=sim.now,
+                    qid=query.qid,
+                    site=self.index,
+                    service_time=query.service_acquired,
+                )
+            )
 
     def abort_all(self) -> int:
         """Flush every job from the site's CPU and disks (site crash).

@@ -48,6 +48,7 @@ from repro.sim.engine import Simulator
 from repro.sim.process import Hold, WaitFor
 from repro.sim.rng import bernoulli
 from repro.telemetry.events import (
+    AllocationDecided,
     MessageDropped,
     QueryAborted,
     QueryAllocated,
@@ -203,6 +204,47 @@ class DistributedDatabase:
         return self._result_transfer_time(query, query.estimated_reads)
 
     # ------------------------------------------------------------------
+    # Decision audit
+    # ------------------------------------------------------------------
+    def _emit_decision(
+        self, query: Query, view: SystemView, chosen: int, attempt: int = 0
+    ) -> None:
+        """Publish the decision-audit record for one ``select`` call.
+
+        Opt-in via ``wants_type`` (like :class:`TraceMessage`): catch-all
+        subscribers never trigger construction, so existing event-stream
+        digests are unchanged and the extra load-board reads only happen
+        when a :class:`~repro.telemetry.tracing.decisions.DecisionAudit`
+        is attached.
+        """
+        bus = self.sim.bus
+        if not bus.active or not bus.wants_type(AllocationDecided):
+            return
+        seen = view.loads.query_distribution()
+        true = self.load_board.query_distribution()
+        candidates = view.candidates(query)
+        est_service = query.estimated_cpu_demand + query.estimated_io_demand(
+            self.config.site.disk_time
+        )
+        bus.emit(
+            AllocationDecided(
+                time=self.sim.now,
+                qid=query.qid,
+                class_name=query.spec.name,
+                home_site=query.home_site,
+                chosen_site=chosen,
+                staleness=view.load_info_age(),
+                seen_loads=",".join(map(str, seen)),
+                true_loads=",".join(map(str, true)),
+                candidates=",".join(map(str, candidates)),
+                est_service=est_service,
+                est_transfer=view.estimated_transfer_time(query),
+                est_return=view.estimated_return_time(query),
+                attempt=attempt,
+            )
+        )
+
+    # ------------------------------------------------------------------
     # Query life cycle
     # ------------------------------------------------------------------
     def execute_query(self, query: Query, query_rng):
@@ -219,11 +261,13 @@ class DistributedDatabase:
     def _execute_query_plain(self, query: Query, query_rng):
         """The paper's Figure-2 life cycle (no faults anywhere)."""
         sim = self.sim
-        execution_site = self.policy.select(query, self.view_for(query.home_site))
+        view = self.view_for(query.home_site)
+        execution_site = self.policy.select(query, view)
         if not 0 <= execution_site < self.config.num_sites:
             raise ValueError(
                 f"policy {self.policy.name} chose invalid site {execution_site}"
             )
+        self._emit_decision(query, view, execution_site)
         query.allocated_at = sim.now
         query.execution_site = execution_site
         self.load_board.register(query, execution_site)
@@ -327,10 +371,9 @@ class DistributedDatabase:
         plan = injector.plan
         attempts = 0
         while True:
+            view = self.view_for(query.home_site)
             try:
-                execution_site = self.policy.select(
-                    query, self.view_for(query.home_site)
-                )
+                execution_site = self.policy.select(query, view)
             except NoAvailableSiteError:
                 # Every eligible site is down right now: count the
                 # exposure and back off before trying again.
@@ -360,6 +403,7 @@ class DistributedDatabase:
                 raise ValueError(
                     f"policy {self.policy.name} chose invalid site {execution_site}"
                 )
+            self._emit_decision(query, view, execution_site, attempt=attempts)
             query.allocated_at = sim.now
             query.execution_site = execution_site
             self.load_board.register(query, execution_site)

@@ -53,6 +53,12 @@ from repro.telemetry.exporters import (
 )
 from repro.telemetry.sampler import TimelineSample
 from repro.telemetry.session import TelemetryConfig, TelemetrySession
+from repro.telemetry.tracing.decisions import DecisionRecord
+from repro.telemetry.tracing.export import (
+    write_decisions_jsonl,
+    write_spans_chrome,
+)
+from repro.telemetry.tracing.spans import Span
 from repro.workloads.spec import WorkloadSpec, normalize_workload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (avoids importing the
@@ -131,11 +137,17 @@ class RunReport:
             event log was disabled).
         timeline: The sampled load timeline (empty when sampling was
             disabled).
+        spans: The query-lifecycle spans (empty unless the spec enabled
+            ``TelemetryConfig(spans=True)``).
+        decisions: The allocation decision audit (empty unless the spec
+            enabled ``TelemetryConfig(decisions=True)``).
     """
 
     results: SystemResults
     events: Tuple[TelemetryEvent, ...] = ()
     timeline: Tuple[TimelineSample, ...] = ()
+    spans: Tuple[Span, ...] = ()
+    decisions: Tuple[DecisionRecord, ...] = ()
 
     @property
     def availability(self) -> Optional[AvailabilitySummary]:
@@ -160,6 +172,16 @@ class RunReport:
         if fmt == "json":
             return write_timeline_json(self.timeline, path)
         raise ValueError(f"unknown timeline format {fmt!r}; use 'csv' or 'json'")
+
+    def write_spans(self, path: PathLike) -> Path:
+        """Export the spans as Chrome trace-event JSON (Perfetto-loadable)."""
+        write_spans_chrome(self.spans, path)
+        return Path(path)
+
+    def write_decisions(self, path: PathLike) -> Path:
+        """Export the decision audit as canonical JSONL."""
+        write_decisions_jsonl(self.decisions, path)
+        return Path(path)
 
 
 def execute(system: DistributedDatabase, spec: RunSpec) -> RunReport:
@@ -194,6 +216,8 @@ def execute(system: DistributedDatabase, spec: RunSpec) -> RunReport:
         results=session.merge(results),
         events=session.events,
         timeline=session.timeline,
+        spans=session.spans,
+        decisions=session.decisions,
     )
 
 

@@ -13,15 +13,24 @@ The package gives every run three machine-readable observation surfaces
   CPU/disk queue lengths, utilizations, and load-information staleness
   on a fixed simulated-time cadence;
 
+* a **tracing layer** (:mod:`repro.telemetry.tracing`) — query-lifecycle
+  spans with deterministic IDs plus an allocation decision audit
+  (staleness and ex-post regret per ``AllocationPolicy.select``), with
+  byte-deterministic Chrome-trace/JSONL exporters;
+
 plus **exporters** (:mod:`repro.telemetry.exporters`) for JSONL event
-logs and CSV/JSON timelines, and a **session** façade
-(:mod:`repro.telemetry.session`) that wires everything to one system.
+logs and CSV/JSON timelines, a **session** façade
+(:mod:`repro.telemetry.session`) that wires everything to one system,
+and a **kernel self-profiler** (:mod:`repro.telemetry.profile`,
+``python -m repro.telemetry.profile``) attributing wall time to engine
+phases.
 """
 
 from repro.telemetry.bus import EventBus, EventLog, Handler, Subscription
 from repro.telemetry.events import (
     EVENT_REGISTRY,
     EVENT_TYPES,
+    AllocationDecided,
     LoadBoardUpdated,
     MessageDropped,
     QueryAborted,
@@ -30,9 +39,11 @@ from repro.telemetry.events import (
     QueryCreated,
     QueryLost,
     QueryRetried,
+    QueryShed,
     QueryTransferred,
     RunEnded,
     RunStarted,
+    ServiceFinished,
     ServiceStarted,
     SiteCrashed,
     SiteRecovered,
@@ -73,7 +84,32 @@ from repro.telemetry.sampler import (
     sample_from_dict,
     sample_to_dict,
 )
+from repro.telemetry.profile import KernelProfiler, PhaseReport
 from repro.telemetry.session import TelemetryConfig, TelemetrySession
+from repro.telemetry.tracing import (
+    TRACE_FORMAT_VERSION,
+    DecisionAudit,
+    DecisionRecord,
+    DecisionSummary,
+    Span,
+    SpanCollector,
+    SpanSummary,
+    decision_cost,
+    decision_from_dict,
+    decision_to_dict,
+    decisions_from_jsonl,
+    decisions_to_jsonl,
+    read_decisions_jsonl,
+    read_spans_chrome,
+    record_from_event,
+    span_from_dict,
+    span_id,
+    span_to_dict,
+    spans_from_chrome_json,
+    spans_to_chrome_json,
+    write_decisions_jsonl,
+    write_spans_chrome,
+)
 
 __all__ = [
     # bus
@@ -99,6 +135,9 @@ __all__ = [
     "QueryRetried",
     "QueryLost",
     "MessageDropped",
+    "QueryShed",
+    "AllocationDecided",
+    "ServiceFinished",
     "EVENT_TYPES",
     "EVENT_REGISTRY",
     "event_to_dict",
@@ -134,4 +173,30 @@ __all__ = [
     # session
     "TelemetryConfig",
     "TelemetrySession",
+    # tracing
+    "TRACE_FORMAT_VERSION",
+    "Span",
+    "SpanCollector",
+    "SpanSummary",
+    "span_id",
+    "DecisionAudit",
+    "DecisionRecord",
+    "DecisionSummary",
+    "decision_cost",
+    "record_from_event",
+    "span_to_dict",
+    "span_from_dict",
+    "spans_to_chrome_json",
+    "spans_from_chrome_json",
+    "write_spans_chrome",
+    "read_spans_chrome",
+    "decision_to_dict",
+    "decision_from_dict",
+    "decisions_to_jsonl",
+    "decisions_from_jsonl",
+    "write_decisions_jsonl",
+    "read_decisions_jsonl",
+    # profiler
+    "KernelProfiler",
+    "PhaseReport",
 ]

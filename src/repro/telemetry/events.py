@@ -39,6 +39,13 @@ Event                   Emitted when / by
                         (model/system.py, degraded path)
 :class:`QueryShed`      admission control dropped an open-workload
                         arrival (workloads/driver.py)
+:class:`AllocationDecided`  the full decision-audit record of one
+                        ``AllocationPolicy.select`` (model/system.py).
+                        Opt-in; only emitted when something subscribes to
+                        ``AllocationDecided`` specifically.
+:class:`ServiceFinished`  a query finished its disk/CPU cycles at its
+                        execution site (model/site.py).  Opt-in; only
+                        emitted for explicit subscribers.
 ======================  =====================================================
 """
 
@@ -289,6 +296,77 @@ class QueryShed(TelemetryEvent):
     pending: int
 
 
+@dataclass(frozen=True, slots=True)
+class AllocationDecided(TelemetryEvent):
+    """The full audit record of one ``AllocationPolicy.select`` call.
+
+    Opt-in like :class:`TraceMessage`: the system only constructs these
+    when a subscriber asked for ``AllocationDecided`` specifically
+    (``bus.wants_type``), so catch-all event logs — and the golden event
+    streams pinned from them — never see one.
+
+    Event fields are restricted to primitives, so the per-site load
+    vectors are encoded as comma-joined integer strings (``"3,1,0"``);
+    :class:`repro.telemetry.tracing.decisions.DecisionRecord` decodes
+    them back into tuples.
+
+    Attributes:
+        qid: The query being allocated.
+        class_name: The query's class.
+        home_site: Site whose terminal issued the query.
+        chosen_site: The site the policy selected.
+        staleness: Age of the load information the policy saw
+            (``SystemView.load_info_age()``; 0.0 under the paper's
+            oracle load board).
+        seen_loads: Per-site query counts *as the policy saw them*
+            (masked/stale under faults or the stale-info extension),
+            comma-joined.
+        true_loads: The live load board's per-site counts at the same
+            instant, comma-joined.
+        candidates: The candidate sites the view offered, comma-joined.
+        est_service: The optimizer's total service estimate for the
+            query (CPU plus I/O demand at the mean disk time).
+        est_transfer: Figure 6's ``Transfer_Time(q)`` estimate.
+        est_return: Figure 6's ``Return_Time(q)`` estimate.
+        attempt: Allocation attempt number (0 for the first attempt;
+            positive after fault-driven retries).
+    """
+
+    qid: int
+    class_name: str
+    home_site: int
+    chosen_site: int
+    staleness: float
+    seen_loads: str
+    true_loads: str
+    candidates: str
+    est_service: float
+    est_transfer: float
+    est_return: float
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceFinished(TelemetryEvent):
+    """A query finished its disk/CPU cycles at its execution site.
+
+    The closing bracket of :class:`ServiceStarted` (which has no
+    end-of-service counterpart in the original taxonomy).  Opt-in like
+    :class:`AllocationDecided`: only constructed for explicit
+    subscribers, so existing catch-all event streams are unchanged.
+
+    Attributes:
+        qid: The query that finished.
+        site: The execution site.
+        service_time: Total disk + CPU service the query acquired there
+            (cumulative across retries, matching ``service_acquired``).
+    """
+
+    qid: int
+    site: int
+    service_time: float
+
+
 #: Every event type, in taxonomy order.
 EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     RunStarted,
@@ -308,6 +386,8 @@ EVENT_TYPES: Tuple[Type[TelemetryEvent], ...] = (
     QueryLost,
     MessageDropped,
     QueryShed,
+    AllocationDecided,
+    ServiceFinished,
 )
 
 #: Event name -> event class (for deserialization).
@@ -369,6 +449,8 @@ __all__ = [
     "QueryLost",
     "MessageDropped",
     "QueryShed",
+    "AllocationDecided",
+    "ServiceFinished",
     "EVENT_TYPES",
     "EVENT_REGISTRY",
     "event_to_dict",

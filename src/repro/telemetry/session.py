@@ -38,6 +38,8 @@ from repro.telemetry.events import (
 )
 from repro.telemetry.registry import MetricsRegistry
 from repro.telemetry.sampler import TimelineSample, TimelineSampler
+from repro.telemetry.tracing.decisions import DecisionAudit, DecisionRecord
+from repro.telemetry.tracing.spans import Span, SpanCollector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.model.metrics import SystemResults
@@ -54,11 +56,18 @@ class TelemetryConfig:
             ``0.0`` disables the timeline sampler.
         event_capacity: Bound on retained events (oldest dropped first);
             ``None`` retains everything.
+        spans: Assemble query-lifecycle spans
+            (:class:`~repro.telemetry.tracing.spans.SpanCollector`).
+        decisions: Audit every allocation decision
+            (:class:`~repro.telemetry.tracing.decisions.DecisionAudit`).
+            Arms the opt-in ``AllocationDecided`` emission.
     """
 
     events: bool = True
     sample_interval: float = 0.0
     event_capacity: Optional[int] = None
+    spans: bool = False
+    decisions: bool = False
 
     def __post_init__(self) -> None:
         if self.sample_interval < 0:
@@ -106,6 +115,14 @@ class TelemetrySession:
         self.sampler: Optional[TimelineSampler] = None
         if config.sample_interval > 0:
             self.sampler = TimelineSampler(system, config.sample_interval)
+
+        self.span_collector: Optional[SpanCollector] = None
+        if config.spans:
+            self.span_collector = SpanCollector(bus)
+
+        self.decision_audit: Optional[DecisionAudit] = None
+        if config.decisions:
+            self.decision_audit = DecisionAudit(bus)
 
         self._subscriptions.append(bus.subscribe(RunStarted, self._on_run_started))
         self._subscriptions.append(
@@ -172,13 +189,36 @@ class TelemetrySession:
             return ()
         return self.sampler.samples
 
+    @property
+    def spans(self) -> Tuple[Span, ...]:
+        """The collected spans (empty when span tracing is disabled)."""
+        if self.span_collector is None:
+            return ()
+        return self.span_collector.spans
+
+    @property
+    def decisions(self) -> Tuple[DecisionRecord, ...]:
+        """The decision audit (empty when auditing is disabled)."""
+        if self.decision_audit is None:
+            return ()
+        return self.decision_audit.records
+
     def summary(self) -> Dict[str, float]:
         """The registry snapshot: sorted ``{"name.stat": value}``."""
         return self.registry.snapshot()
 
     def merge(self, results: "SystemResults") -> "SystemResults":
-        """Return *results* with the telemetry summary folded in."""
-        return replace(results, telemetry=self.registry.summary_pairs())
+        """Return *results* with the telemetry summary folded in.
+
+        When span tracing or the decision audit is enabled, their
+        roll-ups ride along as ``results.spans`` / ``results.decisions``.
+        """
+        results = replace(results, telemetry=self.registry.summary_pairs())
+        if self.span_collector is not None:
+            results = replace(results, spans=self.span_collector.summary())
+        if self.decision_audit is not None:
+            results = replace(results, decisions=self.decision_audit.summary())
+        return results
 
     # ------------------------------------------------------------------
     # Life cycle
@@ -191,6 +231,10 @@ class TelemetrySession:
         bus = self.system.sim.bus
         if self.log is not None:
             self.log.detach()
+        if self.span_collector is not None:
+            self.span_collector.close()
+        if self.decision_audit is not None:
+            self.decision_audit.close()
         for subscription in self._subscriptions:
             bus.unsubscribe(subscription)
         self._subscriptions.clear()

@@ -449,6 +449,103 @@ def test_rl012_clean(tmp_path, relative, source):
 
 
 # ----------------------------------------------------------------------
+# RL019 — hot-path bus.emit must sit behind a wants()/active guard
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "relative, source",
+    [
+        # A bare emit constructs an event even when telemetry is off.
+        (
+            "repro/model/emitter.py",
+            "def f(bus, ev):\n    bus.emit(ev)\n",
+        ),
+        # Aliasing the bound method does not launder the call.
+        (
+            "repro/model/alias.py",
+            "def f(bus, ev):\n    emit = bus.emit\n    emit(ev)\n",
+        ),
+        # A non-guard condition is not a guard.
+        (
+            "repro/sim/loop2.py",
+            "def f(bus, ev, x):\n    if x > 0:\n        bus.emit(ev)\n",
+        ),
+        # A guard that falls through (no early exit) protects nothing
+        # after it.
+        (
+            "repro/model/fallthrough.py",
+            "def f(bus, ev):\n"
+            "    if not bus.active:\n"
+            "        pass\n"
+            "    bus.emit(ev)\n",
+        ),
+    ],
+)
+def test_rl019_fires(tmp_path, relative, source):
+    result = lint_snippet(tmp_path, relative, source, select=["RL019"])
+    assert "RL019" in codes(result)
+
+
+@pytest.mark.parametrize(
+    "relative, source",
+    [
+        # The canonical guarded-emit idiom.
+        (
+            "repro/model/guarded.py",
+            "def f(bus, ev, T):\n"
+            "    if bus.active and bus.wants(T):\n"
+            "        bus.emit(ev)\n",
+        ),
+        # Opt-in events guard with wants_type.
+        (
+            "repro/model/optin.py",
+            "def f(bus, ev, T):\n"
+            "    if bus.active and bus.wants_type(T):\n"
+            "        bus.emit(ev)\n",
+        ),
+        # The LoadBoard._announce shape: an early-return guard covers the
+        # rest of the suite.
+        (
+            "repro/model/announce.py",
+            "def f(bus, ev, T):\n"
+            "    if bus is None or not bus.active or not bus.wants(T):\n"
+            "        return\n"
+            "    bus.emit(ev)\n",
+        ),
+        # The engine's tracing loop: an alias emit in the else-branch of
+        # a trace_wanted test, nested in a loop.
+        (
+            "repro/sim/engine3.py",
+            "def drive(bus, ev):\n"
+            "    if not bus.trace_wanted:\n"
+            "        pass\n"
+            "    else:\n"
+            "        emit = bus.emit\n"
+            "        while True:\n"
+            "            emit(ev)\n",
+        ),
+        # Deeper statements inherit the guard.
+        (
+            "repro/model/nested.py",
+            "def f(bus, ev, T):\n"
+            "    if bus.wants(T):\n"
+            "        for _ in range(3):\n"
+            "            bus.emit(ev)\n",
+        ),
+        # Outside the kernel/model scope the bus is free to emit.
+        (
+            "repro/telemetry/replayer.py",
+            "def f(bus, ev):\n    bus.emit(ev)\n",
+        ),
+    ],
+)
+def test_rl019_clean(tmp_path, relative, source):
+    result = lint_snippet(tmp_path, relative, source, select=["RL019"])
+    assert codes(result) == []
+
+
+# ----------------------------------------------------------------------
 # Engine behaviour around rule selection
 # ----------------------------------------------------------------------
 

@@ -194,6 +194,85 @@ class TestResultsRoundTrip:
             results_from_dict(data)
 
 
+class TestTracingSummariesRoundTrip:
+    """`SystemResults.decisions` / `.spans` serialization (conditional)."""
+
+    def _traced(self):
+        from repro.telemetry.tracing import DecisionSummary, SpanSummary
+
+        return dataclasses.replace(
+            make_results(),
+            decisions=DecisionSummary(
+                count=7,
+                mean_staleness=1.5,
+                max_staleness=12.0,
+                mean_regret=0.25,
+                max_regret=3.5,
+                total_regret=1.75,
+                optimal_fraction=0.875,
+            ),
+            spans=SpanSummary(
+                count=30,
+                queries=7,
+                unfinished=1,
+                kinds=(("query", 7), ("queue", 7), ("service", 16)),
+            ),
+        )
+
+    def test_round_trip_with_summaries(self):
+        results = self._traced()
+        rebuilt = results_from_dict(
+            json.loads(json.dumps(results_to_dict(results)))
+        )
+        assert rebuilt == results
+        assert rebuilt.decisions == results.decisions
+        assert rebuilt.spans == results.spans
+
+    def test_absent_keys_stay_absent(self):
+        """Tracing-off payloads are byte-identical to pre-tracing ones."""
+        data = results_to_dict(make_results())
+        assert "decisions" not in data
+        assert "spans" not in data
+        rebuilt = results_from_dict(data)
+        assert rebuilt.decisions is None
+        assert rebuilt.spans is None
+
+    def test_old_archives_still_load(self):
+        """A payload written before the tracing fields deserializes."""
+        data = results_to_dict(make_results())
+        payload = json.loads(json.dumps(data))  # a frozen old archive
+        assert results_from_dict(payload) == make_results()
+
+    def test_summary_dict_helpers_round_trip(self):
+        from repro.model.serialization import (
+            decision_summary_from_dict,
+            decision_summary_to_dict,
+            span_summary_from_dict,
+            span_summary_to_dict,
+        )
+
+        traced = self._traced()
+        assert (
+            decision_summary_from_dict(decision_summary_to_dict(traced.decisions))
+            == traced.decisions
+        )
+        assert (
+            span_summary_from_dict(span_summary_to_dict(traced.spans))
+            == traced.spans
+        )
+
+    def test_summary_missing_key_rejected(self):
+        from repro.model.serialization import (
+            decision_summary_from_dict,
+            decision_summary_to_dict,
+        )
+
+        data = decision_summary_to_dict(self._traced().decisions)
+        del data["total_regret"]
+        with pytest.raises(ConfigError):
+            decision_summary_from_dict(data)
+
+
 class TestAveragedResultsRoundTrip:
     def _averaged(self):
         from repro.experiments.common import average_results

@@ -7,6 +7,7 @@ import pytest
 from repro.telemetry.events import (
     EVENT_REGISTRY,
     EVENT_TYPES,
+    AllocationDecided,
     LoadBoardUpdated,
     MessageDropped,
     QueryAborted,
@@ -19,6 +20,7 @@ from repro.telemetry.events import (
     QueryTransferred,
     RunEnded,
     RunStarted,
+    ServiceFinished,
     ServiceStarted,
     SiteCrashed,
     SiteRecovered,
@@ -63,6 +65,22 @@ SAMPLES = (
     QueryLost(time=190.0, qid=4, attempts=6),
     MessageDropped(time=130.0, source=2, destination=0, kind="result", qid=5),
     QueryShed(time=140.0, site=3, serial=212, pending=64),
+    AllocationDecided(
+        time=1.5,
+        qid=3,
+        class_name="io",
+        home_site=2,
+        chosen_site=0,
+        staleness=12.5,
+        seen_loads="2,0,1",
+        true_loads="3,0,1",
+        candidates="0,1,2",
+        est_service=6.25,
+        est_transfer=0.125,
+        est_return=0.5,
+        attempt=1,
+    ),
+    ServiceFinished(time=8.5, qid=3, site=0, service_time=6.75),
 )
 
 
